@@ -1,0 +1,50 @@
+"""Domain shapes (Figure 2 / Section 2.2): communication footprints.
+
+The paper argues square pillars minimise communication for mid-size problems
+on mid-size machines while cubes win on massively parallel machines. This
+bench regenerates that comparison as a table of ghost volumes per PE.
+"""
+
+from repro.decomp.shapes import domain_shape_info
+from repro.errors import ConfigurationError
+from repro.reporting import format_table, write_csv
+
+
+def test_shape_comparison_table(benchmark, out_dir):
+    configurations = [
+        (24, 4), (24, 8), (32, 16), (24, 36), (24, 64), (32, 64), (48, 64)
+    ]
+
+    def build():
+        rows = []
+        for nc, p in configurations:
+            row = [f"nc={nc}, P={p}"]
+            for shape in ("plane", "pillar", "cube"):
+                try:
+                    info = domain_shape_info(shape, nc, p)
+                    row.append(info.ghost_cells)
+                except ConfigurationError:
+                    row.append("-")
+            rows.append(row)
+        return rows
+
+    rows = benchmark(build)
+    print("\n" + format_table(
+        ["problem", "plane ghosts", "pillar ghosts", "cube ghosts"],
+        rows,
+        title="Ghost cells imported per PE per step (lower is better)",
+    ))
+    write_csv(out_dir / "domain_shapes.csv", {
+        "problem": [r[0] for r in rows],
+        "plane": [r[1] for r in rows],
+        "pillar": [r[2] for r in rows],
+        "cube": [r[3] for r in rows],
+    })
+
+    # The design claims of Section 2.2, as assertions.
+    mid = domain_shape_info("pillar", 24, 36).ghost_cells
+    assert mid < domain_shape_info("plane", 24, 4).ghost_cells * 24  # sanity scale
+    assert domain_shape_info("pillar", 32, 16).ghost_cells < domain_shape_info(
+        "plane", 32, 16).ghost_cells
+    assert domain_shape_info("cube", 24, 64).ghost_cells < domain_shape_info(
+        "pillar", 24, 64).ghost_cells

@@ -1,0 +1,80 @@
+"""Figure 10: theoretical upper bounds vs experimental boundary points.
+
+For each pillar cross-section m, regenerates the four density points
+(rho = 0.128 ... 0.512), fits the experimental boundary k * f(m, n), and
+asserts the paper's core finding: every experimental point lies BELOW the
+theoretical upper bound f(m, n).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig10 import run_fig10
+from repro.reporting import write_csv
+from repro.theory.bounds import upper_bound
+from repro.units import PAPER_RHO_SWEEP
+
+
+@pytest.mark.parametrize("m", [2, 3, 4])
+def test_fig10_panel(benchmark, m, out_dir, scale):
+    if scale == "full":
+        n_pes, reps, steps = 36, 10, 130
+    else:
+        n_pes, reps, steps = 9, 3, 100
+
+    result = benchmark.pedantic(
+        lambda: run_fig10(
+            m_values=(m,),
+            densities=PAPER_RHO_SWEEP,
+            n_pes=n_pes,
+            n_repetitions=reps,
+            n_steps=steps,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    panel = result.panels[m]
+
+    print(f"\nFigure 10 panel m={m} (P={n_pes}, {reps} repetitions/point):")
+    rows = {"density": [], "n": [], "c0_ratio": [], "theory": []}
+    for experiment in panel.experiments:
+        if experiment.mean_point is None:
+            print(f"  rho={experiment.geometry.density}: no divergence "
+                  f"({experiment.n_failed} runs)")
+            continue
+        p = experiment.mean_point
+        theory = float(upper_bound(m, p.n))
+        print("  rho=%.3f  n=%.2f  C0/C=%.3f  f(m,n)=%.3f  E/T=%.2f"
+              % (experiment.geometry.density, p.n, p.c0_ratio, theory,
+                 p.c0_ratio / theory))
+        rows["density"].append(experiment.geometry.density)
+        rows["n"].append(p.n)
+        rows["c0_ratio"].append(p.c0_ratio)
+        rows["theory"].append(theory)
+    if panel.fit:
+        print(f"  fitted experimental boundary: E(n) = {panel.fit.ratio:.2f} * f({m}, n)")
+    if rows["density"]:
+        write_csv(out_dir / f"fig10_m{m}.csv", rows)
+
+    # Paper finding 1: boundary points exist for at least half the densities.
+    detected = [e for e in panel.experiments if e.mean_point is not None]
+    assert len(detected) >= 2, "too few boundary points detected"
+    # Paper finding 2: every experimental point lies below the bound.
+    for experiment in detected:
+        p = experiment.mean_point
+        assert p.c0_ratio < upper_bound(m, p.n)
+    # Paper finding 3: the fitted E/T ratio is a genuine fraction of the bound.
+    assert panel.fit is not None
+    assert 0.0 < panel.fit.ratio < 1.0
+
+
+def test_theoretical_bounds_ordering(benchmark):
+    """Equation (12): f(2,n) <= f(3,n) <= f(4,n) over the plotted range."""
+
+    def evaluate():
+        n = np.linspace(1.0, 5.0, 512)
+        return {m: np.asarray(upper_bound(m, n)) for m in (2, 3, 4)}
+
+    curves = benchmark(evaluate)
+    assert np.all(curves[2] <= curves[3] + 1e-12)
+    assert np.all(curves[3] <= curves[4] + 1e-12)

@@ -1,0 +1,50 @@
+"""Figure 5: execution time per step, DDM vs DLB-DDM.
+
+Regenerates both curves of each panel at reduced scale (same m, density and
+cells/PE as the paper; see ``repro.workloads.presets``) and asserts the
+qualitative result: the force-time imbalance of plain DDM grows sharply with
+the time step while DLB-DDM keeps it bounded, and DDM's per-step time
+eventually exceeds DLB-DDM's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+from repro.reporting import write_csv
+
+
+def _series_rows(result, label):
+    idx = np.unique(np.linspace(0, len(result.steps) - 1, 12).astype(int))
+    return [(label, int(result.steps[i]), float(result.tt[i]), float(result.spread[i]))
+            for i in idx]
+
+
+@pytest.mark.parametrize("panel,preset", [("b", "bench-m2"), ("a", "bench-m4")])
+def test_fig5_ddm_vs_dlb(benchmark, panel, preset, out_dir, scale):
+    steps = None if scale == "full" else (1500 if panel == "b" else 700)
+
+    result = benchmark.pedantic(
+        lambda: run_fig5(preset, steps=steps, seed=7, record_interval=20),
+        rounds=1,
+        iterations=1,
+    )
+
+    print(f"\nFigure 5({panel}) series [{result.preset.description}]:")
+    for row in _series_rows(result.ddm, "DDM") + _series_rows(result.dlb, "DLB-DDM"):
+        print("  %-7s step %5d  Tt %.5f  spread %.5f" % row)
+
+    for label, run in (("ddm", result.ddm), ("dlb", result.dlb)):
+        write_csv(
+            out_dir / f"fig5{panel}_{label}.csv",
+            {"step": run.steps, "tt": run.tt, "spread": run.spread},
+        )
+
+    # Paper shape: DDM's force-time imbalance grows with concentration;
+    # DLB-DDM's stays much lower (Section 3.3).
+    k = max(1, len(result.ddm.spread) // 8)
+    ddm_growth = result.ddm.spread[-k:].mean() / max(result.ddm.spread[:k].mean(), 1e-12)
+    assert ddm_growth > 1.5, "DDM imbalance did not grow with concentration"
+    assert result.dlb.spread[-k:].mean() < result.ddm.spread[-k:].mean(), (
+        "DLB-DDM should end with a smaller force-time spread than DDM"
+    )

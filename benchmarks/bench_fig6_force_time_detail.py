@@ -1,0 +1,50 @@
+"""Figure 6: the Tt / Fmax / Fave / Fmin breakdown.
+
+Panel (a), plain DDM: the Fmax-Fmin gap widens rapidly and Tt tracks Fmax
+(barrier synchronisation). Panel (b), DLB-DDM: the gap stays small for most
+of the run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import fig6_from_fig5
+from repro.reporting import write_csv
+
+
+def test_fig6_breakdown(benchmark, out_dir, scale):
+    steps = None if scale == "full" else 1500
+
+    fig6 = benchmark.pedantic(
+        lambda: fig6_from_fig5(run_fig5("bench-m2", steps=steps, seed=7,
+                                        record_interval=20)),
+        rounds=1,
+        iterations=1,
+    )
+
+    for name, panel in (("a-DDM", fig6.ddm), ("b-DLB", fig6.dlb)):
+        print(f"\nFigure 6({name}) series:")
+        idx = np.unique(np.linspace(0, len(panel.steps) - 1, 10).astype(int))
+        for i in idx:
+            print("  step %5d  Tt %.5f  Fmax %.5f  Fave %.5f  Fmin %.5f"
+                  % (panel.steps[i], panel.tt[i], panel.fmax[i],
+                     panel.fave[i], panel.fmin[i]))
+        write_csv(
+            out_dir / f"fig6_{name}.csv",
+            {"step": panel.steps, "tt": panel.tt, "fmax": panel.fmax,
+             "fave": panel.fave, "fmin": panel.fmin},
+        )
+
+    # Tt is governed by the slowest PE: it upper-bounds Fmax at every step.
+    assert np.all(fig6.ddm.tt >= fig6.ddm.fmax)
+    assert np.all(fig6.dlb.tt >= fig6.dlb.fmax)
+    # The paper's observation: the DDM gap diverges; the DLB gap stays small.
+    assert fig6.ddm.gap_growth() > 1.5
+    k = max(1, len(fig6.ddm.gap) // 8)
+    assert fig6.dlb.gap[-k:].mean() < fig6.ddm.gap[-k:].mean()
+    # While balanced, DLB holds Fmax close to Fave (uniform allocation).
+    mid = slice(len(fig6.dlb.steps) // 3, 2 * len(fig6.dlb.steps) // 3)
+    assert np.median(fig6.dlb.fmax[mid] / fig6.dlb.fave[mid]) < np.median(
+        fig6.ddm.fmax[mid] / fig6.ddm.fave[mid]
+    ) + 1e-9

@@ -1,0 +1,41 @@
+"""Figure 9: the (n, C0/C) trajectory of a concentrating run.
+
+Regenerates one trajectory through concentration space and checks its shape:
+it starts near the dilute corner (C0/C ~ 0) and climbs as the gas condenses
+and coarsens, exactly like the example trajectory the paper plots.
+"""
+
+import numpy as np
+
+from repro.experiments.fig9 import run_fig9
+from repro.reporting import write_csv
+
+
+def test_fig9_trajectory(benchmark, out_dir, scale):
+    n_steps = 150 if scale == "full" else 90
+
+    result = benchmark.pedantic(
+        lambda: run_fig9(m=3, n_pes=9, n_steps=n_steps, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    trajectory = result.trajectory
+
+    print("\nFigure 9 trajectory (n, C0/C):")
+    idx = np.unique(np.linspace(0, len(trajectory) - 1, 12).astype(int))
+    for i in idx:
+        print("  record %4d  n %.3f  C0/C %.4f"
+              % (trajectory.steps[i], trajectory.n[i], trajectory.c0_ratio[i]))
+    if result.boundary:
+        print("  boundary point: step %d  n %.3f  C0/C %.4f"
+              % (result.boundary.step, result.boundary.n, result.boundary.c0_ratio))
+
+    write_csv(
+        out_dir / "fig9_trajectory.csv",
+        {"step": trajectory.steps, "n": trajectory.n, "c0_ratio": trajectory.c0_ratio},
+    )
+
+    # Shape of the paper's trajectory: starts near C0/C = 0, climbs upward.
+    assert trajectory.c0_ratio[0] < 0.05
+    assert trajectory.c0_ratio[-5:].mean() > 5 * max(trajectory.c0_ratio[:5].mean(), 1e-4)
+    assert np.all(trajectory.n >= 1.0)

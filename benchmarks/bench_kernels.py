@@ -1,0 +1,85 @@
+"""Supporting kernel benchmarks: the building blocks' costs.
+
+Not a paper table -- these time the substrate operations (force kernel, cell
+list construction, halo accounting, one DLB round, one accounted step) so
+regressions in the hot paths are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import MachineConfig
+from repro.core.accounting import StepAccountant
+from repro.decomp.assignment import CellAssignment
+from repro.decomp.halo import compute_halo
+from repro.dlb.balancer import DynamicLoadBalancer
+from repro.md.celllist import CellList
+from repro.md.forces import forces_from_pairs
+from repro.md.neighbors import pairs_celllist, pairs_kdtree
+from repro.md.potential import LennardJones
+
+N = 4096
+BOX = (N / 0.256) ** (1.0 / 3.0)
+NC = int(BOX // 2.5)
+
+
+@pytest.fixture(scope="module")
+def positions():
+    return np.random.default_rng(0).uniform(0.0, BOX, (N, 3))
+
+
+def test_pairs_kdtree(benchmark, positions):
+    pairs = benchmark(pairs_kdtree, positions, BOX, 2.5)
+    assert len(pairs) > N  # dense enough to be a meaningful workload
+
+
+def test_pairs_celllist(benchmark, positions):
+    cell_list = CellList(BOX, NC)
+    pairs = benchmark(pairs_celllist, positions, cell_list, 2.5)
+    assert len(pairs) > N
+
+
+def test_force_accumulation(benchmark, positions):
+    potential = LennardJones()
+    pairs = pairs_kdtree(positions, BOX, 2.5)
+    result = benchmark(forces_from_pairs, positions, pairs, BOX, potential)
+    assert result.n_pairs == len(pairs)
+
+
+def test_cell_counts(benchmark, positions):
+    cell_list = CellList(BOX, NC)
+    counts = benchmark(cell_list.counts, positions)
+    assert counts.sum() == N
+
+
+def test_halo_accounting(benchmark, positions):
+    cell_list = CellList(BOX, 12)
+    assignment = CellAssignment(12, 9)
+    counts = cell_list.counts(positions).reshape(-1)
+    halo = benchmark(compute_halo, assignment.cell_owner_map(), cell_list, counts, 9)
+    assert halo.ghost_cells.sum() > 0
+
+
+def test_dlb_decision_round(benchmark):
+    assignment = CellAssignment(12, 9)
+    balancer = DynamicLoadBalancer(assignment)
+    times = np.random.default_rng(1).uniform(0.5, 1.5, 9)
+
+    def round_():
+        moves = balancer.decide(times)
+        return moves
+
+    moves = benchmark(round_)
+    assert isinstance(moves, list)
+
+
+def test_accounted_step(benchmark, positions):
+    cell_list = CellList(BOX, 12)
+    assignment = CellAssignment(12, 9)
+    accountant = StepAccountant(MachineConfig(), cell_list, 9)
+    counts = cell_list.counts(positions)
+    timing, totals = benchmark(
+        accountant.account_step, 1, counts, assignment, True
+    )
+    assert timing.tt > 0
+    assert totals.shape == (9,)

@@ -1,0 +1,60 @@
+"""Table 1: E/T ratios across machine sizes.
+
+Regenerates the grid of experimental-to-theoretical boundary ratios for
+m = 2, 3, 4 across PE counts and asserts the paper's structural findings:
+each ratio is a genuine fraction (E below T), and for a fixed m the ratio
+depends only weakly on the number of PEs.
+"""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.reporting import format_table, write_csv
+
+
+def test_table1_et_ratios(benchmark, out_dir, scale):
+    if scale == "full":
+        m_values, pe_counts, reps, steps = (2, 3, 4), (16, 36, 64), 10, 130
+    else:
+        m_values, pe_counts, reps, steps = (2, 3), (9, 16), 3, 90
+
+    result = benchmark.pedantic(
+        lambda: run_table1(
+            m_values=m_values,
+            pe_counts=pe_counts,
+            n_repetitions=reps,
+            n_steps=steps,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for m in m_values:
+        rows.append([f"m={m}"] + [
+            f"{v:.2f}" if v is not None else "-" for v in result.row(m)
+        ])
+    print("\n" + format_table(
+        ["", *[f"{p} PEs" for p in pe_counts]],
+        rows,
+        title="Table 1: ratio E/T of experimental boundary to theoretical bound",
+    ))
+
+    csv_rows = {"m": [], "n_pes": [], "et_ratio": []}
+    for (m, p), v in sorted(result.ratios.items()):
+        csv_rows["m"].append(m)
+        csv_rows["n_pes"].append(p)
+        csv_rows["et_ratio"].append(v)
+    if csv_rows["m"]:
+        write_csv(out_dir / "table1.csv", csv_rows)
+
+    # E stays below T everywhere (ratios are true fractions).
+    assert result.ratios, "no E/T ratios could be measured"
+    for value in result.ratios.values():
+        assert 0.0 < value < 1.0
+    # For fixed m, the ratio varies little across machine sizes (the paper:
+    # "three E/T values with the same m are almost equal").
+    for m in m_values:
+        values = [v for v in result.row(m) if v is not None]
+        if len(values) > 1:
+            assert result.spread_across_pes(m) < 0.3

@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+but shape-preserving scale (see DESIGN.md's experiment index), times the run
+with pytest-benchmark, prints the regenerated rows/series, and asserts the
+paper's qualitative findings. Generated CSVs land in ``benchmarks/out/``.
+
+Scale knobs via environment:
+  REPRO_BENCH_SCALE=quick|full   (default quick)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Output directory for regenerated series.
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_scale() -> str:
+    """Benchmark scale from the environment (quick by default)."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale not in ("quick", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be quick or full, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Reproduce every table and figure of the paper's evaluation in one run.
+
+Drives the same experiment code as the benchmark suite, at a selectable
+scale, and prints a consolidated report (plus CSVs under examples/out/):
+
+  Figure 5(a)/(b)  -- execution time per step, DDM vs DLB-DDM
+  Figure 6(a)/(b)  -- Tt / Fmax / Fave / Fmin breakdown
+  Figure 9         -- (n, C0/C) trajectory
+  Figure 10(a)-(c) -- theoretical bound vs experimental boundary points
+  Table 1          -- E/T ratios across machine sizes
+
+Run:  python examples/reproduce_paper.py --scale quick    (~5 min)
+      python examples/reproduce_paper.py --scale medium   (~30 min)
+      python examples/reproduce_paper.py --scale paper    (hours)
+"""
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import fig6_from_fig5
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.table1 import run_table1
+from repro.reporting import format_table, write_csv
+from repro.theory.bounds import upper_bound
+from repro.units import PAPER_RHO_SWEEP
+
+SCALES = {
+    # (fig5 steps b/a, fig9 steps, fig10 n_pes, reps, sweep steps, table1 PEs)
+    "quick": dict(fig5b=1500, fig5a=700, fig9=90, pes=9, reps=3, steps=100,
+                  table1_pes=(9, 16)),
+    "medium": dict(fig5b=2500, fig5a=2200, fig9=130, pes=16, reps=5, steps=120,
+                   table1_pes=(9, 16, 25)),
+    "paper": dict(fig5b=10000, fig5a=10000, fig9=150, pes=36, reps=10, steps=130,
+                  table1_pes=(16, 36, 64)),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    parser.add_argument("--out", type=Path, default=Path("examples/out"))
+    args = parser.parse_args()
+    p = SCALES[args.scale]
+    args.out.mkdir(parents=True, exist_ok=True)
+    started = time.time()
+
+    # ---- Figure 5 / 6 -----------------------------------------------------
+    for panel, preset, steps in (("b", "bench-m2", p["fig5b"]),
+                                 ("a", "bench-m4", p["fig5a"])):
+        print(f"\n=== Figure 5({panel}) / 6: {preset}, {steps} steps "
+              f"[{time.time() - started:.0f}s] ===")
+        fig5 = run_fig5(preset, steps=steps, seed=7, record_interval=20)
+        fig6 = fig6_from_fig5(fig5)
+        g_ddm, g_dlb = fig5.growth()
+        print(f"  Tt growth: DDM x{g_ddm:.2f}  DLB-DDM x{g_dlb:.2f}")
+        k = max(1, len(fig5.ddm.spread) // 8)
+        print(f"  late Fmax-Fmin: DDM {fig5.ddm.spread[-k:].mean():.2e}  "
+              f"DLB-DDM {fig5.dlb.spread[-k:].mean():.2e}")
+        for label, run in (("ddm", fig6.ddm), ("dlb", fig6.dlb)):
+            write_csv(args.out / f"fig5{panel}_{label}.csv",
+                      {"step": run.steps, "tt": run.tt, "fmax": run.fmax,
+                       "fave": run.fave, "fmin": run.fmin})
+
+    # ---- Figure 9 ----------------------------------------------------------
+    print(f"\n=== Figure 9: trajectory [{time.time() - started:.0f}s] ===")
+    fig9 = run_fig9(m=3, n_pes=p["pes"], n_steps=p["fig9"], seed=1)
+    trajectory = fig9.trajectory
+    print(f"  {len(trajectory)} records; C0/C "
+          f"{trajectory.c0_ratio[0]:.3f} -> {trajectory.c0_ratio[-1]:.3f}")
+    if fig9.boundary:
+        print(f"  boundary at step {fig9.boundary.step}: "
+              f"n={fig9.boundary.n:.2f}, C0/C={fig9.boundary.c0_ratio:.3f}")
+    write_csv(args.out / "fig9.csv",
+              {"step": trajectory.steps, "n": trajectory.n,
+               "c0_ratio": trajectory.c0_ratio})
+
+    # ---- Figure 10 ---------------------------------------------------------
+    print(f"\n=== Figure 10: effective ranges (P={p['pes']}) "
+          f"[{time.time() - started:.0f}s] ===")
+    fig10 = run_fig10(m_values=(2, 3, 4), densities=PAPER_RHO_SWEEP,
+                      n_pes=p["pes"], n_repetitions=p["reps"], n_steps=p["steps"])
+    for m, panel in sorted(fig10.panels.items()):
+        rows = []
+        for e in panel.experiments:
+            if e.mean_point is None:
+                rows.append((e.geometry.density, "-", "-", "-", "-"))
+                continue
+            pt = e.mean_point
+            theory = float(upper_bound(m, pt.n))
+            rows.append((e.geometry.density, f"{pt.n:.2f}", f"{pt.c0_ratio:.3f}",
+                         f"{theory:.3f}", f"{pt.c0_ratio / theory:.2f}"))
+        title = f"Figure 10, m={m}"
+        if panel.fit:
+            title += f"  (fitted E/T = {panel.fit.ratio:.2f})"
+        print(format_table(["rho", "n", "C0/C (E)", "f(m,n) (T)", "E/T"],
+                           rows, title=title))
+
+    # ---- Table 1 -----------------------------------------------------------
+    print(f"\n=== Table 1: E/T across machines [{time.time() - started:.0f}s] ===")
+    table1 = run_table1(m_values=(2, 3, 4), pe_counts=p["table1_pes"],
+                        n_repetitions=p["reps"], n_steps=p["steps"])
+    rows = []
+    for m in (2, 3, 4):
+        rows.append([f"m={m}"] + [f"{v:.2f}" if v is not None else "-"
+                                  for v in table1.row(m)])
+    print(format_table(["", *[f"{q} PEs" for q in p["table1_pes"]]], rows))
+    csv = {"m": [], "n_pes": [], "et": []}
+    for (m, q), v in sorted(table1.ratios.items()):
+        csv["m"].append(m); csv["n_pes"].append(q); csv["et"].append(v)
+    if csv["m"]:
+        write_csv(args.out / "table1.csv", csv)
+
+    print(f"\nall experiments done in {time.time() - started:.0f}s; "
+          f"CSVs under {args.out}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro: dynamic load balancing with permanent cells for parallel MD.
+
+A from-scratch Python reproduction of Hayashi & Horiguchi, "Efficiency of
+Dynamic Load Balancing Based on Permanent Cells for Parallel Molecular
+Dynamics Simulation" (IPPS 2000): the Lennard-Jones MD substrate, the
+square-pillar domain decomposition, the permanent-cell load balancer, a
+simulated T3E-class multicomputer, and the theory of DLB's effective ranges.
+
+Quickstart::
+
+    from repro import ParallelMDRunner, RunConfig, get_preset
+
+    preset = get_preset("fig5b-scaled")
+    runner = ParallelMDRunner(preset.simulation_config(dlb_enabled=True),
+                              RunConfig(steps=200, seed=1))
+    result = runner.run()
+    print(result.summary())
+"""
+
+from .config import (
+    DecompositionConfig,
+    DLBConfig,
+    MachineConfig,
+    MDConfig,
+    RunConfig,
+    SimulationConfig,
+)
+from .core import DrivenLoadRunner, ParallelMDRunner, RunResult, StepRecord
+from .dlb import DynamicLoadBalancer, dlb_limit_ratio, movable_fraction
+from .errors import (
+    AnalysisError,
+    ConfigurationError,
+    DecompositionError,
+    GeometryError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from .md import LennardJones, ParticleSystem, SerialSimulation
+from .theory import (
+    BoundaryPoint,
+    detect_divergence_step,
+    fit_boundary_scale,
+    measure_concentration,
+    upper_bound,
+)
+from .workloads import (
+    ConcentrationSchedule,
+    Preset,
+    get_preset,
+    supercooled_simulation_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "BoundaryPoint",
+    "ConcentrationSchedule",
+    "ConfigurationError",
+    "DLBConfig",
+    "DecompositionConfig",
+    "DecompositionError",
+    "DrivenLoadRunner",
+    "DynamicLoadBalancer",
+    "GeometryError",
+    "LennardJones",
+    "MDConfig",
+    "MachineConfig",
+    "ParallelMDRunner",
+    "ParticleSystem",
+    "Preset",
+    "ProtocolError",
+    "ReproError",
+    "RunConfig",
+    "RunResult",
+    "SerialSimulation",
+    "SimulationConfig",
+    "SimulationError",
+    "StepRecord",
+    "detect_divergence_step",
+    "dlb_limit_ratio",
+    "fit_boundary_scale",
+    "get_preset",
+    "measure_concentration",
+    "movable_fraction",
+    "supercooled_simulation_config",
+    "upper_bound",
+]

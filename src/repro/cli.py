@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``presets``
+    List the named workload presets.
+``run``
+    Run a preset as DDM and/or DLB-DDM and print the comparison.
+``sweep``
+    Run one effective-range boundary experiment (Figure 10 style).
+``bounds``
+    Print the theoretical upper bounds f(m, n) over a range of n.
+``calibrate``
+    Measure this host's per-pair force cost for MachineConfig.tau_pair.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from .config import RunConfig
+from .core.runner import ParallelMDRunner
+from .experiments.fig10 import run_boundary_experiment
+from .parallel.costmodel import calibrate_tau_pair
+from .reporting import comparison_report, format_table, series_preview
+from .theory.bounds import upper_bound
+from .workloads.presets import PRESETS, get_preset
+
+
+def _cmd_presets(_: argparse.Namespace) -> int:
+    rows = [
+        (p.name, p.n_particles, p.n_pes, p.m, p.steps, p.description)
+        for p in PRESETS.values()
+    ]
+    print(format_table(["name", "N", "PEs", "m", "steps", "description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    preset = get_preset(args.preset)
+    steps = args.steps if args.steps is not None else preset.steps
+    results = {}
+    modes = {"ddm": False, "dlb": True}
+    selected = modes if args.mode == "both" else {args.mode: modes[args.mode]}
+    for label, dlb_enabled in selected.items():
+        print(f"running {label} ({steps} steps) ...", file=sys.stderr)
+        runner = ParallelMDRunner(
+            preset.simulation_config(dlb_enabled=dlb_enabled),
+            RunConfig(steps=steps, seed=args.seed, record_interval=args.record_interval),
+        )
+        results[label] = runner.run()
+    if len(results) == 2:
+        print(comparison_report(results["ddm"], results["dlb"],
+                                title=preset.description))
+    else:
+        ((label, result),) = results.items()
+        print(series_preview(result.steps, result.tt, label=f"{label} Tt [s]"))
+        print()
+        for key, value in result.summary().items():
+            print(f"  {key}: {value:.6g}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    print(
+        f"boundary experiment: m={args.m}, P={args.pes}, rho={args.density}, "
+        f"{args.reps} repetitions",
+        file=sys.stderr,
+    )
+    experiment = run_boundary_experiment(
+        args.m, args.pes, args.density, n_repetitions=args.reps, n_steps=args.steps
+    )
+    if experiment.mean_point is None:
+        print("no divergence detected: DLB balanced the whole sweep "
+              f"({experiment.n_failed} runs)")
+        return 0
+    point = experiment.mean_point
+    theory = float(upper_bound(args.m, point.n))
+    rows = [
+        ("detected boundary points", f"{len(experiment.points)}/{args.reps}"),
+        ("mean boundary step", point.step),
+        ("concentration factor n", f"{point.n:.3f}"),
+        ("C0/C at boundary (E)", f"{point.c0_ratio:.4f}"),
+        ("theoretical bound f(m,n) (T)", f"{theory:.4f}"),
+        ("ratio E/T", f"{point.c0_ratio / theory:.3f}"),
+    ]
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    n = np.linspace(args.n_min, args.n_max, args.points)
+    rows = []
+    for value in n:
+        rows.append(
+            (f"{value:.2f}",)
+            + tuple(f"{float(upper_bound(m, value)):.4f}" for m in (2, 3, 4))
+        )
+    print(format_table(["n", "f(2,n)", "f(3,n)", "f(4,n)"], rows,
+                       title="Theoretical upper bounds (Equations 9-11)"))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    tau = calibrate_tau_pair(n_particles=args.particles, repeats=args.repeats)
+    print(f"measured tau_pair on this host: {tau:.3e} s per candidate pair")
+    print("use it via:  MachineConfig(tau_pair=%.3e)" % tau)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic load balancing with permanent cells for parallel MD "
+        "(Hayashi & Horiguchi, IPPS 2000) -- reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("presets", help="list named workload presets").set_defaults(
+        func=_cmd_presets
+    )
+
+    run = sub.add_parser("run", help="run a preset (DDM / DLB-DDM / both)")
+    run.add_argument("preset", help="preset name (see `repro presets`)")
+    run.add_argument("--mode", choices=["ddm", "dlb", "both"], default="both")
+    run.add_argument("--steps", type=int, default=None)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--record-interval", type=int, default=20)
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="run one effective-range experiment")
+    sweep.add_argument("--m", type=int, default=3)
+    sweep.add_argument("--pes", type=int, default=9)
+    sweep.add_argument("--density", type=float, default=0.256)
+    sweep.add_argument("--reps", type=int, default=4)
+    sweep.add_argument("--steps", type=int, default=110)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    bounds = sub.add_parser("bounds", help="print the theoretical bounds f(m, n)")
+    bounds.add_argument("--n-min", type=float, default=1.0)
+    bounds.add_argument("--n-max", type=float, default=4.0)
+    bounds.add_argument("--points", type=int, default=13)
+    bounds.set_defaults(func=_cmd_bounds)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="measure this host's per-pair force cost"
+    )
+    calibrate.add_argument("--particles", type=int, default=4096)
+    calibrate.add_argument("--repeats", type=int, default=3)
+    calibrate.set_defaults(func=_cmd_calibrate)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""Result containers of parallel runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..parallel.instrumentation import StepTiming, TimingLog
+from ..theory.concentration import ConcentrationState
+from ..theory.trajectory import Trajectory, TrajectoryRecorder
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Everything recorded about one simulated step."""
+
+    step: int
+    timing: StepTiming
+    concentration: ConcentrationState
+    n_moves: int
+    temperature: float = float("nan")
+    potential_energy: float = float("nan")
+
+
+@dataclass
+class RunResult:
+    """History of a DDM or DLB-DDM run.
+
+    ``timing`` carries the Figure 5/6 series; ``trajectory`` the Figure 9
+    series; ``records`` the full per-step details.
+    """
+
+    dlb_enabled: bool
+    records: list[StepRecord] = field(default_factory=list)
+    timing: TimingLog = field(default_factory=TimingLog)
+    _trajectory: TrajectoryRecorder = field(default_factory=TrajectoryRecorder)
+    total_moves: int = 0
+
+    def append(self, record: StepRecord) -> None:
+        """Add one step record, updating the derived logs."""
+        self.records.append(record)
+        self.timing.append(record.timing)
+        self._trajectory.record(record.step, record.concentration)
+        self.total_moves += record.n_moves
+
+    @property
+    def trajectory(self) -> Trajectory:
+        """The (n, C0/C) trajectory of the run."""
+        return self._trajectory.freeze()
+
+    @property
+    def steps(self) -> np.ndarray:
+        """Recorded step indices."""
+        return self.timing.steps
+
+    @property
+    def tt(self) -> np.ndarray:
+        """Execution time per step (the Figure 5 series)."""
+        return self.timing.tt
+
+    @property
+    def spread(self) -> np.ndarray:
+        """``Fmax - Fmin`` per step (the boundary detector's input)."""
+        return self.timing.spread
+
+    def mean_tt(self, tail_fraction: float = 1.0) -> float:
+        """Mean execution time over the last ``tail_fraction`` of the run."""
+        if not 0 < tail_fraction <= 1:
+            raise AnalysisError(f"tail_fraction must be in (0, 1], got {tail_fraction}")
+        tt = self.tt
+        start = int(len(tt) * (1.0 - tail_fraction))
+        return float(tt[start:].mean())
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers of the run (for reports and quick comparisons)."""
+        tt = self.tt
+        spread = self.spread
+        return {
+            "steps": float(len(tt)),
+            "tt_first": float(tt[0]),
+            "tt_last": float(tt[-1]),
+            "tt_mean": float(tt.mean()),
+            "tt_max": float(tt.max()),
+            "spread_first": float(spread[0]),
+            "spread_last": float(spread[-1]),
+            "total_moves": float(self.total_moves),
+        }

@@ -1,0 +1,218 @@
+"""Top-level simulation runners: DDM and DLB-DDM.
+
+:class:`ParallelMDRunner` evolves real LJ dynamics while accounting the
+parallel execution on the virtual machine -- the DDM vs DLB-DDM comparison of
+Figures 5 and 6 is two instances of it differing only in ``dlb.enabled``.
+
+:class:`DrivenLoadRunner` feeds an externally generated sequence of
+configurations through the same decomposition/accounting/DLB machinery --
+the quasi-static concentration sweeps behind Figures 9-10 and Table 1
+(see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..config import RunConfig, SimulationConfig
+from ..decomp.assignment import CellAssignment
+from ..dlb.balancer import DynamicLoadBalancer
+from ..errors import ConfigurationError
+from ..md.celllist import CellList
+from ..md.forces import ForceField
+from ..md.integrator import VelocityVerlet
+from ..md.observables import temperature
+from ..md.potential import LennardJones
+from ..md.simulation import attractor_sites, build_system
+from ..md.system import ParticleSystem
+from ..md.thermostat import VelocityRescale
+from ..rng import generator
+from ..theory.concentration import measure_concentration
+from .accounting import StepAccountant
+from .ddm import decomposed_force_pass
+from .results import RunResult, StepRecord
+
+
+class ParallelMDRunner:
+    """A parallel MD simulation (real physics + simulated machine)."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        run_config: RunConfig,
+        system: ParticleSystem | None = None,
+    ) -> None:
+        if config.decomposition.shape != "pillar":
+            raise ConfigurationError(
+                "ParallelMDRunner implements the square-pillar decomposition "
+                f"(DLB's shape); got {config.decomposition.shape!r}"
+            )
+        self.config = config
+        self.run_config = run_config
+        md = config.md
+        dec = config.decomposition
+
+        self.cell_list = CellList(md.box_length, dec.cells_per_side)
+        self.assignment = CellAssignment(dec.cells_per_side, dec.n_pes)
+        self.accountant = StepAccountant(config.machine, self.cell_list, dec.n_pes)
+        self.balancer = (
+            DynamicLoadBalancer(self.assignment, config.dlb) if config.dlb.enabled else None
+        )
+
+        rng = generator(run_config.seed)
+        self.system = system if system is not None else build_system(md, rng)
+        if abs(self.system.box_length - md.box_length) > 1e-9:
+            raise ConfigurationError(
+                f"system box {self.system.box_length} != config box {md.box_length}"
+            )
+        self.potential = LennardJones(cutoff=md.cutoff)
+        self.force_field = ForceField(
+            self.potential,
+            backend=run_config.force_backend,
+            cells_per_side=dec.cells_per_side,
+            attraction=md.attraction,
+            attractors=attractor_sites(md, rng),
+        )
+        self.integrator = VelocityVerlet(md.dt)
+        self.thermostat = VelocityRescale(md.temperature, md.rescale_interval)
+        self.integrator.initialize(self.system, self.force_field)
+
+        self._last_times = np.zeros(dec.n_pes, dtype=np.float64)
+        self._last_counts = self.cell_list.counts(self.system.positions)
+        self.step_count = 0
+
+    @property
+    def dlb_enabled(self) -> bool:
+        """Whether this runner balances load (DLB-DDM) or not (plain DDM)."""
+        return self.balancer is not None
+
+    def _maybe_rebalance(self) -> list:
+        if self.balancer is None or self.step_count == 0:
+            return []
+        if self.step_count % self.config.dlb.interval != 0:
+            return []
+        moves = self.balancer.step(self._last_times)
+        self.accountant.charge_moves(moves, self._last_counts, self.assignment)
+        return moves
+
+    def step(self) -> StepRecord:
+        """One full step: redistribution, physics, accounting."""
+        moves = self._maybe_rebalance()
+
+        force_result = self.integrator.step(self.system, self.force_field)
+        self.step_count += 1
+        self.thermostat.maybe_rescale(self.system, self.step_count)
+
+        counts = self.cell_list.counts(self.system.positions)
+        override = None
+        if self.run_config.timing_mode == "measured":
+            decomposed = decomposed_force_pass(
+                self.system,
+                self.cell_list,
+                self.assignment.cell_owner_map(),
+                self.config.decomposition.n_pes,
+                self.potential,
+            )
+            override = decomposed.per_pe_seconds
+        timing, totals = self.accountant.account_step(
+            self.step_count, counts, self.assignment, self.dlb_enabled, override
+        )
+        self._last_times = totals
+        self._last_counts = counts
+
+        concentration = measure_concentration(counts, self.assignment)
+        return StepRecord(
+            step=self.step_count,
+            timing=timing,
+            concentration=concentration,
+            n_moves=len(moves),
+            temperature=temperature(self.system),
+            potential_energy=force_result.potential_energy,
+        )
+
+    def run(self, steps: int | None = None) -> RunResult:
+        """Run ``steps`` steps (default: the run config's), collecting records."""
+        steps = self.run_config.steps if steps is None else steps
+        result = RunResult(dlb_enabled=self.dlb_enabled)
+        for _ in range(steps):
+            record = self.step()
+            if self.step_count % self.run_config.record_interval == 0:
+                result.append(record)
+        return result
+
+
+class DrivenLoadRunner:
+    """Load-balance dynamics driven by an external configuration sequence.
+
+    No forces are integrated: each supplied configuration is binned into
+    cells, the step is time-accounted on the virtual machine, and the
+    balancer reacts. This isolates the DLB mechanism from the (slow) physics
+    that produces concentration, which is exactly what the effective-range
+    experiments need.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        rounds_per_config: int = 1,
+    ) -> None:
+        if config.decomposition.shape != "pillar":
+            raise ConfigurationError("DrivenLoadRunner needs the pillar decomposition")
+        if rounds_per_config <= 0:
+            raise ConfigurationError(
+                f"rounds_per_config must be positive, got {rounds_per_config}"
+            )
+        self.config = config
+        dec = config.decomposition
+        self.cell_list = CellList(config.md.box_length, dec.cells_per_side)
+        self.assignment = CellAssignment(dec.cells_per_side, dec.n_pes)
+        self.balancer = (
+            DynamicLoadBalancer(self.assignment, config.dlb) if config.dlb.enabled else None
+        )
+        self.accountant = StepAccountant(config.machine, self.cell_list, dec.n_pes)
+        self.rounds_per_config = int(rounds_per_config)
+        self._last_times = np.zeros(dec.n_pes, dtype=np.float64)
+        self._last_counts: np.ndarray | None = None
+        self.step_count = 0
+
+    @property
+    def dlb_enabled(self) -> bool:
+        """Whether the balancer is active."""
+        return self.balancer is not None
+
+    def run(self, configurations: Iterable[np.ndarray]) -> RunResult:
+        """Process configurations (position arrays) in order."""
+        result = RunResult(dlb_enabled=self.dlb_enabled)
+        for positions in configurations:
+            counts = self.cell_list.counts(positions)
+            n_moves = 0
+            timing = None
+            for _ in range(self.rounds_per_config):
+                if (
+                    self.balancer is not None
+                    and self.step_count > 0
+                    and self.step_count % self.config.dlb.interval == 0
+                ):
+                    moves = self.balancer.step(self._last_times)
+                    base = self._last_counts if self._last_counts is not None else counts
+                    self.accountant.charge_moves(moves, base, self.assignment)
+                    n_moves += len(moves)
+                self.step_count += 1
+                timing, totals = self.accountant.account_step(
+                    self.step_count, counts, self.assignment, self.dlb_enabled
+                )
+                self._last_times = totals
+                self._last_counts = counts
+            concentration = measure_concentration(counts, self.assignment)
+            assert timing is not None
+            result.append(
+                StepRecord(
+                    step=self.step_count,
+                    timing=timing,
+                    concentration=concentration,
+                    n_moves=n_moves,
+                )
+            )
+        return result

@@ -1,0 +1,34 @@
+"""Domain decomposition: cells, domains and cell-to-PE assignment.
+
+Implements the three domain shapes of Figure 2 (plane, square pillar, cube)
+with the square-pillar shape -- the paper's choice for DLB -- as the fully
+featured one: the load balancer redistributes its cells one at a time, while
+the permanent wall (a row and a column of full-z cell columns per domain)
+pins the 8-neighbour structure.
+"""
+
+from .assignment import CellAssignment, ColumnAssignment
+from .grid import ColumnGrid
+from .halo import HaloExchange, halo_summary
+from .partition import (
+    cube_partition,
+    pillar_partition,
+    plane_partition,
+)
+from .shapes import domain_comm_volume, domain_shape_info
+from .validation import check_eight_neighbor_property, contact_pairs
+
+__all__ = [
+    "CellAssignment",
+    "ColumnAssignment",
+    "ColumnGrid",
+    "HaloExchange",
+    "check_eight_neighbor_property",
+    "contact_pairs",
+    "cube_partition",
+    "domain_comm_volume",
+    "domain_shape_info",
+    "halo_summary",
+    "pillar_partition",
+    "plane_partition",
+]

@@ -1,0 +1,64 @@
+"""The 2-D cross-section view of the cell grid: columns of cells.
+
+A square-pillar decomposition never splits the z axis, so the unit of
+ownership and redistribution is a *column*: the stack of ``nc`` cells sharing
+an ``(cx, cy)`` cross-section coordinate (Figure 3 of the paper draws this
+cross-section; each drawn square is a column).
+
+Column flat index convention: ``col = cx * nc + cy``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeometryError
+
+
+class ColumnGrid:
+    """Index arithmetic for the ``nc x nc`` grid of cell columns."""
+
+    def __init__(self, cells_per_side: int) -> None:
+        if cells_per_side <= 0:
+            raise GeometryError(f"cells_per_side must be positive, got {cells_per_side}")
+        self.cells_per_side = int(cells_per_side)
+        self.n_columns = self.cells_per_side**2
+
+    def flatten(self, cx: np.ndarray, cy: np.ndarray) -> np.ndarray:
+        """Column ids from cross-section coordinates."""
+        return np.asarray(cx) * self.cells_per_side + np.asarray(cy)
+
+    def unflatten(self, col: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Cross-section coordinates ``(cx, cy)`` of column ids."""
+        col = np.asarray(col)
+        return col // self.cells_per_side, col % self.cells_per_side
+
+    def column_of_cell(self, cell_flat: np.ndarray) -> np.ndarray:
+        """Column id of each flat cell id (cells use (ix*nc + iy)*nc + iz)."""
+        return np.asarray(cell_flat) // self.cells_per_side
+
+    def cells_of_column(self, col: int) -> np.ndarray:
+        """The ``nc`` flat cell ids stacked in column ``col``."""
+        if not 0 <= col < self.n_columns:
+            raise GeometryError(f"column {col} out of range [0, {self.n_columns})")
+        return col * self.cells_per_side + np.arange(self.cells_per_side)
+
+    def column_counts(self, counts_grid: np.ndarray) -> np.ndarray:
+        """Particles per column from an ``(nc, nc, nc)`` per-cell counts grid."""
+        if counts_grid.shape != (self.cells_per_side,) * 3:
+            raise GeometryError(
+                f"counts grid shape {counts_grid.shape} != ({self.cells_per_side},)*3"
+            )
+        return counts_grid.sum(axis=2).reshape(-1)
+
+    def neighbor_columns(self, col: int) -> np.ndarray:
+        """The 8 cross-section neighbours of a column (periodic, unique)."""
+        nc = self.cells_per_side
+        cx, cy = divmod(col, nc)
+        out = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                if dx == 0 and dy == 0:
+                    continue
+                out.append(((cx + dx) % nc) * nc + (cy + dy) % nc)
+        return np.unique(np.array(out, dtype=np.int64))

@@ -1,0 +1,75 @@
+"""Structural validation: the 8-neighbour property.
+
+DLB must never let a PE's domain touch the domain of a PE that is not one of
+its 8 torus neighbours (Section 2.3) -- an irregular communication pattern
+would destroy the predictable halo exchange. These checks are the executable
+form of that invariant, on the full 3-D cell owner map (26-adjacency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DecompositionError
+from .assignment import CellAssignment
+
+#: 8-neighbourhood offsets in the cross-section plane (the PE torus is 2-D).
+CROSS_SECTION_OFFSETS: tuple[tuple[int, int], ...] = (
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, -1),
+    (0, 1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+)
+
+#: The 26 neighbour offsets of the 3-D cell grid.
+CELL_OFFSETS_3D: tuple[tuple[int, int, int], ...] = tuple(
+    (dx, dy, dz)
+    for dx in (-1, 0, 1)
+    for dy in (-1, 0, 1)
+    for dz in (-1, 0, 1)
+    if (dx, dy, dz) != (0, 0, 0)
+)
+
+
+def contact_pairs(cell_owner: np.ndarray, cells_per_side: int) -> set[tuple[int, int]]:
+    """Unordered pairs of distinct PEs whose domains touch (26-adjacency)."""
+    expected = cells_per_side**3
+    if cell_owner.shape != (expected,):
+        raise DecompositionError(f"cell owner shape {cell_owner.shape} != ({expected},)")
+    owners = cell_owner.reshape((cells_per_side,) * 3)
+    pairs: set[tuple[int, int]] = set()
+    for offset in CELL_OFFSETS_3D:
+        shifted = np.roll(owners, shift=offset, axis=(0, 1, 2))
+        mask = owners != shifted
+        if not mask.any():
+            continue
+        a = owners[mask]
+        b = shifted[mask]
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        pairs.update(zip(lo.tolist(), hi.tolist()))
+    return pairs
+
+
+def torus_neighbors(pe: int, pe_side: int) -> set[int]:
+    """The 8 torus neighbours of a PE on a ``pe_side x pe_side`` torus."""
+    i, j = divmod(pe, pe_side)
+    out = set()
+    for di, dj in CROSS_SECTION_OFFSETS:
+        out.add(((i + di) % pe_side) * pe_side + (j + dj) % pe_side)
+    out.discard(pe)
+    return out
+
+
+def check_eight_neighbor_property(assignment: CellAssignment) -> None:
+    """Raise :class:`DecompositionError` if any domains touch beyond 8 neighbours."""
+    pairs = contact_pairs(assignment.holder, assignment.cells_per_side)
+    for a, b in pairs:
+        if b not in torus_neighbors(a, assignment.pe_side):
+            raise DecompositionError(
+                f"domains of PEs {a} and {b} touch but are not torus neighbours"
+            )

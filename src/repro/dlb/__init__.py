@@ -1,0 +1,28 @@
+"""Dynamic load balancing with permanent cells -- the paper's contribution.
+
+Each PE's square-pillar domain keeps a wall of *permanent* cell columns that
+never migrate, guaranteeing the regular 8-neighbour communication pattern;
+the remaining *movable* columns flow toward faster neighbours one column per
+step, following the protocol of Section 2.3.
+"""
+
+from .balancer import DynamicLoadBalancer, Move
+from .cells import movable_count, movable_fraction, permanent_count
+from .limits import dlb_limit_ratio, max_domain_cells, max_domain_columns
+from .protocol import Case, classify_case, decide_move
+from .spmd_protocol import spmd_decide
+
+__all__ = [
+    "Case",
+    "DynamicLoadBalancer",
+    "Move",
+    "classify_case",
+    "decide_move",
+    "dlb_limit_ratio",
+    "max_domain_cells",
+    "max_domain_columns",
+    "movable_count",
+    "movable_fraction",
+    "permanent_count",
+    "spmd_decide",
+]

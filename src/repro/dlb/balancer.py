@@ -1,0 +1,103 @@
+"""The dynamic load balancer: protocol + policy + bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import DLBConfig
+from ..decomp.assignment import CellAssignment
+from ..errors import ConfigurationError
+from ..parallel.topology import Torus2D
+from .protocol import Case, Move, decide_move
+
+
+@dataclass
+class BalancerStats:
+    """Cumulative counters of a balancer's activity."""
+
+    steps: int = 0
+    lends: int = 0
+    returns: int = 0
+    idle_steps: int = 0
+    moves_per_step: list[int] = field(default_factory=list)
+
+
+class DynamicLoadBalancer:
+    """Drives one redistribution round per (configured) step.
+
+    All PEs decide simultaneously from the same per-PE times (the times of
+    the *previous* step, exactly as in the paper where each PE broadcasts its
+    last-step execution time first). Decisions are conflict-free by
+    construction: each PE only moves cells it currently holds, and each cell
+    has one holder.
+    """
+
+    def __init__(
+        self,
+        assignment: CellAssignment,
+        config: DLBConfig | None = None,
+    ) -> None:
+        if assignment.pe_side < 3:
+            raise ConfigurationError(
+                f"DLB needs a torus side of at least 3 (got {assignment.pe_side}): "
+                "smaller tori collapse the 8-neighbour offsets"
+            )
+        self.assignment = assignment
+        self.config = config or DLBConfig()
+        self.topology = Torus2D(assignment.pe_side)
+        self.stats = BalancerStats()
+
+    def _wants_rebalance(self, my_time: float, fast_time: float) -> bool:
+        if self.config.policy == "fastest":
+            return True
+        # "threshold" policy: only move when relative imbalance is large enough.
+        if fast_time <= 0:
+            return my_time > 0
+        return (my_time - fast_time) / fast_time > self.config.threshold
+
+    def decide(self, per_pe_times: np.ndarray) -> list[Move]:
+        """Run one decision round; does not mutate the assignment."""
+        times = np.asarray(per_pe_times, dtype=np.float64)
+        if times.shape != (self.assignment.n_pes,):
+            raise ConfigurationError(
+                f"times shape {times.shape} != ({self.assignment.n_pes},)"
+            )
+        moves: list[Move] = []
+        committed: dict[int, set[int]] = {}
+        for pe in range(self.assignment.n_pes):
+            neighborhood = self.topology.neighborhood(pe)
+            local = times[neighborhood]
+            fastest = neighborhood[int(np.argmin(local))]
+            if fastest == pe:
+                continue
+            if not self._wants_rebalance(float(times[pe]), float(times[fastest])):
+                continue
+            exclude = committed.setdefault(pe, set())
+            for _ in range(self.config.max_sends_per_step):
+                move = decide_move(self.assignment, self.topology, pe, fastest, exclude)
+                if move is None:
+                    break
+                exclude.add(move.cell)
+                moves.append(move)
+        return moves
+
+    def apply(self, moves: list[Move]) -> None:
+        """Execute decided moves and update counters."""
+        for move in moves:
+            self.assignment.transfer(move.cell, move.dst)
+            if move.kind is Case.SEND_OWN:
+                self.stats.lends += 1
+            else:
+                self.stats.returns += 1
+        self.stats.steps += 1
+        self.stats.moves_per_step.append(len(moves))
+        if not moves:
+            self.stats.idle_steps += 1
+
+    def step(self, per_pe_times: np.ndarray) -> list[Move]:
+        """Decide and apply one redistribution round; returns the moves."""
+        moves = self.decide(per_pe_times)
+        self.apply(moves)
+        return moves

@@ -1,0 +1,37 @@
+"""Counting movable and permanent cells of a square-pillar domain.
+
+From Section 2.3 / Figure 3: within each PE's ``m x m`` column block, one row
+and one column of columns are permanent (the wall), ``2m - 1`` columns in
+total, leaving ``(m - 1)^2`` movable.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+def _check_m(m: int) -> None:
+    if m < 1:
+        raise ConfigurationError(f"pillar cross-section m must be >= 1, got {m}")
+
+
+def permanent_count(m: int) -> int:
+    """Permanent columns per domain: ``2m - 1``."""
+    _check_m(m)
+    return 2 * m - 1
+
+
+def movable_count(m: int) -> int:
+    """Movable columns per domain: ``(m - 1)^2``."""
+    _check_m(m)
+    return (m - 1) ** 2
+
+
+def movable_fraction(m: int) -> float:
+    """Fraction of a domain that is movable: ``(m-1)^2 / m^2``.
+
+    The paper's examples: 1/4 for m=2, 9/16 for m=4 (Section 3.3), so larger
+    m means larger load-balancing capability.
+    """
+    _check_m(m)
+    return movable_count(m) / (m * m)

@@ -1,0 +1,36 @@
+"""The DLB limit: how much load the permanent cells allow to move.
+
+The maximum domain (Figure 4 / Figure 8) is a PE's own ``m^2`` columns plus
+all ``(m-1)^2`` movable columns of each of the three neighbours that may lend
+to it: ``C' = [m^2 + 3(m-1)^2] * C^(1/3)`` cells.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .cells import movable_count
+
+
+def max_domain_columns(m: int) -> int:
+    """Columns of the maximum domain: ``m^2 + 3 (m-1)^2``."""
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    return m * m + 3 * movable_count(m)
+
+
+def max_domain_cells(m: int, cells_per_side: int) -> int:
+    """Cells of the maximum domain: ``C' = [m^2 + 3(m-1)^2] C^(1/3)``."""
+    if cells_per_side < 1:
+        raise ConfigurationError(f"cells_per_side must be >= 1, got {cells_per_side}")
+    return max_domain_columns(m) * cells_per_side
+
+
+def dlb_limit_ratio(m: int) -> float:
+    """Maximum growth factor of a domain: ``[m^2 + 3(m-1)^2] / m^2``.
+
+    Section 2.3's "up to 2.3 times the number of cells allocated initially"
+    is this ratio at m = 3 (the 3x3-cells-per-PE example of Figure 4).
+    """
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    return max_domain_columns(m) / (m * m)

@@ -1,0 +1,132 @@
+"""The cell redistribution protocol of Section 2.3.
+
+Every step, each PE:
+
+1. sends its last-step execution time to its 8 neighbours;
+2. finds the fastest PE among itself and those neighbours;
+3. decides a cell ``C_send`` by the case analysis below;
+4. broadcasts the new assignment to its neighbours.
+
+The case analysis, for PE(i, j) and the fastest PE at relative offset
+``(di, dj)``:
+
+* **Case 1** -- offset in {(-1,-1), (-1,0), (0,-1)}: send one of PE(i,j)'s own
+  movable cells (if any remain at home).
+* **Case 2** -- offset in {(-1,+1), (+1,-1)}: no cell can be sent (the
+  permanent wall blocks those diagonals).
+* **Case 3** -- offset in {(0,+1), (+1,0), (+1,+1)}: if PE(i,j) previously
+  *received* cells from the fastest PE, return one of them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..decomp.assignment import CellAssignment
+from ..errors import ProtocolError
+from ..parallel.topology import Torus2D
+
+
+class Case(enum.Enum):
+    """Outcome class of the protocol's case analysis."""
+
+    SELF = "self"
+    SEND_OWN = "send_own"
+    NOTHING = "nothing"
+    RETURN_BORROWED = "return_borrowed"
+
+
+#: Offsets toward which a PE may lend its own movable cells.
+CASE1_OFFSETS = frozenset({(-1, -1), (-1, 0), (0, -1)})
+#: Offsets toward which nothing can ever be sent.
+CASE2_OFFSETS = frozenset({(-1, 1), (1, -1)})
+#: Offsets from which cells were borrowed and may be returned.
+CASE3_OFFSETS = frozenset({(0, 1), (1, 0), (1, 1)})
+
+
+def classify_case(offset: tuple[int, int]) -> Case:
+    """Classify a neighbour offset into the protocol's cases."""
+    if offset == (0, 0):
+        return Case.SELF
+    if offset in CASE1_OFFSETS:
+        return Case.SEND_OWN
+    if offset in CASE2_OFFSETS:
+        return Case.NOTHING
+    if offset in CASE3_OFFSETS:
+        return Case.RETURN_BORROWED
+    raise ProtocolError(f"offset {offset} is not an 8-neighbour offset")
+
+
+@dataclass(frozen=True)
+class Move:
+    """One cell transfer decided by the protocol."""
+
+    cell: int
+    src: int
+    dst: int
+    kind: Case
+
+
+def _pick_own_movable(
+    assignment: CellAssignment, pe: int, offset: tuple[int, int], exclude: set[int]
+) -> int | None:
+    """Choose which of ``pe``'s at-home movable cells to lend.
+
+    Prefers the cell geometrically closest to the receiving neighbour in the
+    cross-section (lowest local ``u`` for offset (-1, 0), lowest ``v`` for
+    (0, -1), lowest ``u + v`` for the corner); ties break on depth ``z`` and
+    then cell id, so the protocol is deterministic.
+    """
+    candidates = assignment.movable_at_home(pe)
+    if exclude:
+        candidates = candidates[~np.isin(candidates, list(exclude))]
+    if len(candidates) == 0:
+        return None
+    nc = assignment.cells_per_side
+    m = assignment.m
+    column, z = np.divmod(candidates, nc)
+    cx, cy = np.divmod(column, nc)
+    u, v = cx % m, cy % m
+    di, dj = offset
+    distance = np.zeros(len(candidates))
+    if di < 0:
+        distance = distance + u
+    if dj < 0:
+        distance = distance + v
+    order = np.lexsort((candidates, z, distance))
+    return int(candidates[order[0]])
+
+
+def decide_move(
+    assignment: CellAssignment,
+    topology: Torus2D,
+    pe: int,
+    fastest: int,
+    exclude: set[int] | None = None,
+) -> Move | None:
+    """Apply the case analysis for ``pe`` with ``fastest`` as the target.
+
+    Returns the decided :class:`Move`, or ``None`` when the case yields
+    ``C_send = 0``. ``exclude`` lists cells already committed this step (used
+    when a PE may send more than one cell per step).
+    """
+    exclude = exclude or set()
+    offset = topology.offset(pe, fastest)
+    case = classify_case(offset)
+    if case in (Case.SELF, Case.NOTHING):
+        return None
+    if case is Case.SEND_OWN:
+        cell = _pick_own_movable(assignment, pe, offset, exclude)
+        if cell is None:
+            return None
+        return Move(cell=cell, src=pe, dst=fastest, kind=Case.SEND_OWN)
+    # Case 3: return one previously borrowed cell to its home.
+    borrowed = assignment.borrowed_by(pe, fastest)
+    if exclude:
+        borrowed = borrowed[~np.isin(borrowed, list(exclude))]
+    if len(borrowed) == 0:
+        return None
+    return Move(cell=int(borrowed[0]), src=pe, dst=fastest, kind=Case.RETURN_BORROWED)

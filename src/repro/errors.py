@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is internally inconsistent.
+
+    Examples: a cell size smaller than the cutoff, a PE count that is not a
+    perfect square for a square-pillar decomposition, or a cell grid that does
+    not divide evenly among PEs.
+    """
+
+
+class GeometryError(ReproError):
+    """Raised for invalid spatial inputs (out-of-box positions, bad cell ids)."""
+
+
+class DecompositionError(ReproError):
+    """Raised when a cell-to-PE assignment violates a structural invariant."""
+
+
+class ProtocolError(ReproError):
+    """Raised when the DLB redistribution protocol is asked to do an illegal
+    move (e.g. migrating a permanent cell or lending a cell that is already
+    lent out)."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation reaches a non-physical state (NaN forces,
+    particle escaping the periodic box after wrapping, ...)."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the theory/analysis layer (e.g. boundary detection on a
+    series that never diverges, fitting with no data points)."""

@@ -1,0 +1,93 @@
+"""Shared geometry and configuration helpers for the experiment drivers.
+
+The paper's evaluation varies the pillar cross-section ``m`` and the PE count
+``P`` while keeping the *cell size* pinned to "r_c or a little larger"
+(Section 3.2). :func:`geometry_for` reproduces that coupling: given ``(m, P,
+density)`` it derives the grid ``nc = m sqrt(P)``, the box ``L = nc * cell``
+and the particle count ``N = density * L^3``, so different ``m`` values are
+compared at identical cell size and gas statistics, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import DecompositionConfig, DLBConfig, MachineConfig, MDConfig, SimulationConfig
+from ..errors import ConfigurationError
+from ..units import PAPER_CUTOFF, PAPER_RHO
+
+#: Cell edge used across experiments: "a little larger" than the cut-off,
+#: matching the paper's N=8000 / C=1728 run (31.50 / 12 = 2.62).
+EXPERIMENT_CELL_SIZE = 1.05 * PAPER_CUTOFF
+
+
+@dataclass(frozen=True)
+class ExperimentGeometry:
+    """Derived problem geometry for one (m, P, density) experiment point."""
+
+    m: int
+    n_pes: int
+    density: float
+    cells_per_side: int
+    box_length: float
+    n_particles: int
+
+    @property
+    def pe_side(self) -> int:
+        """Torus side ``sqrt(P)``."""
+        return math.isqrt(self.n_pes)
+
+
+def geometry_for(m: int, n_pes: int, density: float = PAPER_RHO) -> ExperimentGeometry:
+    """Problem geometry for a pillar cross-section ``m`` on ``P`` PEs."""
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    pe_side = math.isqrt(n_pes)
+    if pe_side * pe_side != n_pes:
+        raise ConfigurationError(f"n_pes must be a perfect square, got {n_pes}")
+    cells_per_side = m * pe_side
+    box_length = cells_per_side * EXPERIMENT_CELL_SIZE
+    n_particles = int(round(density * box_length**3))
+    return ExperimentGeometry(
+        m=m,
+        n_pes=n_pes,
+        density=density,
+        cells_per_side=cells_per_side,
+        box_length=box_length,
+        n_particles=n_particles,
+    )
+
+
+def simulation_config_for(
+    geometry: ExperimentGeometry,
+    dlb_enabled: bool,
+    machine: MachineConfig | None = None,
+    attraction: float = 0.0,
+) -> SimulationConfig:
+    """Materialise a geometry as a full simulation config."""
+    return SimulationConfig(
+        md=MDConfig(
+            n_particles=geometry.n_particles,
+            density=geometry.density,
+            attraction=attraction,
+        ),
+        decomposition=DecompositionConfig(
+            cells_per_side=geometry.cells_per_side,
+            n_pes=geometry.n_pes,
+            shape="pillar",
+        ),
+        dlb=DLBConfig(enabled=dlb_enabled),
+        machine=machine if machine is not None else MachineConfig(),
+    )
+
+
+def droplets_for(geometry: ExperimentGeometry, cells_per_droplet: float = 8.0) -> int:
+    """Initial nucleation-site count: one droplet per ~8 cells.
+
+    Scaling with the cell count (not the PE count) keeps the early sweep
+    statistically balanced across domains for every problem size, as real
+    homogeneous nucleation is.
+    """
+    n_cells = geometry.cells_per_side**3
+    return max(12, int(round(n_cells / cells_per_droplet)))

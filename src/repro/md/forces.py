@@ -1,0 +1,158 @@
+"""Force evaluation: LJ pair forces plus the optional central attraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .celllist import CellList
+from .neighbors import pairs_celllist, pairs_kdtree
+from .pbc import minimum_image, minimum_image_inplace
+from .potential import LennardJones
+from .system import ParticleSystem
+
+
+@dataclass(frozen=True)
+class ForceResult:
+    """Output of one force evaluation.
+
+    Attributes
+    ----------
+    forces:
+        ``(N, 3)`` force array.
+    potential_energy:
+        Total potential energy (pairs + external attraction).
+    virial:
+        Pair virial ``sum(f_ij . r_ij)`` (for the pressure).
+    n_pairs:
+        Number of interacting pairs within the cut-off.
+    """
+
+    forces: np.ndarray
+    potential_energy: float
+    virial: float
+    n_pairs: int
+
+
+def forces_from_pairs(
+    positions: np.ndarray,
+    pairs: np.ndarray,
+    box_length: float,
+    potential: LennardJones,
+    n_particles: int | None = None,
+) -> ForceResult:
+    """Accumulate LJ forces/energy/virial for an explicit pair list.
+
+    ``pairs`` may contain pairs beyond the cut-off (candidate lists); they are
+    filtered here. Newton's third law is applied, so each unordered pair must
+    appear exactly once.
+    """
+    n = len(positions) if n_particles is None else n_particles
+    forces = np.zeros((n, 3), dtype=np.float64)
+    if len(pairs) == 0:
+        return ForceResult(forces, 0.0, 0.0, 0)
+
+    i = pairs[:, 0]
+    j = pairs[:, 1]
+    delta = positions[i] - positions[j]
+    minimum_image_inplace(delta, box_length)
+    r_sq = np.einsum("ij,ij->i", delta, delta)
+    mask = r_sq < potential.cutoff_sq
+    if not mask.all():
+        i, j, delta, r_sq = i[mask], j[mask], delta[mask], r_sq[mask]
+    if len(i) == 0:
+        return ForceResult(forces, 0.0, 0.0, 0)
+
+    energies, f_over_r = potential.energy_force_sq(r_sq)
+    fvec = delta * f_over_r[:, None]
+    for axis in range(3):
+        forces[:, axis] += np.bincount(i, weights=fvec[:, axis], minlength=n)
+        forces[:, axis] -= np.bincount(j, weights=fvec[:, axis], minlength=n)
+    potential_energy = float(energies.sum())
+    virial = float(np.dot(f_over_r, r_sq))
+    return ForceResult(forces, potential_energy, virial, int(len(i)))
+
+
+class ForceField:
+    """LJ force field with interchangeable pair-search backends.
+
+    Parameters
+    ----------
+    potential:
+        The pair potential.
+    backend:
+        ``"kdtree"`` (scipy, fast default) or ``"cells"`` (linked-cell
+        reference kernel).
+    cells_per_side:
+        Required by the ``"cells"`` backend: grid resolution (cell edge must
+        be at least the cut-off).
+    attraction:
+        Spring constant of an optional harmonic pull toward nucleation sites,
+        used by scaled workloads to accelerate the supercooled gas's natural
+        clustering (see DESIGN.md). 0 disables it.
+    attractors:
+        ``(K, 3)`` nucleation sites; each particle is pulled toward its
+        nearest site (minimum image). ``None`` with a positive ``attraction``
+        means a single site at the box centre.
+    """
+
+    def __init__(
+        self,
+        potential: LennardJones,
+        backend: str = "kdtree",
+        cells_per_side: int | None = None,
+        attraction: float = 0.0,
+        attractors: np.ndarray | None = None,
+    ) -> None:
+        if backend not in ("kdtree", "cells"):
+            raise ConfigurationError(f"unknown backend {backend!r}")
+        if backend == "cells" and cells_per_side is None:
+            raise ConfigurationError("the 'cells' backend requires cells_per_side")
+        if attraction < 0:
+            raise ConfigurationError(f"attraction must be non-negative, got {attraction}")
+        self.potential = potential
+        self.backend = backend
+        self.cells_per_side = cells_per_side
+        self.attraction = float(attraction)
+        if attractors is not None:
+            attractors = np.ascontiguousarray(attractors, dtype=np.float64)
+            if attractors.ndim != 2 or attractors.shape[1] != 3 or len(attractors) == 0:
+                raise ConfigurationError(
+                    f"attractors must have shape (K, 3) with K >= 1, got {attractors.shape}"
+                )
+        self.attractors = attractors
+
+    def find_pairs(self, system: ParticleSystem) -> np.ndarray:
+        """Interacting pairs under the configured backend."""
+        if self.backend == "kdtree":
+            return pairs_kdtree(system.positions, system.box_length, self.potential.cutoff)
+        cell_list = CellList(system.box_length, int(self.cells_per_side))
+        return pairs_celllist(system.positions, cell_list, self.potential.cutoff)
+
+    def compute(self, system: ParticleSystem) -> ForceResult:
+        """Evaluate forces, writing them into ``system.forces`` as well."""
+        pairs = self.find_pairs(system)
+        result = forces_from_pairs(
+            system.positions, pairs, system.box_length, self.potential, system.n
+        )
+        forces = result.forces
+        potential_energy = result.potential_energy
+        if self.attraction > 0.0:
+            sites = (
+                self.attractors
+                if self.attractors is not None
+                else np.full((1, 3), system.box_length / 2.0)
+            )
+            # Pull toward the nearest nucleation site (minimum image).
+            delta_all = minimum_image(
+                system.positions[:, None, :] - sites[None, :, :], system.box_length
+            )
+            dist_sq = np.einsum("ikj,ikj->ik", delta_all, delta_all)
+            nearest = np.argmin(dist_sq, axis=1)
+            delta = delta_all[np.arange(system.n), nearest]
+            forces = forces - self.attraction * delta
+            potential_energy += 0.5 * self.attraction * float(np.sum(delta * delta))
+        system.forces[...] = forces
+        return ForceResult(forces, potential_energy, result.virial, result.n_pairs)

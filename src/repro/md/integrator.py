@@ -1,0 +1,42 @@
+"""Velocity-form Verlet integration (Section 3.2 of the paper)."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .forces import ForceField, ForceResult
+from .pbc import wrap_positions_inplace
+from .system import ParticleSystem
+
+
+class VelocityVerlet:
+    """The velocity form of the Verlet algorithm.
+
+    One step advances the state by
+
+    1. ``v += (dt/2) f``
+    2. ``x += dt v`` (then wrap into the periodic box)
+    3. recompute forces
+    4. ``v += (dt/2) f``
+
+    ``system.forces`` must hold forces consistent with ``system.positions``
+    before the first call: use :meth:`initialize`.
+    """
+
+    def __init__(self, dt: float) -> None:
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        self.dt = float(dt)
+
+    def initialize(self, system: ParticleSystem, force_field: ForceField) -> ForceResult:
+        """Evaluate initial forces so subsequent steps see a consistent state."""
+        return force_field.compute(system)
+
+    def step(self, system: ParticleSystem, force_field: ForceField) -> ForceResult:
+        """Advance ``system`` by one time step; returns the new force result."""
+        half_dt = 0.5 * self.dt
+        system.velocities += half_dt * system.forces
+        system.positions += self.dt * system.velocities
+        wrap_positions_inplace(system.positions, system.box_length)
+        result = force_field.compute(system)
+        system.velocities += half_dt * system.forces
+        return result

@@ -1,0 +1,235 @@
+"""Initial configurations: lattices and Maxwell-Boltzmann velocities."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import GeometryError
+
+
+def simple_cubic_positions(n_particles: int, box_length: float) -> np.ndarray:
+    """Place ``n_particles`` on a simple cubic lattice inside the box.
+
+    The lattice has ``ceil(N^(1/3))`` sites per side; the first ``N`` sites
+    (lexicographic order) are used, each offset to the centre of its lattice
+    cell so no particle sits on the box boundary.
+    """
+    if n_particles <= 0:
+        raise GeometryError(f"n_particles must be positive, got {n_particles}")
+    side = math.ceil(n_particles ** (1.0 / 3.0))
+    while side**3 < n_particles:  # guard against float round-off in the cube root
+        side += 1
+    spacing = box_length / side
+    idx = np.arange(side**3)
+    coords = np.column_stack((idx // (side * side), (idx // side) % side, idx % side))
+    positions = (coords[:n_particles] + 0.5) * spacing
+    return np.ascontiguousarray(positions, dtype=np.float64)
+
+
+def fcc_positions(n_cells_per_side: int, box_length: float) -> np.ndarray:
+    """Positions of a face-centred-cubic lattice: ``4 * n^3`` particles.
+
+    FCC is the densest packing and the usual MD starting condition for LJ
+    systems; useful for melt-and-equilibrate workloads.
+    """
+    if n_cells_per_side <= 0:
+        raise GeometryError(f"n_cells_per_side must be positive, got {n_cells_per_side}")
+    a = box_length / n_cells_per_side
+    base = np.array(
+        [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]], dtype=np.float64
+    )
+    idx = np.arange(n_cells_per_side**3)
+    cells = np.column_stack(
+        (
+            idx // (n_cells_per_side * n_cells_per_side),
+            (idx // n_cells_per_side) % n_cells_per_side,
+            idx % n_cells_per_side,
+        )
+    ).astype(np.float64)
+    positions = (cells[:, None, :] + base[None, :, :] + 0.25).reshape(-1, 3) * a
+    return np.ascontiguousarray(positions, dtype=np.float64)
+
+
+def maxwell_boltzmann_velocities(
+    n_particles: int,
+    temperature: float,
+    rng: np.random.Generator,
+    zero_momentum: bool = True,
+) -> np.ndarray:
+    """Sample velocities from the Maxwell-Boltzmann distribution at ``T*``.
+
+    With ``zero_momentum`` the centre-of-mass velocity is removed and the
+    kinetic energy rescaled back so the instantaneous temperature is exactly
+    ``temperature`` (matching the paper's constant-NVE start).
+    """
+    if n_particles <= 0:
+        raise GeometryError(f"n_particles must be positive, got {n_particles}")
+    if temperature < 0:
+        raise GeometryError(f"temperature must be non-negative, got {temperature}")
+    if temperature == 0:
+        return np.zeros((n_particles, 3), dtype=np.float64)
+    velocities = rng.normal(0.0, math.sqrt(temperature), size=(n_particles, 3))
+    if zero_momentum:
+        velocities -= velocities.mean(axis=0, keepdims=True)
+    # Rescale to the exact target temperature (3 N k T / 2 = sum m v^2 / 2).
+    kinetic = 0.5 * float(np.sum(velocities * velocities))
+    current = 2.0 * kinetic / (3.0 * n_particles)
+    if current > 0:
+        velocities *= math.sqrt(temperature / current)
+    return np.ascontiguousarray(velocities, dtype=np.float64)
+
+
+def _ball_sites(
+    n_points: int,
+    radius: float,
+    rng: np.random.Generator,
+    min_separation: float = 0.7,
+) -> np.ndarray:
+    """Jittered-grid points inside a ball around the origin.
+
+    The grid spacing bounds how tightly points pack so LJ forces on the
+    resulting configuration stay finite; the ball is refilled cyclically when
+    it undersupplies sites.
+    """
+    spacing = max(min_separation, 1e-3)
+    n_side = max(1, int(2 * radius / spacing))
+    axis = (np.arange(n_side) + 0.5) * spacing - radius
+    gx, gy, gz = np.meshgrid(axis, axis, axis, indexing="ij")
+    grid = np.column_stack((gx.ravel(), gy.ravel(), gz.ravel()))
+    inside = grid[np.sum(grid * grid, axis=1) <= radius * radius]
+    if len(inside) == 0:
+        inside = np.zeros((1, 3))
+    reps = int(np.ceil(n_points / len(inside)))
+    sites = np.tile(inside, (reps, 1))[:n_points]
+    jitter = rng.uniform(-0.25 * spacing, 0.25 * spacing, size=sites.shape)
+    return sites + jitter
+
+
+def ball_sites_sorted(
+    n_points: int,
+    radius: float,
+    rng: np.random.Generator,
+    min_separation: float = 0.7,
+) -> np.ndarray:
+    """Like :func:`_ball_sites` but ordered inside-out (by distance).
+
+    Used by incremental condensation schedules: filling the sites in order
+    grows the droplet shell by shell, so its radius tracks its occupancy.
+    """
+    spacing = max(min_separation, 1e-3)
+    n_side = max(1, int(2 * radius / spacing))
+    axis = (np.arange(n_side) + 0.5) * spacing - radius
+    gx, gy, gz = np.meshgrid(axis, axis, axis, indexing="ij")
+    grid = np.column_stack((gx.ravel(), gy.ravel(), gz.ravel()))
+    norms = np.sum(grid * grid, axis=1)
+    inside = grid[norms <= radius * radius]
+    if len(inside) == 0:
+        inside = np.zeros((1, 3))
+    order = np.argsort(np.sum(inside * inside, axis=1), kind="stable")
+    inside = inside[order]
+    reps = int(np.ceil(n_points / len(inside)))
+    sites = np.tile(inside, (reps, 1))[:n_points]
+    jitter = rng.uniform(-0.25 * spacing, 0.25 * spacing, size=sites.shape)
+    return sites + jitter
+
+
+def droplet_positions(
+    n_particles: int,
+    box_length: float,
+    fraction: float,
+    centers: np.ndarray,
+    rng: np.random.Generator,
+    weights: np.ndarray | None = None,
+    liquid_density: float = 0.8,
+) -> np.ndarray:
+    """Gas with a fraction of particles condensed into scattered droplets.
+
+    Models the supercooled gas of the paper's Section 3.2, where particles
+    nucleate into small droplets spread over the box. ``fraction`` of the
+    particles is split among the droplet ``centers`` (proportionally to
+    ``weights``, uniform by default); the rest is a uniform background gas.
+    Each droplet's radius follows from its occupancy at ``liquid_density``
+    (reduced LJ liquid: ~0.8), so condensed cells hold a bounded particle
+    count no matter how much mass a droplet accretes -- the physical reason
+    cell-granular load balancing remains meaningful during condensation.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise GeometryError(f"fraction must be in [0, 1], got {fraction}")
+    centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+    if centers.shape[1] != 3:
+        raise GeometryError(f"centers must have shape (K, 3), got {centers.shape}")
+    if liquid_density <= 0:
+        raise GeometryError(f"liquid_density must be positive, got {liquid_density}")
+    k = len(centers)
+    if weights is None:
+        weights = np.full(k, 1.0 / k)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (k,) or np.any(weights < 0) or weights.sum() <= 0:
+            raise GeometryError("weights must be non-negative with a positive sum")
+        weights = weights / weights.sum()
+
+    n_cond = int(round(fraction * n_particles))
+    # Largest-remainder split of the condensed particles among droplets.
+    raw = weights * n_cond
+    counts = np.floor(raw).astype(int)
+    remainder = n_cond - counts.sum()
+    if remainder > 0:
+        order = np.argsort(-(raw - counts))
+        counts[order[:remainder]] += 1
+
+    spacing = (1.0 / liquid_density) ** (1.0 / 3.0)
+    parts: list[np.ndarray] = []
+    for center, count in zip(centers, counts):
+        if count:
+            # Radius from occupancy at liquid density (with slack so the
+            # jittered grid always supplies enough in-ball sites).
+            radius = 1.1 * (3.0 * count / (4.0 * math.pi * liquid_density)) ** (1.0 / 3.0)
+            radius = max(radius, spacing)
+            parts.append(center + _ball_sites(count, radius, rng, min_separation=spacing))
+    n_gas = n_particles - n_cond
+    if n_gas:
+        parts.append(rng.uniform(0.0, box_length, size=(n_gas, 3)))
+    if not parts:
+        return np.empty((0, 3), dtype=np.float64)
+    positions = np.concatenate(parts, axis=0)
+    return np.ascontiguousarray(np.mod(positions, box_length), dtype=np.float64)
+
+
+def clustered_positions(
+    n_particles: int,
+    box_length: float,
+    cluster_fraction: float,
+    cluster_radius: float,
+    rng: np.random.Generator,
+    center: np.ndarray | None = None,
+    min_separation: float = 0.7,
+) -> np.ndarray:
+    """Uniform gas with a fraction of particles condensed into a ball.
+
+    Used by the concentration workloads: ``cluster_fraction`` of the particles
+    are placed inside a ball of ``cluster_radius`` around ``center`` (default:
+    box centre), the rest uniformly in the box. ``min_separation`` bounds how
+    tightly cluster particles may pack so the LJ forces stay finite: the ball
+    is filled from a jittered grid of that spacing.
+    """
+    if not 0.0 <= cluster_fraction <= 1.0:
+        raise GeometryError(f"cluster_fraction must be in [0, 1], got {cluster_fraction}")
+    if cluster_radius <= 0:
+        raise GeometryError(f"cluster_radius must be positive, got {cluster_radius}")
+    if center is None:
+        center = np.full(3, box_length / 2.0)
+    center = np.asarray(center, dtype=np.float64)
+
+    n_cluster = int(round(cluster_fraction * n_particles))
+    n_gas = n_particles - n_cluster
+
+    parts: list[np.ndarray] = []
+    if n_cluster:
+        parts.append(center + _ball_sites(n_cluster, cluster_radius, rng, min_separation))
+    if n_gas:
+        parts.append(rng.uniform(0.0, box_length, size=(n_gas, 3)))
+    positions = np.concatenate(parts, axis=0)
+    return np.ascontiguousarray(np.mod(positions, box_length), dtype=np.float64)

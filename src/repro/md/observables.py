@@ -1,0 +1,43 @@
+"""Thermodynamic observables in reduced units."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .system import ParticleSystem
+
+
+def kinetic_energy(system: ParticleSystem) -> float:
+    """Total kinetic energy ``sum(m v^2) / 2`` (m = 1 in reduced units)."""
+    v = system.velocities
+    return 0.5 * float(np.einsum("ij,ij->", v, v))
+
+
+def temperature(system: ParticleSystem) -> float:
+    """Instantaneous reduced temperature ``2 E_kin / (3 N)``.
+
+    Uses the 3N-degrees-of-freedom convention of the paper's era (no
+    centre-of-mass correction).
+    """
+    if system.n == 0:
+        return 0.0
+    return 2.0 * kinetic_energy(system) / (3.0 * system.n)
+
+
+def pressure(system: ParticleSystem, virial: float) -> float:
+    """Reduced pressure from the virial theorem.
+
+    ``P V = N T + W / 3`` with ``W = sum_pairs f_ij . r_ij``.
+    """
+    volume = system.box_length**3
+    return (system.n * temperature(system) + virial / 3.0) / volume
+
+
+def center_of_mass(system: ParticleSystem) -> np.ndarray:
+    """Centre of mass of the wrapped coordinates (simple mean)."""
+    return system.positions.mean(axis=0)
+
+
+def momentum(system: ParticleSystem) -> np.ndarray:
+    """Total momentum (m = 1)."""
+    return system.velocities.sum(axis=0)

@@ -1,0 +1,55 @@
+"""Periodic boundary conditions for a cubic box.
+
+The paper's simulation space is a cube with periodic boundaries
+(Section 3.2). All positions live in the half-open interval ``[0, L)`` along
+each axis; displacements follow the minimum-image convention, which is valid
+because configurations always keep ``L >= 2 * r_c``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def wrap_positions(positions: np.ndarray, box_length: float) -> np.ndarray:
+    """Map ``positions`` into the primary box ``[0, L)^3``.
+
+    Returns a new array; the input is not modified. Handles arbitrarily
+    distant images via the modulo operation.
+    """
+    wrapped = np.mod(positions, box_length)
+    # ``mod`` can return exactly L for tiny negative inputs due to rounding;
+    # fold those back onto 0 so cell indexing never sees an out-of-range value.
+    wrapped[wrapped >= box_length] = 0.0
+    return wrapped
+
+
+def wrap_positions_inplace(positions: np.ndarray, box_length: float) -> None:
+    """In-place variant of :func:`wrap_positions` for hot loops."""
+    np.mod(positions, box_length, out=positions)
+    positions[positions >= box_length] = 0.0
+
+
+def minimum_image(displacements: np.ndarray, box_length: float) -> np.ndarray:
+    """Apply the minimum-image convention to raw displacement vectors.
+
+    Each component is folded into ``[-L/2, L/2)``. Works on any array whose
+    last axis holds vector components.
+    """
+    return displacements - box_length * np.round(displacements / box_length)
+
+
+def minimum_image_inplace(displacements: np.ndarray, box_length: float) -> None:
+    """In-place variant of :func:`minimum_image` (no temporary copies)."""
+    inv = 1.0 / box_length
+    shift = np.round(displacements * inv)
+    shift *= box_length
+    displacements -= shift
+
+
+def pair_distance(
+    a: np.ndarray, b: np.ndarray, box_length: float
+) -> np.ndarray:
+    """Minimum-image distances between matching rows of ``a`` and ``b``."""
+    delta = minimum_image(np.asarray(a, dtype=float) - np.asarray(b, dtype=float), box_length)
+    return np.sqrt(np.sum(delta * delta, axis=-1))

@@ -1,0 +1,100 @@
+"""The Lennard-Jones pair potential with cut-off (Equation 1 of the paper).
+
+``V(r) = 4 * epsilon * ((sigma/r)^12 - (sigma/r)^6)`` truncated at ``r_c``.
+The library works in reduced units, so ``sigma = epsilon = 1`` by default,
+but both parameters are kept explicit so substances other than the reduced
+fluid can be modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LennardJones:
+    """Truncated (and optionally shifted) Lennard-Jones potential.
+
+    Attributes
+    ----------
+    epsilon, sigma:
+        LJ parameters (1.0 in reduced units).
+    cutoff:
+        Truncation distance ``r_c``; interactions beyond it are zero.
+    shift:
+        If true, the potential is shifted by ``V(r_c)`` so the energy is
+        continuous at the cut-off (forces are unaffected). The paper's plain
+        truncation corresponds to ``shift=False``; the shifted form is the
+        better default for energy-conservation checks.
+    """
+
+    epsilon: float = 1.0
+    sigma: float = 1.0
+    cutoff: float = 2.5
+    shift: bool = True
+    _v_cut: float = field(init=False, repr=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
+        if self.sigma <= 0:
+            raise ConfigurationError(f"sigma must be positive, got {self.sigma}")
+        if self.cutoff <= 0:
+            raise ConfigurationError(f"cutoff must be positive, got {self.cutoff}")
+        sr6 = (self.sigma / self.cutoff) ** 6
+        object.__setattr__(self, "_v_cut", 4.0 * self.epsilon * (sr6 * sr6 - sr6))
+
+    @property
+    def cutoff_sq(self) -> float:
+        """Squared cut-off distance (hot loops compare squared distances)."""
+        return self.cutoff * self.cutoff
+
+    def energy(self, r: np.ndarray | float) -> np.ndarray | float:
+        """Pair energy at distance ``r`` (0 beyond the cut-off)."""
+        arr = np.atleast_1d(np.asarray(r, dtype=float))
+        out = np.zeros_like(arr)
+        mask = (arr > 0) & (arr < self.cutoff)
+        sr6 = (self.sigma / arr[mask]) ** 6
+        out[mask] = 4.0 * self.epsilon * (sr6 * sr6 - sr6)
+        if self.shift:
+            out[mask] -= self._v_cut
+        return out if np.ndim(r) else float(out[0])
+
+    def force_magnitude(self, r: np.ndarray | float) -> np.ndarray | float:
+        """Magnitude of the radial force ``-dV/dr`` at distance ``r``.
+
+        Positive values are repulsive. Zero beyond the cut-off.
+        """
+        arr = np.atleast_1d(np.asarray(r, dtype=float))
+        out = np.zeros_like(arr)
+        mask = (arr > 0) & (arr < self.cutoff)
+        rm = arr[mask]
+        sr6 = (self.sigma / rm) ** 6
+        out[mask] = 24.0 * self.epsilon * (2.0 * sr6 * sr6 - sr6) / rm
+        return out if np.ndim(r) else float(out[0])
+
+    def energy_force_sq(self, r_sq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised kernel on *squared* distances (assumed within cut-off).
+
+        Returns ``(energies, force_over_r)`` where ``force_over_r * dr_vec``
+        is the force vector on the first particle of the pair. Callers must
+        pre-filter ``r_sq < cutoff^2`` and ``r_sq > 0``; this function does no
+        masking so it stays allocation-light in the hot path.
+        """
+        inv_r2 = (self.sigma * self.sigma) / r_sq
+        sr6 = inv_r2 * inv_r2 * inv_r2
+        sr12 = sr6 * sr6
+        energies = 4.0 * self.epsilon * (sr12 - sr6)
+        if self.shift:
+            energies = energies - self._v_cut
+        force_over_r = 24.0 * self.epsilon * (2.0 * sr12 - sr6) / r_sq
+        return energies, force_over_r
+
+    def minimum(self) -> tuple[float, float]:
+        """Location and depth of the potential minimum: ``(2^(1/6) sigma, -epsilon)``."""
+        r_min = 2.0 ** (1.0 / 6.0) * self.sigma
+        return r_min, -self.epsilon - (self._v_cut if self.shift else 0.0)

@@ -1,0 +1,80 @@
+"""Structure-of-arrays particle container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeometryError, SimulationError
+from .pbc import wrap_positions
+
+
+class ParticleSystem:
+    """Positions, velocities and forces of ``N`` particles in a cubic box.
+
+    Arrays are C-contiguous ``float64`` of shape ``(N, 3)`` (structure of
+    arrays), the layout the vectorised kernels expect. Positions are kept
+    wrapped into ``[0, L)``.
+    """
+
+    __slots__ = ("positions", "velocities", "forces", "box_length")
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray | None = None,
+        box_length: float | None = None,
+        forces: np.ndarray | None = None,
+    ) -> None:
+        positions = np.ascontiguousarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise GeometryError(f"positions must have shape (N, 3), got {positions.shape}")
+        if box_length is None or box_length <= 0:
+            raise GeometryError(f"box_length must be positive, got {box_length}")
+        self.box_length = float(box_length)
+        self.positions = wrap_positions(positions, self.box_length)
+
+        if velocities is None:
+            velocities = np.zeros_like(self.positions)
+        velocities = np.ascontiguousarray(velocities, dtype=np.float64)
+        if velocities.shape != self.positions.shape:
+            raise GeometryError(
+                f"velocities shape {velocities.shape} != positions shape {self.positions.shape}"
+            )
+        self.velocities = velocities
+
+        if forces is None:
+            forces = np.zeros_like(self.positions)
+        forces = np.ascontiguousarray(forces, dtype=np.float64)
+        if forces.shape != self.positions.shape:
+            raise GeometryError(
+                f"forces shape {forces.shape} != positions shape {self.positions.shape}"
+            )
+        self.forces = forces
+
+    @property
+    def n(self) -> int:
+        """Number of particles."""
+        return self.positions.shape[0]
+
+    def copy(self) -> "ParticleSystem":
+        """Deep copy (independent arrays)."""
+        return ParticleSystem(
+            self.positions.copy(),
+            self.velocities.copy(),
+            self.box_length,
+            self.forces.copy(),
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`SimulationError` if the state is non-physical."""
+        if not np.all(np.isfinite(self.positions)):
+            raise SimulationError("non-finite positions")
+        if not np.all(np.isfinite(self.velocities)):
+            raise SimulationError("non-finite velocities")
+        if not np.all(np.isfinite(self.forces)):
+            raise SimulationError("non-finite forces")
+        if np.any(self.positions < 0) or np.any(self.positions >= self.box_length):
+            raise SimulationError("positions escaped the primary box")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParticleSystem(n={self.n}, box_length={self.box_length:.4f})"

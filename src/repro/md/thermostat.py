@@ -1,0 +1,64 @@
+"""Velocity-rescaling thermostat.
+
+The paper scales the temperature back to ``T_ref`` every 50 time steps
+(Section 3.2); between rescalings the dynamics is plain NVE.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .observables import temperature
+from .system import ParticleSystem
+
+
+class VelocityRescale:
+    """Deterministic velocity rescaling to a reference temperature.
+
+    Parameters
+    ----------
+    temperature:
+        Target reduced temperature ``T_ref``.
+    interval:
+        Rescale every this many steps; 0 disables the thermostat entirely.
+    """
+
+    def __init__(self, temperature: float, interval: int) -> None:
+        if temperature < 0:
+            raise ConfigurationError(f"temperature must be non-negative, got {temperature}")
+        if interval < 0:
+            raise ConfigurationError(f"interval must be non-negative, got {interval}")
+        self.temperature = float(temperature)
+        self.interval = int(interval)
+
+    def rescale(self, system: ParticleSystem) -> float:
+        """Rescale velocities to the target temperature; returns the factor."""
+        current = temperature(system)
+        if current <= 0.0:
+            return 1.0
+        factor = math.sqrt(self.temperature / current)
+        system.velocities *= factor
+        return factor
+
+    def maybe_rescale(self, system: ParticleSystem, step: int) -> float | None:
+        """Apply the rescaling on thermostat steps; returns the factor or None.
+
+        ``step`` is 1-based (the step that was just completed), so with
+        ``interval=50`` rescaling happens after steps 50, 100, ...
+        """
+        if self.interval == 0 or step <= 0 or step % self.interval != 0:
+            return None
+        return self.rescale(system)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VelocityRescale(T={self.temperature}, interval={self.interval})"
+
+
+def remove_drift(system: ParticleSystem) -> np.ndarray:
+    """Remove centre-of-mass velocity; returns the drift that was removed."""
+    drift = system.velocities.mean(axis=0)
+    system.velocities -= drift
+    return drift

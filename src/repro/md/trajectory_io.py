@@ -1,0 +1,107 @@
+"""Trajectory I/O: extended-XYZ snapshots.
+
+Lets adopters dump configurations for external visualisation (OVITO, VMD)
+and reload them as :class:`ParticleSystem` states. The format is the common
+extended-XYZ dialect: a count line, a comment line carrying the box via a
+``Lattice="..."`` field, then one ``El x y z [vx vy vz]`` row per particle.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GeometryError
+from .system import ParticleSystem
+
+
+def write_xyz(
+    path: str | Path,
+    system: ParticleSystem,
+    element: str = "Ar",
+    include_velocities: bool = True,
+    append: bool = False,
+    comment_extra: str = "",
+) -> Path:
+    """Write one snapshot in extended-XYZ format; returns the path.
+
+    With ``append`` the snapshot is added as a new frame (multi-frame XYZ
+    trajectories are just concatenated snapshots).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    box = system.box_length
+    properties = "species:S:1:pos:R:3"
+    if include_velocities:
+        properties += ":vel:R:3"
+    comment = (
+        f'Lattice="{box} 0 0 0 {box} 0 0 0 {box}" Properties={properties}'
+    )
+    if comment_extra:
+        comment += " " + comment_extra
+    lines = [str(system.n), comment]
+    if include_velocities:
+        for p, v in zip(system.positions, system.velocities):
+            lines.append(
+                f"{element} {p[0]:.10g} {p[1]:.10g} {p[2]:.10g} "
+                f"{v[0]:.10g} {v[1]:.10g} {v[2]:.10g}"
+            )
+    else:
+        for p in system.positions:
+            lines.append(f"{element} {p[0]:.10g} {p[1]:.10g} {p[2]:.10g}")
+    mode = "a" if append else "w"
+    with path.open(mode) as fh:
+        fh.write("\n".join(lines) + "\n")
+    return path
+
+
+def read_xyz(path: str | Path, frame: int = 0) -> ParticleSystem:
+    """Read one frame of an (extended-)XYZ file into a :class:`ParticleSystem`.
+
+    The box length is taken from the ``Lattice`` field (cubic lattices only);
+    velocity columns are loaded when present, otherwise zeroed.
+    """
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    cursor = 0
+    for _ in range(frame + 1):
+        if cursor >= len(lines):
+            raise GeometryError(f"frame {frame} not present in {path}")
+        try:
+            count = int(lines[cursor].strip())
+        except ValueError as exc:
+            raise GeometryError(f"malformed XYZ count line: {lines[cursor]!r}") from exc
+        header = cursor
+        cursor += 2 + count
+    comment = lines[header + 1]
+    box = _parse_box(comment)
+    rows = lines[header + 2: header + 2 + count]
+    positions = np.empty((count, 3))
+    velocities = np.zeros((count, 3))
+    for i, row in enumerate(rows):
+        fields = row.split()
+        if len(fields) < 4:
+            raise GeometryError(f"malformed XYZ row: {row!r}")
+        positions[i] = [float(x) for x in fields[1:4]]
+        if len(fields) >= 7:
+            velocities[i] = [float(x) for x in fields[4:7]]
+    return ParticleSystem(positions, velocities, box)
+
+
+def _parse_box(comment: str) -> float:
+    marker = 'Lattice="'
+    start = comment.find(marker)
+    if start < 0:
+        raise GeometryError("XYZ comment line has no Lattice field")
+    end = comment.find('"', start + len(marker))
+    values = [float(x) for x in comment[start + len(marker): end].split()]
+    if len(values) != 9:
+        raise GeometryError(f"Lattice field must have 9 numbers, got {len(values)}")
+    lattice = np.array(values).reshape(3, 3)
+    diagonal = np.diag(lattice)
+    if not np.allclose(lattice, np.diag(diagonal)) or not np.allclose(
+        diagonal, diagonal[0]
+    ):
+        raise GeometryError("only cubic lattices are supported")
+    return float(diagonal[0])

@@ -1,0 +1,53 @@
+"""Per-PE virtual clocks with barrier semantics.
+
+The paper's per-step execution time ``Tt`` is governed by the *slowest* PE
+because of the synchronisation between steps (Section 3.3, discussion of
+Figure 6). :class:`PEClocks` models exactly that: each PE accumulates its own
+work and communication time within a step; a barrier advances everyone to the
+maximum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class PEClocks:
+    """Virtual clocks of ``P`` PEs."""
+
+    def __init__(self, n_pes: int) -> None:
+        if n_pes <= 0:
+            raise ConfigurationError(f"n_pes must be positive, got {n_pes}")
+        self.n_pes = int(n_pes)
+        self.times = np.zeros(self.n_pes, dtype=np.float64)
+
+    def advance(self, pe: int, dt: float) -> None:
+        """Charge ``dt`` of work to one PE."""
+        if dt < 0:
+            raise ConfigurationError(f"dt must be non-negative, got {dt}")
+        self.times[pe] += dt
+
+    def advance_all(self, dts: np.ndarray) -> None:
+        """Charge per-PE durations in one vectorised call."""
+        dts = np.asarray(dts, dtype=np.float64)
+        if dts.shape != (self.n_pes,):
+            raise ConfigurationError(f"dts shape {dts.shape} != ({self.n_pes},)")
+        if np.any(dts < 0):
+            raise ConfigurationError("durations must be non-negative")
+        self.times += dts
+
+    def barrier(self) -> float:
+        """Synchronise: set all clocks to the maximum; returns that time."""
+        t = float(self.times.max())
+        self.times[...] = t
+        return t
+
+    def reset(self) -> None:
+        """Zero all clocks (start of a new step)."""
+        self.times[...] = 0.0
+
+    def spread(self) -> float:
+        """Max - min clock value (the step's imbalance)."""
+        return float(self.times.max() - self.times.min())

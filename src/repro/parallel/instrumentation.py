@@ -1,0 +1,107 @@
+"""Per-step timing records: the quantities Figures 5 and 6 plot.
+
+``Tt``  -- execution time of the step (max over PEs: barrier semantics).
+``Fmax/Fave/Fmin`` -- maximum / average / minimum force-calculation time
+across PEs (Figure 6's four curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class StepTiming:
+    """Timing of one simulated step."""
+
+    step: int
+    tt: float
+    fmax: float
+    fave: float
+    fmin: float
+    comm_max: float = 0.0
+    dlb_time: float = 0.0
+
+    @property
+    def spread(self) -> float:
+        """Force-time imbalance ``Fmax - Fmin`` (the boundary detector's input)."""
+        return self.fmax - self.fmin
+
+    @staticmethod
+    def from_components(
+        step: int,
+        force_times: np.ndarray,
+        comm_times: np.ndarray,
+        other_times: np.ndarray,
+        dlb_time: float = 0.0,
+    ) -> "StepTiming":
+        """Build a record from per-PE component arrays.
+
+        ``Tt`` is the barrier time: max over PEs of (force + comm + other)
+        plus the DLB overhead charged to every PE.
+        """
+        totals = force_times + comm_times + other_times + dlb_time
+        return StepTiming(
+            step=step,
+            tt=float(totals.max()),
+            fmax=float(force_times.max()),
+            fave=float(force_times.mean()),
+            fmin=float(force_times.min()),
+            comm_max=float(comm_times.max()),
+            dlb_time=float(dlb_time),
+        )
+
+
+@dataclass
+class TimingLog:
+    """Append-only log of :class:`StepTiming` with array views for analysis."""
+
+    records: list[StepTiming] = field(default_factory=list)
+
+    def append(self, record: StepTiming) -> None:
+        """Add one step record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def _column(self, name: str) -> np.ndarray:
+        if not self.records:
+            raise AnalysisError("timing log is empty")
+        return np.array([getattr(r, name) for r in self.records], dtype=np.float64)
+
+    @property
+    def steps(self) -> np.ndarray:
+        """Step indices of the records."""
+        if not self.records:
+            raise AnalysisError("timing log is empty")
+        return np.array([r.step for r in self.records], dtype=np.int64)
+
+    @property
+    def tt(self) -> np.ndarray:
+        """Per-step execution times (``Tt`` series of Figure 5/6)."""
+        return self._column("tt")
+
+    @property
+    def fmax(self) -> np.ndarray:
+        """Per-step maximum force time across PEs."""
+        return self._column("fmax")
+
+    @property
+    def fave(self) -> np.ndarray:
+        """Per-step average force time across PEs."""
+        return self._column("fave")
+
+    @property
+    def fmin(self) -> np.ndarray:
+        """Per-step minimum force time across PEs."""
+        return self._column("fmin")
+
+    @property
+    def spread(self) -> np.ndarray:
+        """Per-step ``Fmax - Fmin`` series."""
+        return self.fmax - self.fmin

@@ -1,0 +1,53 @@
+"""The virtual multicomputer: PEs + network + traffic accounting."""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from ..errors import ConfigurationError
+from .clock import PEClocks
+from .message import TrafficLog
+from .network import NetworkModel, preset
+
+
+class VirtualMachine:
+    """``P`` virtual PEs with clocks, a postal-model network and traffic log.
+
+    The machine does not execute code; the simulation core charges it with
+    per-PE compute and communication durations and reads back barrier times.
+    """
+
+    def __init__(self, n_pes: int, machine: MachineConfig | str = "t3e") -> None:
+        if n_pes <= 0:
+            raise ConfigurationError(f"n_pes must be positive, got {n_pes}")
+        if isinstance(machine, str):
+            machine = preset(machine)
+        self.n_pes = int(n_pes)
+        self.config = machine
+        self.network = NetworkModel(machine)
+        self.clocks = PEClocks(n_pes)
+        self.traffic = TrafficLog(n_pes)
+
+    def charge_compute(self, per_pe_times) -> None:
+        """Charge per-PE compute durations for the current step."""
+        self.clocks.advance_all(per_pe_times)
+
+    def charge_exchange(
+        self, pe: int, peer: int, n_messages: int, n_bytes: int, tag: str = ""
+    ) -> float:
+        """Charge ``pe`` for receiving ``n_messages`` totalling ``n_bytes``.
+
+        Returns the charged duration. Traffic is logged from ``peer`` to
+        ``pe``.
+        """
+        duration = self.network.exchange_time(n_messages, n_bytes)
+        self.clocks.advance(pe, duration)
+        self.traffic.record_bulk(peer, pe, n_bytes, count=n_messages, tag=tag)
+        return duration
+
+    def barrier(self) -> float:
+        """Synchronise all PEs; returns the barrier time."""
+        return self.clocks.barrier()
+
+    def start_step(self) -> None:
+        """Reset per-step clocks (the core keeps cumulative time itself)."""
+        self.clocks.reset()

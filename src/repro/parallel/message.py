@@ -1,0 +1,75 @@
+"""Message records and traffic accounting for the simulated machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message in the simulated machine."""
+
+    src: int
+    dst: int
+    n_bytes: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ConfigurationError("PE ids must be non-negative")
+        if self.n_bytes < 0:
+            raise ConfigurationError("n_bytes must be non-negative")
+
+
+@dataclass
+class TrafficLog:
+    """Aggregate traffic counters, per PE and per tag.
+
+    Records are cheap scalars, not message objects, so logging every step of
+    a long run stays O(P) in memory.
+    """
+
+    n_pes: int
+    bytes_sent: np.ndarray = field(init=False)
+    bytes_received: np.ndarray = field(init=False)
+    messages_sent: np.ndarray = field(init=False)
+    by_tag: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_pes <= 0:
+            raise ConfigurationError(f"n_pes must be positive, got {self.n_pes}")
+        self.bytes_sent = np.zeros(self.n_pes, dtype=np.int64)
+        self.bytes_received = np.zeros(self.n_pes, dtype=np.int64)
+        self.messages_sent = np.zeros(self.n_pes, dtype=np.int64)
+
+    def record(self, message: Message) -> None:
+        """Account one message."""
+        if message.src >= self.n_pes or message.dst >= self.n_pes:
+            raise ConfigurationError(
+                f"message endpoints ({message.src}, {message.dst}) outside machine of "
+                f"{self.n_pes} PEs"
+            )
+        self.bytes_sent[message.src] += message.n_bytes
+        self.bytes_received[message.dst] += message.n_bytes
+        self.messages_sent[message.src] += 1
+        if message.tag:
+            self.by_tag[message.tag] = self.by_tag.get(message.tag, 0) + message.n_bytes
+
+    def record_bulk(self, src: int, dst: int, n_bytes: int, count: int = 1, tag: str = "") -> None:
+        """Account ``count`` messages totalling ``n_bytes`` without objects."""
+        if n_bytes < 0 or count < 0:
+            raise ConfigurationError("bytes and count must be non-negative")
+        self.bytes_sent[src] += n_bytes
+        self.bytes_received[dst] += n_bytes
+        self.messages_sent[src] += count
+        if tag:
+            self.by_tag[tag] = self.by_tag.get(tag, 0) + n_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes sent machine-wide."""
+        return int(self.bytes_sent.sum())

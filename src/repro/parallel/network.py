@@ -1,0 +1,90 @@
+"""Latency/bandwidth communication cost model with machine presets.
+
+Message time follows the classic postal model ``t = alpha + beta * bytes``
+with ``alpha`` the startup latency and ``beta`` the inverse bandwidth. The
+presets carry published figures for the machines the paper and its
+predecessors used (T3E: 2.8 GB/s links; CM-5: ~10 MB/s per node through the
+fat tree), so relative communication overheads are realistic even though the
+absolute scale is arbitrary for shape purposes.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from ..errors import ConfigurationError
+
+#: Built-in machine presets.
+PRESETS: dict[str, MachineConfig] = {
+    # Cray T3E (Section 3.1): DECchip 21164 @ 300 MHz, 600 MFLOPS,
+    # 3-D torus, 2.8 GB/s per PE, low-latency remote memory access.
+    "t3e": MachineConfig(
+        name="t3e",
+        latency=10e-6,
+        inv_bandwidth=1.0 / 2.8e9,
+        tau_pair=60e-9,
+        tau_particle=150e-9,
+        tau_cell=40e-9,
+        dlb_overhead=30e-6,
+    ),
+    # Thinking Machines CM-5 (the platform of the authors' earlier DLB
+    # papers [6][7]): slower nodes, much slower network.
+    "cm5": MachineConfig(
+        name="cm5",
+        latency=80e-6,
+        inv_bandwidth=1.0 / 1.0e7,
+        tau_pair=300e-9,
+        tau_particle=700e-9,
+        tau_cell=200e-9,
+        dlb_overhead=150e-6,
+    ),
+    # An idealised machine with free communication; isolates pure
+    # load-balance effects in ablations.
+    "ideal": MachineConfig(
+        name="ideal",
+        latency=0.0,
+        inv_bandwidth=0.0,
+        tau_pair=60e-9,
+        tau_particle=150e-9,
+        tau_cell=40e-9,
+        dlb_overhead=0.0,
+    ),
+}
+
+
+def preset(name: str) -> MachineConfig:
+    """Look up a built-in machine preset by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None
+
+
+class NetworkModel:
+    """Message timing under the postal model of a :class:`MachineConfig`."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+
+    def transfer_time(self, n_bytes: int | float) -> float:
+        """Time for one message of ``n_bytes``."""
+        if n_bytes < 0:
+            raise ConfigurationError(f"n_bytes must be non-negative, got {n_bytes}")
+        return self.config.latency + float(n_bytes) * self.config.inv_bandwidth
+
+    def exchange_time(self, n_messages: int | float, total_bytes: int | float) -> float:
+        """Time of a phase of ``n_messages`` carrying ``total_bytes`` in total.
+
+        Messages are assumed serialised at the PE's network interface (the
+        conservative model for a single-port node).
+        """
+        if n_messages < 0 or total_bytes < 0:
+            raise ConfigurationError("message counts and bytes must be non-negative")
+        return float(n_messages) * self.config.latency + float(total_bytes) * self.config.inv_bandwidth
+
+    def particles_time(self, n_messages: int | float, n_particles: int | float) -> float:
+        """Exchange time for messages carrying ``n_particles`` particle payloads."""
+        return self.exchange_time(
+            n_messages, float(n_particles) * self.config.bytes_per_particle
+        )

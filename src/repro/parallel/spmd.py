@@ -1,0 +1,62 @@
+"""Deterministic SPMD-style execution over virtual ranks.
+
+The paper implements DDM as an SPMD program (Section 3.1). With no real MPI
+available offline, :class:`SPMDExecutor` provides the same programming shape
+-- a per-rank function plus neighbour message exchange -- executed
+sequentially and deterministically: rank functions run in rank order within
+each superstep, and messages posted in superstep ``k`` are delivered at the
+start of superstep ``k+1`` (BSP semantics, which is how the DLB protocol's
+"send execution time, then decide" rounds behave).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from ..errors import ConfigurationError, ProtocolError
+
+
+class SPMDExecutor:
+    """Bulk-synchronous executor over ``n_ranks`` virtual ranks."""
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks <= 0:
+            raise ConfigurationError(f"n_ranks must be positive, got {n_ranks}")
+        self.n_ranks = int(n_ranks)
+        self._inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.n_ranks)]
+        self._outboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.n_ranks)]
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Post a message for delivery at the next superstep."""
+        self._check(src)
+        self._check(dst)
+        self._outboxes[dst].append((src, payload))
+
+    def inbox(self, rank: int) -> list[tuple[int, Any]]:
+        """Messages delivered to ``rank`` this superstep, as (src, payload)."""
+        self._check(rank)
+        return list(self._inboxes[rank])
+
+    def superstep(self, body: Callable[[int, "SPMDExecutor"], Any]) -> list[Any]:
+        """Run ``body(rank, executor)`` for every rank, then exchange messages.
+
+        Returns the per-rank results in rank order. Messages posted by the
+        bodies become visible in the *next* superstep's inboxes (BSP).
+        """
+        results = [body(rank, self) for rank in range(self.n_ranks)]
+        self._inboxes = self._outboxes
+        self._outboxes = [[] for _ in range(self.n_ranks)]
+        return results
+
+    def allgather(self, values: list[Any]) -> list[list[Any]]:
+        """Simulated allgather: every rank sees every value (convenience)."""
+        if len(values) != self.n_ranks:
+            raise ProtocolError(
+                f"allgather needs one value per rank, got {len(values)} for {self.n_ranks}"
+            )
+        return [list(values) for _ in range(self.n_ranks)]
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigurationError(f"rank {rank} out of range [0, {self.n_ranks})")

@@ -1,0 +1,15 @@
+"""Reporting helpers: ASCII tables, CSV series, experiment summaries."""
+
+from .loadmap import imbalance_summary, load_map
+from .report import comparison_report, series_preview
+from .series import write_csv
+from .tables import format_table
+
+__all__ = [
+    "comparison_report",
+    "format_table",
+    "imbalance_summary",
+    "load_map",
+    "series_preview",
+    "write_csv",
+]

@@ -1,0 +1,55 @@
+"""ASCII visualisation of the PE torus: who holds how much load.
+
+Terminal-friendly heat maps of the per-PE load (or any per-PE scalar), laid
+out on the 2-D torus -- handy when watching the balancer shuffle cells.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: Shade ramp from idle to saturated.
+SHADES = " .:-=+*#%@"
+
+
+def load_map(values: np.ndarray, title: str | None = None) -> str:
+    """Render per-PE values (length P, P square) as a shaded torus grid.
+
+    Each PE shows its shade character plus its percentage of the maximum.
+    """
+    values = np.asarray(values, dtype=float)
+    side = math.isqrt(len(values))
+    if side * side != len(values):
+        raise ConfigurationError(f"need a square PE count, got {len(values)}")
+    top = float(values.max())
+    lines = []
+    if title:
+        lines.append(title)
+    for i in range(side):
+        row = []
+        for j in range(side):
+            value = values[i * side + j]
+            level = 0 if top <= 0 else value / top
+            shade = SHADES[min(int(level * (len(SHADES) - 1)), len(SHADES) - 1)]
+            row.append(f"[{shade}{value / top * 100 if top > 0 else 0:3.0f}%]")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def imbalance_summary(values: np.ndarray) -> str:
+    """One-line imbalance statement: max/mean ratio and spread."""
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        raise ConfigurationError("need at least one PE")
+    mean = float(values.mean())
+    if mean == 0:
+        return "all PEs idle"
+    return (
+        f"max/mean = {values.max() / mean:.2f}, "
+        f"min/mean = {values.min() / mean:.2f}, "
+        f"spread = {(values.max() - values.min()):.3g}"
+    )

@@ -1,0 +1,30 @@
+"""CSV export of experiment series (the figures' underlying data)."""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def write_csv(path: str | Path, columns: Mapping[str, Sequence[object]]) -> Path:
+    """Write named, equal-length columns to a CSV file; returns the path."""
+    if not columns:
+        raise ConfigurationError("write_csv needs at least one column")
+    lengths = {name: len(values) for name, values in columns.items()}
+    if len(set(lengths.values())) != 1:
+        raise ConfigurationError(f"column lengths differ: {lengths}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = list(columns)
+    arrays = [np.asarray(columns[n]) for n in names]
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(names)
+        for row in zip(*arrays):
+            writer.writerow([x.item() if hasattr(x, "item") else x for x in row])
+    return path

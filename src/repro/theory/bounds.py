@@ -1,0 +1,70 @@
+"""Theoretical upper bounds of the particle concentration ratio (Section 4.1).
+
+DLB can keep the load uniform only while the number of particles reachable by
+the maximum domain covers the per-PE average; Equation (8) turns that
+condition into an upper bound on ``C0/C``:
+
+    f(m, n) = 3 (m-1)^2 / [ m^2 (n - 1) + 3 n (m - 1)^2 ]
+
+with ``m`` the pillar cross-section and ``n >= 1`` the concentration factor.
+Equations (9)-(11) are its closed forms for m = 2, 3, 4 and Equation (12)
+their ordering ``f(2,n) <= f(3,n) <= f(4,n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+def upper_bound(m: int, n: np.ndarray | float) -> np.ndarray | float:
+    """Evaluate ``f(m, n)`` (Equation 8).
+
+    Valid for ``m >= 2`` and ``n >= 1``. At ``n = 1`` (no concentration) the
+    bound is ``3(m-1)^2 / [3(m-1)^2] = 1`` only when ``m^2 (n-1) = 0``, i.e.
+    the whole space may be empty cells; the bound decreases toward 0 as
+    ``n`` grows.
+    """
+    if m < 2:
+        raise AnalysisError(f"the bound needs m >= 2 (no movable cells otherwise), got {m}")
+    n_arr = np.asarray(n, dtype=float)
+    if np.any(n_arr < 1.0):
+        raise AnalysisError("concentration factor n must be >= 1")
+    movable3 = 3.0 * (m - 1) ** 2
+    denom = m * m * (n_arr - 1.0) + n_arr * movable3
+    out = movable3 / denom
+    return out if np.ndim(n) else float(out)
+
+
+def f2(n: np.ndarray | float) -> np.ndarray | float:
+    """Equation (9): ``f(2, n) = 3 / (7n - 4)``."""
+    n_arr = np.asarray(n, dtype=float)
+    out = 3.0 / (7.0 * n_arr - 4.0)
+    return out if np.ndim(n) else float(out)
+
+
+def f3(n: np.ndarray | float) -> np.ndarray | float:
+    """Equation (10): ``f(3, n) = 4 / (7n - 3)``."""
+    n_arr = np.asarray(n, dtype=float)
+    out = 4.0 / (7.0 * n_arr - 3.0)
+    return out if np.ndim(n) else float(out)
+
+
+def f4(n: np.ndarray | float) -> np.ndarray | float:
+    """Equation (11): ``f(4, n) = 27 / (43n - 16)``."""
+    n_arr = np.asarray(n, dtype=float)
+    out = 27.0 / (43.0 * n_arr - 16.0)
+    return out if np.ndim(n) else float(out)
+
+
+def ordering_gap(n: np.ndarray | float) -> np.ndarray | float:
+    """Smallest gap in the chain ``f(2,n) <= f(3,n) <= f(4,n)`` (Equation 12).
+
+    Non-negative for every ``n >= 1``; tests assert exactly that.
+    """
+    a = np.asarray(f2(n), dtype=float)
+    b = np.asarray(f3(n), dtype=float)
+    c = np.asarray(f4(n), dtype=float)
+    out = np.minimum(b - a, c - b)
+    return out if np.ndim(n) else float(out)

@@ -1,0 +1,152 @@
+"""Measuring the concentration parameters of Section 4 from simulation state.
+
+Figure 8 defines, for a configuration and an assignment:
+
+* ``C``   -- total cells; ``C0`` -- cells containing no particles;
+* ``C'``  -- cells of the *maximum domain*,
+  ``[m^2 + 3(m-1)^2] C^(1/3)``;
+* ``C0'`` -- empty cells inside the maximum domain;
+* ``n = (C0'/C') / (C0/C) >= 1`` -- the concentration factor.
+
+Parallel runs cannot assume any PE actually holds the maximum domain, so the
+paper estimates ``C0'/C'`` by averaging the empty-cell ratios of two PEs: the
+one holding the most cells and the one holding the most empty cells
+(Section 4.2). :func:`measure_concentration` implements both the exact
+definition (given a hypothetical maximum domain around the emptiest region)
+and the paper's two-PE estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..decomp.assignment import CellAssignment
+from ..dlb.limits import max_domain_cells
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ConcentrationState:
+    """Concentration parameters of one configuration.
+
+    Attributes
+    ----------
+    n_cells:
+        ``C``.
+    empty_cells:
+        ``C0``.
+    c0_ratio:
+        ``C0 / C``, the particle concentration ratio.
+    n:
+        The concentration factor (paper's two-PE estimate, clipped to >= 1).
+    max_domain_cells:
+        ``C'`` of the theory.
+    """
+
+    n_cells: int
+    empty_cells: int
+    c0_ratio: float
+    n: float
+    max_domain_cells: int
+
+
+def _pe_cell_stats(
+    counts_flat: np.ndarray, assignment: CellAssignment
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-PE (cells held, empty cells held)."""
+    owner = assignment.cell_owner_map()
+    cells = np.bincount(owner, minlength=assignment.n_pes).astype(np.int64)
+    empty = np.bincount(
+        owner, weights=(counts_flat == 0).astype(np.float64), minlength=assignment.n_pes
+    ).astype(np.int64)
+    return cells, empty
+
+
+def measure_concentration(
+    counts_grid: np.ndarray, assignment: CellAssignment
+) -> ConcentrationState:
+    """Concentration parameters for a counts grid under an assignment.
+
+    The estimate of ``n`` follows Section 4.2: average the empty-cell ratio
+    of the PE holding the most cells and of the PE holding the most empty
+    cells, then divide by the global ratio ``C0/C``. The result is clipped to
+    the theoretical domain ``n >= 1``.
+    """
+    nc = assignment.cells_per_side
+    if counts_grid.shape != (nc,) * 3:
+        raise AnalysisError(f"counts grid shape {counts_grid.shape} != ({nc},)*3")
+    counts_flat = counts_grid.reshape(-1)
+    n_cells = counts_flat.size
+    empty_cells = int((counts_flat == 0).sum())
+    c0_ratio = empty_cells / n_cells
+
+    cells_per_pe, empty_per_pe = _pe_cell_stats(counts_flat, assignment)
+    pe_most_cells = int(np.argmax(cells_per_pe))
+    pe_most_empty = int(np.argmax(empty_per_pe))
+    ratios = []
+    for pe in (pe_most_cells, pe_most_empty):
+        held = cells_per_pe[pe]
+        ratios.append(empty_per_pe[pe] / held if held > 0 else 0.0)
+    est = float(np.mean(ratios))
+
+    if c0_ratio > 0:
+        n = max(est / c0_ratio, 1.0)
+    else:
+        n = 1.0
+    return ConcentrationState(
+        n_cells=n_cells,
+        empty_cells=empty_cells,
+        c0_ratio=c0_ratio,
+        n=n,
+        max_domain_cells=max_domain_cells(assignment.m, nc),
+    )
+
+
+def exact_concentration_factor(
+    counts_grid: np.ndarray, assignment: CellAssignment
+) -> float:
+    """Upper-envelope ``n``: the emptiest possible maximum domain.
+
+    Scans every placement of a maximum domain (a PE's block plus the movable
+    blocks of its three upper/right lenders) and returns the largest
+    ``(C0'/C') / (C0/C)``. Serves as an oracle in tests; note the paper's
+    two-PE estimate is a different (cruder) statistic and may deviate from
+    this envelope in either direction, so tests compare magnitudes loosely.
+    """
+    nc = assignment.cells_per_side
+    m = assignment.m
+    side = assignment.pe_side
+    if counts_grid.shape != (nc,) * 3:
+        raise AnalysisError(f"counts grid shape {counts_grid.shape} != ({nc},)*3")
+    empty_cols = (counts_grid == 0).sum(axis=2)  # empty cells per column (nc, nc)
+    c0 = float((counts_grid == 0).sum())
+    c = float(counts_grid.size)
+    if c0 == 0:
+        return 1.0
+    global_ratio = c0 / c
+
+    cp = max_domain_cells(m, nc)
+    best = 0.0
+    for i in range(side):
+        for j in range(side):
+            # Own block [i*m, (i+1)*m) x [j*m, (j+1)*m) plus the movable
+            # (m-1)^2 blocks of the three lenders at (i+1, j), (i, j+1),
+            # (i+1, j+1) (periodic).
+            total_empty = 0.0
+            total_empty += empty_cols[
+                np.ix_(
+                    np.arange(i * m, (i + 1) * m) % nc,
+                    np.arange(j * m, (j + 1) * m) % nc,
+                )
+            ].sum()
+            lenders = (((i + 1) % side, j), (i, (j + 1) % side), ((i + 1) % side, (j + 1) % side))
+            for li, lj in lenders:
+                rows = np.arange(li * m, li * m + m - 1) % nc
+                cols = np.arange(lj * m, lj * m + m - 1) % nc
+                if len(rows) and len(cols):
+                    total_empty += empty_cols[np.ix_(rows, cols)].sum()
+            ratio = total_empty / cp
+            best = max(best, ratio / global_ratio)
+    return max(best, 1.0)

@@ -1,0 +1,95 @@
+"""Reduced Lennard-Jones units and the Argon parameter set used by the paper.
+
+The whole library works in *reduced units*: distances in units of the LJ
+``sigma``, energies in units of ``epsilon``, masses in units of the particle
+mass ``m``. In these units the reduced time step ``dt* = 0.001`` of the paper
+(Section 3.2) corresponds to ``dt* * tau`` seconds with
+``tau = sigma * sqrt(m / epsilon)``.
+
+The paper simulates Argon (``T* = 0.722``, ``rho* = 0.256`` -- a supercooled
+gas below Argon's boiling point). :data:`ARGON` carries the conventional
+Argon LJ parameters so reduced results can be mapped back to SI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Boltzmann constant in J/K (SI), used only for unit conversion helpers.
+BOLTZMANN_JK = 1.380649e-23
+
+
+@dataclass(frozen=True)
+class Substance:
+    """Physical LJ parameters of a substance.
+
+    Attributes
+    ----------
+    name:
+        Human-readable substance name.
+    sigma_m:
+        LJ length parameter in metres.
+    epsilon_j:
+        LJ well depth in joules.
+    mass_kg:
+        Particle mass in kilograms.
+    """
+
+    name: str
+    sigma_m: float
+    epsilon_j: float
+    mass_kg: float
+
+    @property
+    def tau_s(self) -> float:
+        """Reduced time unit ``sigma * sqrt(m / epsilon)`` in seconds."""
+        return self.sigma_m * math.sqrt(self.mass_kg / self.epsilon_j)
+
+    def temperature_to_reduced(self, kelvin: float) -> float:
+        """Convert an absolute temperature to reduced units ``kT/epsilon``."""
+        return BOLTZMANN_JK * kelvin / self.epsilon_j
+
+    def temperature_from_reduced(self, t_star: float) -> float:
+        """Convert a reduced temperature back to kelvin."""
+        return t_star * self.epsilon_j / BOLTZMANN_JK
+
+    def time_from_reduced(self, t_star: float) -> float:
+        """Convert a reduced time to seconds."""
+        return t_star * self.tau_s
+
+
+#: Conventional Argon LJ parameters (Heermann, *Computer Simulation Methods in
+#: Theoretical Physics*, the paper's reference [1]).
+ARGON = Substance(
+    name="argon",
+    sigma_m=3.405e-10,
+    epsilon_j=119.8 * BOLTZMANN_JK,
+    mass_kg=6.6335209e-26,
+)
+
+#: Reduced temperature used throughout the paper's evaluation.
+PAPER_T_REF = 0.722
+#: Reduced density of the main runs (Figures 5 and 6).
+PAPER_RHO = 0.256
+#: Reduced densities of the effective-range sweep (Figure 10).
+PAPER_RHO_SWEEP = (0.128, 0.256, 0.384, 0.512)
+#: Reduced cut-off distance used by the paper.
+PAPER_CUTOFF = 2.5
+#: Reduced integration time step used by the paper.
+PAPER_DT = 0.001
+#: The paper rescales velocities to T_ref every this many steps.
+PAPER_RESCALE_INTERVAL = 50
+
+
+def box_length_for(n_particles: int, density: float) -> float:
+    """Edge length of the cubic box holding ``n_particles`` at ``density``.
+
+    Parameters are in reduced units; the box is always cubic, matching the
+    paper's periodic simulation space.
+    """
+    if n_particles <= 0:
+        raise ValueError(f"n_particles must be positive, got {n_particles}")
+    if density <= 0:
+        raise ValueError(f"density must be positive, got {density}")
+    return (n_particles / density) ** (1.0 / 3.0)

@@ -1,0 +1,14 @@
+"""Workload generators: the paper's physical conditions and concentration drivers."""
+
+from .concentration import ConcentrationSchedule
+from .presets import PRESETS, Preset, get_preset
+from .supercooled import supercooled_config, supercooled_simulation_config
+
+__all__ = [
+    "PRESETS",
+    "ConcentrationSchedule",
+    "Preset",
+    "get_preset",
+    "supercooled_config",
+    "supercooled_simulation_config",
+]

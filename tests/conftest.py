@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import MDConfig
+from repro.md.lattice import maxwell_boltzmann_velocities, simple_cubic_positions
+from repro.md.system import ParticleSystem
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_md_config() -> MDConfig:
+    """A small but physical configuration (216 particles, paper conditions)."""
+    return MDConfig(n_particles=216, density=0.256)
+
+
+@pytest.fixture
+def small_system(small_md_config: MDConfig, rng: np.random.Generator) -> ParticleSystem:
+    """Lattice + Maxwell-Boltzmann system matching ``small_md_config``."""
+    box = small_md_config.box_length
+    positions = simple_cubic_positions(small_md_config.n_particles, box)
+    velocities = maxwell_boltzmann_velocities(
+        small_md_config.n_particles, small_md_config.temperature, rng
+    )
+    return ParticleSystem(positions, velocities, box)
+
+
+@pytest.fixture
+def gas_positions(rng: np.random.Generator) -> tuple[np.ndarray, float]:
+    """300 uniform particles in a box of edge 10 (with the box length)."""
+    box = 10.0
+    return rng.uniform(0.0, box, size=(300, 3)), box

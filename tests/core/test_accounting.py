@@ -1,0 +1,99 @@
+"""Step accounting on the virtual machine."""
+
+import numpy as np
+import pytest
+
+from repro.config import MachineConfig
+from repro.core.accounting import StepAccountant
+from repro.decomp.assignment import CellAssignment
+from repro.dlb.protocol import Case, Move
+from repro.md.celllist import CellList
+
+
+@pytest.fixture
+def setup():
+    nc, n_pes = 6, 9
+    machine = MachineConfig()
+    cell_list = CellList(float(nc), nc)
+    assignment = CellAssignment(nc, n_pes)
+    accountant = StepAccountant(machine, cell_list, n_pes)
+    return machine, cell_list, assignment, accountant
+
+
+class TestAccountStep:
+    def test_uniform_gas_is_balanced(self, setup):
+        _, _, assignment, accountant = setup
+        counts = np.full((6, 6, 6), 3)
+        timing, totals = accountant.account_step(1, counts, assignment, dlb_enabled=False)
+        assert timing.spread == pytest.approx(0.0, abs=1e-15)
+        assert np.allclose(totals, totals[0])
+
+    def test_hotspot_creates_spread(self, setup):
+        _, _, assignment, accountant = setup
+        counts = np.ones((6, 6, 6), dtype=int)
+        counts[0, 0, 0] = 50
+        timing, _ = accountant.account_step(1, counts, assignment, dlb_enabled=False)
+        assert timing.spread > 0
+        assert timing.fmax > timing.fave > timing.fmin
+
+    def test_tt_includes_all_components(self, setup):
+        _, _, assignment, accountant = setup
+        counts = np.full((6, 6, 6), 2)
+        timing, totals = accountant.account_step(1, counts, assignment, dlb_enabled=False)
+        assert timing.tt == pytest.approx(totals.max())
+        assert timing.tt > timing.fmax  # comm and integration add on top
+
+    def test_dlb_overhead_charged_when_enabled(self, setup):
+        machine, _, assignment, accountant = setup
+        counts = np.full((6, 6, 6), 2)
+        t_off, _ = accountant.account_step(1, counts, assignment, dlb_enabled=False)
+        t_on, _ = accountant.account_step(2, counts, assignment, dlb_enabled=True)
+        assert t_on.tt == pytest.approx(t_off.tt + machine.dlb_overhead)
+        assert t_on.dlb_time == machine.dlb_overhead
+
+
+class TestChargeMoves:
+    def test_migration_lands_on_next_step(self, setup):
+        _, _, assignment, accountant = setup
+        counts = np.full((6, 6, 6), 3)
+        base, _ = accountant.account_step(1, counts, assignment, dlb_enabled=True)
+        cell = int(assignment.movable_at_home(4)[0])
+        move = Move(cell=cell, src=4, dst=assignment.pe_flat(0, 1), kind=Case.SEND_OWN)
+        accountant.charge_moves([move], counts, assignment)
+        assignment.transfer(cell, move.dst)
+        charged, _ = accountant.account_step(2, counts, assignment, dlb_enabled=True)
+        assert charged.comm_max > base.comm_max
+        # The pending charge is consumed: the following step matches a fresh
+        # accounting of the (post-move) state.
+        after, _ = accountant.account_step(3, counts, assignment, dlb_enabled=True)
+        fresh = StepAccountant(accountant.machine, accountant.cell_list, 9)
+        reference, _ = fresh.account_step(3, counts, assignment, dlb_enabled=True)
+        assert after.comm_max == pytest.approx(reference.comm_max, rel=1e-9)
+        assert after.comm_max < charged.comm_max
+
+    def test_empty_moves_are_free(self, setup):
+        _, _, assignment, accountant = setup
+        counts = np.full((6, 6, 6), 3)
+        accountant.charge_moves([], counts, assignment)
+        assert np.all(accountant._pending_migration == 0.0)
+
+    def test_migration_traffic_logged(self, setup):
+        _, _, assignment, accountant = setup
+        counts = np.full((6, 6, 6), 3)
+        cell = int(assignment.movable_at_home(4)[0])
+        move = Move(cell=cell, src=4, dst=assignment.pe_flat(0, 1), kind=Case.SEND_OWN)
+        accountant.charge_moves([move], counts, assignment)
+        assert accountant.traffic.by_tag["migration"] > 0
+        assert accountant.traffic.by_tag["dlb-bookkeeping"] > 0
+
+
+class TestMeasuredOverride:
+    def test_override_replaces_force_times(self, setup):
+        _, _, assignment, accountant = setup
+        counts = np.full((6, 6, 6), 3)
+        override = np.arange(9, dtype=float) + 1.0
+        timing, _ = accountant.account_step(
+            1, counts, assignment, dlb_enabled=False, force_times_override=override
+        )
+        assert timing.fmax == pytest.approx(9.0)
+        assert timing.fmin == pytest.approx(1.0)

@@ -1,0 +1,66 @@
+"""Run result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import RunResult, StepRecord
+from repro.errors import AnalysisError
+from repro.parallel.instrumentation import StepTiming
+from repro.theory.concentration import ConcentrationState
+
+
+def record(step: int, tt: float, n_moves: int = 0) -> StepRecord:
+    return StepRecord(
+        step=step,
+        timing=StepTiming(step=step, tt=tt, fmax=tt * 0.8, fave=tt * 0.5, fmin=tt * 0.3),
+        concentration=ConcentrationState(
+            n_cells=100, empty_cells=step, c0_ratio=step / 100, n=1.0 + step / 10,
+            max_domain_cells=50,
+        ),
+        n_moves=n_moves,
+    )
+
+
+class TestRunResult:
+    def test_append_builds_all_views(self):
+        result = RunResult(dlb_enabled=True)
+        for s in range(1, 6):
+            result.append(record(s, float(s), n_moves=2))
+        assert np.array_equal(result.steps, np.arange(1, 6))
+        assert np.allclose(result.tt, np.arange(1.0, 6.0))
+        assert len(result.trajectory) == 5
+        assert result.total_moves == 10
+
+    def test_spread_series(self):
+        result = RunResult(dlb_enabled=False)
+        result.append(record(1, 2.0))
+        assert result.spread[0] == pytest.approx(2.0 * 0.8 - 2.0 * 0.3)
+
+    def test_mean_tt_tail(self):
+        result = RunResult(dlb_enabled=False)
+        for s in range(1, 11):
+            result.append(record(s, float(s)))
+        assert result.mean_tt() == pytest.approx(5.5)
+        assert result.mean_tt(tail_fraction=0.2) == pytest.approx(9.5)
+
+    def test_mean_tt_rejects_bad_fraction(self):
+        result = RunResult(dlb_enabled=False)
+        result.append(record(1, 1.0))
+        with pytest.raises(AnalysisError):
+            result.mean_tt(tail_fraction=0.0)
+
+    def test_summary_keys(self):
+        result = RunResult(dlb_enabled=True)
+        for s in range(1, 4):
+            result.append(record(s, float(s), n_moves=1))
+        summary = result.summary()
+        assert summary["steps"] == 3
+        assert summary["tt_first"] == 1.0
+        assert summary["tt_last"] == 3.0
+        assert summary["total_moves"] == 3.0
+
+    def test_trajectory_matches_records(self):
+        result = RunResult(dlb_enabled=True)
+        result.append(record(4, 1.0))
+        trajectory = result.trajectory
+        assert trajectory.point_at_step(4) == (1.4, 0.04)

@@ -1,0 +1,75 @@
+"""Column grid index arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decomp.grid import ColumnGrid
+from repro.errors import GeometryError
+
+
+class TestConstruction:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(GeometryError):
+            ColumnGrid(0)
+
+    def test_n_columns(self):
+        assert ColumnGrid(6).n_columns == 36
+
+
+class TestIndexing:
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_flatten_unflatten_roundtrip(self, nc):
+        grid = ColumnGrid(nc)
+        cols = np.arange(grid.n_columns)
+        cx, cy = grid.unflatten(cols)
+        assert np.array_equal(grid.flatten(cx, cy), cols)
+
+    def test_column_of_cell_consistent_with_cell_layout(self):
+        # Cells use (ix * nc + iy) * nc + iz, so cell // nc is the column.
+        nc = 5
+        grid = ColumnGrid(nc)
+        cells = np.arange(nc**3)
+        cols = grid.column_of_cell(cells)
+        ix, iy = cells // (nc * nc), (cells // nc) % nc
+        assert np.array_equal(cols, ix * nc + iy)
+
+    def test_cells_of_column(self):
+        grid = ColumnGrid(4)
+        cells = grid.cells_of_column(5)
+        assert np.array_equal(cells, 5 * 4 + np.arange(4))
+        assert np.all(grid.column_of_cell(cells) == 5)
+
+    def test_cells_of_column_out_of_range(self):
+        with pytest.raises(GeometryError):
+            ColumnGrid(4).cells_of_column(16)
+
+
+class TestColumnCounts:
+    def test_sums_over_z(self):
+        nc = 3
+        grid = ColumnGrid(nc)
+        counts = np.arange(27).reshape(3, 3, 3)
+        col_counts = grid.column_counts(counts)
+        assert col_counts.shape == (9,)
+        assert col_counts[0] == counts[0, 0, :].sum()
+        assert col_counts.sum() == counts.sum()
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(GeometryError):
+            ColumnGrid(3).column_counts(np.zeros((2, 2, 2)))
+
+
+class TestNeighborColumns:
+    def test_interior_has_8(self):
+        grid = ColumnGrid(5)
+        col = grid.flatten(np.array(2), np.array(2))
+        assert len(grid.neighbor_columns(int(col))) == 8
+
+    def test_periodic_wrap(self):
+        grid = ColumnGrid(5)
+        nbrs = grid.neighbor_columns(0)  # corner (0, 0)
+        assert len(nbrs) == 8
+        assert grid.flatten(np.array(4), np.array(4)) in nbrs

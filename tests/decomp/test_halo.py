@@ -1,0 +1,99 @@
+"""Halo exchange accounting."""
+
+import numpy as np
+import pytest
+
+from repro.decomp.assignment import CellAssignment
+from repro.decomp.halo import compute_halo, halo_summary
+from repro.errors import DecompositionError
+from repro.md.celllist import CellList
+
+
+@pytest.fixture
+def setup():
+    nc, n_pes = 6, 9  # m = 2 pillars
+    cell_list = CellList(box_length=float(nc), cells_per_side=nc)
+    assignment = CellAssignment(nc, n_pes)
+    return cell_list, assignment
+
+
+def brute_force_ghosts(cell_owner, cell_list, pe):
+    """Reference: cells adjacent (26-stencil) to pe's cells, owned elsewhere."""
+    from repro.md.celllist import FULL_STENCIL
+
+    owned = np.flatnonzero(cell_owner == pe)
+    ghosts = set()
+    for offset in FULL_STENCIL:
+        if offset == (0, 0, 0):
+            continue
+        neighbor = cell_list.neighbor_ids(offset)
+        for c in owned:
+            g = int(neighbor[c])
+            if cell_owner[g] != pe:
+                ghosts.add(g)
+    return ghosts
+
+
+class TestComputeHalo:
+    def test_matches_brute_force_ghost_cells(self, setup):
+        cell_list, assignment = setup
+        owner = assignment.cell_owner_map()
+        counts = np.ones(cell_list.n_cells, dtype=np.int64)
+        halo = compute_halo(owner, cell_list, counts, 9)
+        for pe in range(9):
+            expected = brute_force_ghosts(owner, cell_list, pe)
+            assert halo.ghost_cells[pe] == len(expected)
+
+    def test_ghost_particles_weighted_by_counts(self, setup):
+        cell_list, assignment = setup
+        owner = assignment.cell_owner_map()
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, 7, cell_list.n_cells)
+        halo = compute_halo(owner, cell_list, counts, 9)
+        for pe in (0, 4, 8):
+            expected = sum(counts[g] for g in brute_force_ghosts(owner, cell_list, pe))
+            assert halo.ghost_particles[pe] == expected
+
+    def test_pillar_messages_are_8_neighbors(self, setup):
+        cell_list, assignment = setup
+        owner = assignment.cell_owner_map()
+        counts = np.ones(cell_list.n_cells, dtype=np.int64)
+        halo = compute_halo(owner, cell_list, counts, 9)
+        assert np.all(halo.messages == 8)
+
+    def test_single_pe_has_no_halo(self):
+        nc = 4
+        cell_list = CellList(4.0, nc)
+        owner = np.zeros(nc**3, dtype=np.int64)
+        halo = compute_halo(owner, cell_list, np.ones(nc**3, dtype=np.int64), 1)
+        assert halo.ghost_cells[0] == 0
+        assert halo.messages[0] == 0
+
+    def test_rejects_bad_shapes(self, setup):
+        cell_list, assignment = setup
+        with pytest.raises(DecompositionError):
+            compute_halo(np.zeros(5, dtype=int), cell_list, np.ones(cell_list.n_cells), 9)
+        with pytest.raises(DecompositionError):
+            compute_halo(
+                assignment.cell_owner_map(), cell_list, np.ones(5), 9
+            )
+
+    def test_halo_shrinks_nothing_when_cells_move(self, setup):
+        # Moving a boundary cell between neighbours must keep halos finite
+        # and consistent (smoke property, exact counts change).
+        cell_list, assignment = setup
+        cell = int(assignment.movable_at_home(4)[0])
+        assignment.transfer(cell, assignment.pe_flat(0, 1))
+        counts = np.ones(cell_list.n_cells, dtype=np.int64)
+        halo = compute_halo(assignment.cell_owner_map(), cell_list, counts, 9)
+        assert np.all(halo.ghost_cells > 0)
+
+
+class TestHaloSummary:
+    def test_keys_and_values(self, setup):
+        cell_list, assignment = setup
+        counts = np.ones(cell_list.n_cells, dtype=np.int64)
+        halo = compute_halo(assignment.cell_owner_map(), cell_list, counts, 9)
+        summary = halo_summary(halo)
+        assert summary["max_ghost_cells"] >= summary["mean_ghost_cells"] > 0
+        assert summary["max_messages"] == 8

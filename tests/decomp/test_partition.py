@@ -1,0 +1,77 @@
+"""Initial partitions."""
+
+import numpy as np
+import pytest
+
+from repro.decomp.partition import (
+    cube_partition,
+    expand_columns_to_cells,
+    pillar_partition,
+    plane_partition,
+)
+from repro.errors import DecompositionError
+
+
+class TestPlanePartition:
+    def test_equal_slabs(self):
+        owner = plane_partition(8, 4)
+        counts = np.bincount(owner)
+        assert np.all(counts == 8**3 // 4)
+
+    def test_contiguous_in_x(self):
+        owner = plane_partition(4, 2)
+        grid = owner.reshape(4, 4, 4)
+        assert np.all(grid[:2] == 0)
+        assert np.all(grid[2:] == 1)
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(DecompositionError):
+            plane_partition(7, 2)
+
+
+class TestPillarPartition:
+    def test_equal_domains(self):
+        owner = pillar_partition(12, 9)
+        counts = np.bincount(owner, minlength=9)
+        assert np.all(counts == 144 // 9 * 9 // 9)  # 16 columns each
+        assert np.all(counts == 16)
+
+    def test_block_structure(self):
+        owner = pillar_partition(6, 9).reshape(6, 6)
+        # PE(i, j) owns the 2x2 block at (2i, 2j).
+        for i in range(3):
+            for j in range(3):
+                assert np.all(owner[2 * i: 2 * i + 2, 2 * j: 2 * j + 2] == i * 3 + j)
+
+    def test_rejects_non_square_pe_count(self):
+        with pytest.raises(DecompositionError):
+            pillar_partition(12, 8)
+
+    def test_rejects_non_divisible_grid(self):
+        with pytest.raises(DecompositionError):
+            pillar_partition(7, 9)
+
+
+class TestCubePartition:
+    def test_equal_domains(self):
+        owner = cube_partition(6, 27)
+        counts = np.bincount(owner, minlength=27)
+        assert np.all(counts == 8)
+
+    def test_rejects_non_cubic_pe_count(self):
+        with pytest.raises(DecompositionError):
+            cube_partition(6, 9)
+
+
+class TestExpandColumns:
+    def test_repeats_along_z(self):
+        nc = 3
+        col_owner = np.arange(9)
+        cell_owner = expand_columns_to_cells(col_owner, nc)
+        assert cell_owner.shape == (27,)
+        for col in range(9):
+            assert np.all(cell_owner[col * 3: (col + 1) * 3] == col)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(DecompositionError):
+            expand_columns_to_cells(np.arange(8), 3)

@@ -1,0 +1,35 @@
+"""Movable/permanent cell counting."""
+
+import pytest
+
+from repro.dlb.cells import movable_count, movable_fraction, permanent_count
+from repro.errors import ConfigurationError
+
+
+class TestCounts:
+    @pytest.mark.parametrize("m,permanent,movable", [(1, 1, 0), (2, 3, 1), (3, 5, 4), (4, 7, 9)])
+    def test_formulas(self, m, permanent, movable):
+        assert permanent_count(m) == permanent
+        assert movable_count(m) == movable
+
+    def test_partition_of_domain(self):
+        for m in range(1, 10):
+            assert permanent_count(m) + movable_count(m) == m * m
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ConfigurationError):
+            movable_count(0)
+
+
+class TestFractions:
+    def test_paper_examples(self):
+        # Section 3.3: 1/4 movable for m=2, 9/16 for m=4.
+        assert movable_fraction(2) == pytest.approx(0.25)
+        assert movable_fraction(4) == pytest.approx(9 / 16)
+
+    def test_monotone_in_m(self):
+        values = [movable_fraction(m) for m in range(1, 12)]
+        assert values == sorted(values)
+
+    def test_approaches_one(self):
+        assert movable_fraction(100) > 0.98

@@ -1,0 +1,42 @@
+"""DLB limits."""
+
+import pytest
+
+from repro.dlb.limits import dlb_limit_ratio, max_domain_cells, max_domain_columns
+from repro.errors import ConfigurationError
+
+
+class TestMaxDomain:
+    @pytest.mark.parametrize("m,columns", [(2, 7), (3, 21), (4, 43)])
+    def test_column_formula(self, m, columns):
+        assert max_domain_columns(m) == columns
+
+    def test_cells_formula(self):
+        # C' = [m^2 + 3(m-1)^2] C^(1/3): the paper's expression.
+        assert max_domain_cells(3, 9) == 21 * 9
+        assert max_domain_cells(4, 24) == 43 * 24
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            max_domain_columns(0)
+        with pytest.raises(ConfigurationError):
+            max_domain_cells(2, 0)
+
+
+class TestLimitRatio:
+    def test_paper_example_2_3_times(self):
+        # Section 2.3 / Figure 4: with 3x3 cells per PE the fastest PE can
+        # grow to "up to 2.3 times" its initial allocation.
+        assert dlb_limit_ratio(3) == pytest.approx(21 / 9)
+        assert f"{dlb_limit_ratio(3):.1f}" == "2.3"
+
+    def test_m1_cannot_grow(self):
+        assert dlb_limit_ratio(1) == 1.0
+
+    def test_limit_approaches_four(self):
+        # m^2 + 3(m-1)^2 over m^2 tends to 4 as m grows.
+        assert dlb_limit_ratio(100) == pytest.approx(4.0, abs=0.1)
+
+    def test_monotone_in_m(self):
+        values = [dlb_limit_ratio(m) for m in range(1, 20)]
+        assert values == sorted(values)

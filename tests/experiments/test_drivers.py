@@ -1,0 +1,113 @@
+"""Experiment drivers (smoke-scale runs).
+
+These tests run the same code paths the benchmarks use, at deliberately tiny
+parameters, and assert the *qualitative* shapes the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import fig6_from_fig5
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import auto_rounds, run_boundary_experiment, run_fig10
+from repro.experiments.common import geometry_for
+from repro.experiments.table1 import run_table1
+from repro.workloads.presets import Preset
+
+TINY = Preset(
+    name="tiny",
+    description="test-size m=2 run",
+    n_particles=1000,
+    n_pes=9,
+    cells_per_side=6,
+    density=0.256,
+    steps=40,
+    attraction=0.6,
+    n_attractors=5,
+)
+
+
+class TestFig5:
+    def test_produces_aligned_series(self):
+        result = run_fig5(TINY, steps=30, record_interval=5)
+        assert len(result.ddm.tt) == len(result.dlb.tt) == 6
+        assert np.array_equal(result.ddm.steps, result.dlb.steps)
+
+    def test_growth_factors_computable(self):
+        result = run_fig5(TINY, steps=30, record_interval=5)
+        g_ddm, g_dlb = result.growth()
+        assert g_ddm > 0 and g_dlb > 0
+
+
+class TestFig6:
+    def test_panels_from_fig5(self):
+        fig5 = run_fig5(TINY, steps=30, record_interval=5)
+        fig6 = fig6_from_fig5(fig5)
+        assert np.all(fig6.ddm.fmax >= fig6.ddm.fave)
+        assert np.all(fig6.ddm.fave >= fig6.ddm.fmin)
+        assert np.all(fig6.ddm.tt >= fig6.ddm.fmax)  # Tt includes comm etc.
+
+    def test_gap_is_fmax_minus_fmin(self):
+        fig5 = run_fig5(TINY, steps=30, record_interval=5)
+        panel = fig6_from_fig5(fig5).dlb
+        assert np.allclose(panel.gap, panel.fmax - panel.fmin)
+
+
+class TestFig9:
+    def test_trajectory_shape(self):
+        result = run_fig9(m=2, n_pes=9, n_steps=40, rounds_per_config=2)
+        trajectory = result.trajectory
+        assert len(trajectory) == 40
+        assert np.all(trajectory.n >= 1.0)
+        assert np.all((trajectory.c0_ratio >= 0) & (trajectory.c0_ratio <= 1))
+
+    def test_concentration_climbs(self):
+        result = run_fig9(m=2, n_pes=9, n_steps=60, rounds_per_config=2)
+        c0 = result.trajectory.c0_ratio
+        assert c0[-5:].mean() > c0[:5].mean()
+
+
+class TestFig10:
+    def test_auto_rounds_scales(self):
+        assert auto_rounds(geometry_for(4, 9)) > auto_rounds(geometry_for(2, 9))
+
+    def test_boundary_experiment_returns_points(self):
+        experiment = run_boundary_experiment(
+            m=2, n_pes=9, density=0.256, n_repetitions=2, n_steps=60
+        )
+        assert len(experiment.points) + experiment.n_failed == 2
+        if experiment.mean_point is not None:
+            assert experiment.mean_point.n >= 1.0
+            assert 0 <= experiment.mean_point.c0_ratio <= 1
+
+    def test_run_fig10_single_panel(self):
+        result = run_fig10(
+            m_values=(2,), densities=(0.128, 0.256), n_pes=9, n_repetitions=2, n_steps=60
+        )
+        panel = result.panels[2]
+        assert len(panel.experiments) == 2
+        if panel.fit is not None:
+            # E below T: the fitted ratio must be below 1.
+            assert 0 < panel.fit.ratio < 1.0
+            curve = panel.theoretical_curve(np.array([1.5, 2.0]))
+            assert np.all(curve > 0)
+
+
+class TestTable1:
+    def test_grid_structure(self):
+        result = run_table1(
+            m_values=(2,), pe_counts=(9,), densities=(0.128, 0.256),
+            n_repetitions=2, n_steps=60,
+        )
+        row = result.row(2)
+        assert len(row) == 1
+        if row[0] is not None:
+            assert 0 < row[0] < 1.0
+
+    def test_spread_across_pes_zero_for_single_column(self):
+        result = run_table1(
+            m_values=(2,), pe_counts=(9,), densities=(0.256,),
+            n_repetitions=2, n_steps=60,
+        )
+        assert result.spread_across_pes(2) == 0.0

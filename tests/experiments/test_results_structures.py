@@ -1,0 +1,85 @@
+"""Result-structure behaviour of the experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig10 import Fig10Panel, Fig10Result
+from repro.experiments.table1 import Table1Result
+from repro.theory.boundary import BoundaryPoint
+from repro.theory.fitting import fit_boundary_scale
+
+
+def make_panel(m: int, ratio: float) -> Fig10Panel:
+    from repro.theory.bounds import upper_bound
+
+    points = [
+        BoundaryPoint(step=i, n=n, c0_ratio=float(ratio * upper_bound(m, n)))
+        for i, n in enumerate((1.2, 1.8, 2.5))
+    ]
+    return Fig10Panel(m=m, n_pes=9, experiments=[], fit=fit_boundary_scale(points, m))
+
+
+class TestFig10Result:
+    def test_et_ratios(self):
+        result = Fig10Result(panels={2: make_panel(2, 0.5), 3: make_panel(3, 0.6)})
+        ratios = result.et_ratios()
+        assert ratios[2] == pytest.approx(0.5)
+        assert ratios[3] == pytest.approx(0.6)
+
+    def test_et_ratios_skips_unfit_panels(self):
+        result = Fig10Result(
+            panels={2: Fig10Panel(m=2, n_pes=9, experiments=[], fit=None)}
+        )
+        assert result.et_ratios() == {}
+
+    def test_theoretical_curve(self):
+        panel = make_panel(3, 0.5)
+        curve = panel.theoretical_curve(np.array([1.0, 2.0]))
+        assert curve[0] == pytest.approx(1.0)
+        assert curve[1] == pytest.approx(4 / 11)
+
+
+class TestTable1Result:
+    def test_row_and_spread(self):
+        result = Table1Result(
+            ratios={(2, 16): 0.5, (2, 36): 0.55, (3, 16): 0.6},
+            m_values=(2, 3),
+            pe_counts=(16, 36),
+        )
+        assert result.row(2) == [0.5, 0.55]
+        assert result.row(3) == [0.6, None]
+        assert result.spread_across_pes(2) == pytest.approx(0.05)
+        assert result.spread_across_pes(3) == 0.0
+
+    def test_missing_m_is_all_none(self):
+        result = Table1Result(ratios={}, m_values=(2,), pe_counts=(16,))
+        assert result.row(4) == [None]
+
+
+class TestBoundaryExperimentErrorRange:
+    def test_error_range_of_repetitions(self):
+        from repro.experiments.common import geometry_for
+        from repro.experiments.fig10 import BoundaryExperiment
+
+        points = [
+            BoundaryPoint(step=1, n=1.0, c0_ratio=0.2),
+            BoundaryPoint(step=2, n=3.0, c0_ratio=0.4),
+        ]
+        experiment = BoundaryExperiment(
+            geometry=geometry_for(2, 9),
+            points=points,
+            mean_point=points[0],
+            n_failed=0,
+        )
+        n_std, c0_std = experiment.error_range()
+        assert n_std == pytest.approx(1.0)
+        assert c0_std == pytest.approx(0.1)
+
+    def test_empty_points_give_zero_range(self):
+        from repro.experiments.common import geometry_for
+        from repro.experiments.fig10 import BoundaryExperiment
+
+        experiment = BoundaryExperiment(
+            geometry=geometry_for(2, 9), points=[], mean_point=None, n_failed=3
+        )
+        assert experiment.error_range() == (0.0, 0.0)

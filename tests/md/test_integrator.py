@@ -1,0 +1,111 @@
+"""Velocity-form Verlet integration."""
+
+import numpy as np
+import pytest
+
+from repro.config import MDConfig
+from repro.errors import ConfigurationError
+from repro.md.forces import ForceField
+from repro.md.integrator import VelocityVerlet
+from repro.md.observables import kinetic_energy
+from repro.md.potential import LennardJones
+from repro.md.simulation import SerialSimulation
+from repro.md.system import ParticleSystem
+
+
+class TestConstruction:
+    def test_rejects_non_positive_dt(self):
+        with pytest.raises(ConfigurationError):
+            VelocityVerlet(0.0)
+
+
+class TestFreeParticle:
+    def test_drifts_linearly(self):
+        # One particle, no neighbours within the cut-off: ballistic motion.
+        box = 20.0
+        system = ParticleSystem(
+            np.array([[1.0, 1.0, 1.0]]), np.array([[1.0, 2.0, 0.5]]), box
+        )
+        ff = ForceField(LennardJones())
+        vv = VelocityVerlet(0.01)
+        vv.initialize(system, ff)
+        for _ in range(100):
+            vv.step(system, ff)
+        assert np.allclose(system.positions[0], [2.0, 3.0, 1.5], atol=1e-9)
+
+    def test_wraps_across_boundary(self):
+        box = 5.0
+        system = ParticleSystem(np.array([[4.9, 2.0, 2.0]]), np.array([[1.0, 0, 0]]), box)
+        ff = ForceField(LennardJones())
+        vv = VelocityVerlet(0.1)
+        vv.initialize(system, ff)
+        for _ in range(5):
+            vv.step(system, ff)
+        assert 0 <= system.positions[0, 0] < box
+        assert system.positions[0, 0] == pytest.approx(0.4, abs=1e-9)
+
+
+class TestEnergyConservation:
+    def test_nve_drift_is_small(self):
+        config = MDConfig(n_particles=216, density=0.256, rescale_interval=0)
+        sim = SerialSimulation(config, seed=5)
+        result = sim.run(300)
+        energies = result.total_energies
+        drift = abs(energies[-1] - energies[0]) / abs(energies[0])
+        assert drift < 1e-3
+
+    def test_momentum_conserved_without_external_field(self):
+        config = MDConfig(n_particles=125, density=0.2, rescale_interval=0)
+        sim = SerialSimulation(config, seed=6)
+        p0 = sim.system.velocities.sum(axis=0)
+        sim.run(100)
+        p1 = sim.system.velocities.sum(axis=0)
+        assert np.allclose(p0, p1, atol=1e-9)
+
+
+class TestTimeReversal:
+    def test_reversing_velocities_returns_to_start(self):
+        config = MDConfig(n_particles=64, density=0.2, rescale_interval=0)
+        sim = SerialSimulation(config, seed=7)
+        x0 = sim.system.positions.copy()
+        v0 = sim.system.velocities.copy()
+        steps = 50
+        sim.run(steps)
+        sim.system.velocities *= -1.0
+        sim.integrator.initialize(sim.system, sim.force_field)
+        sim.run(steps)
+        # Verlet is time reversible up to floating-point round-off.
+        from repro.md.pbc import minimum_image
+
+        delta = minimum_image(sim.system.positions - x0, sim.system.box_length)
+        assert np.max(np.abs(delta)) < 1e-6
+        assert np.allclose(sim.system.velocities, -v0, atol=1e-6)
+
+
+class TestHalfSteps:
+    def test_single_step_matches_manual_verlet(self):
+        box = 20.0
+        lj = LennardJones()
+        pos = np.array([[9.0, 10.0, 10.0], [11.0, 10.0, 10.0]])
+        system = ParticleSystem(pos.copy(), box_length=box)
+        ff = ForceField(lj)
+        vv = VelocityVerlet(0.001)
+        f0 = vv.initialize(system, ff).forces.copy()
+        vv.step(system, ff)
+
+        # Manual velocity Verlet for comparison.
+        dt = 0.001
+        v_half = 0.5 * dt * f0
+        x1 = pos + dt * v_half
+        assert np.allclose(system.positions, np.mod(x1, box), atol=1e-12)
+
+    def test_kinetic_energy_updates(self):
+        box = 20.0
+        pos = np.array([[9.5, 10.0, 10.0], [10.5, 10.0, 10.0]])  # strong repulsion
+        system = ParticleSystem(pos, box_length=box)
+        ff = ForceField(LennardJones())
+        vv = VelocityVerlet(0.0001)
+        vv.initialize(system, ff)
+        assert kinetic_energy(system) == 0.0
+        vv.step(system, ff)
+        assert kinetic_energy(system) > 0.0

@@ -1,0 +1,67 @@
+"""Thermodynamic observables."""
+
+import numpy as np
+import pytest
+
+from repro.md.observables import (
+    center_of_mass,
+    kinetic_energy,
+    momentum,
+    pressure,
+    temperature,
+)
+from repro.md.system import ParticleSystem
+
+
+def make_system(velocities: np.ndarray, box: float = 10.0) -> ParticleSystem:
+    n = len(velocities)
+    return ParticleSystem(np.full((n, 3), 1.0), velocities, box)
+
+
+class TestKineticEnergy:
+    def test_zero_for_static_system(self):
+        assert kinetic_energy(make_system(np.zeros((5, 3)))) == 0.0
+
+    def test_single_particle(self):
+        ke = kinetic_energy(make_system(np.array([[3.0, 0.0, 4.0]])))
+        assert ke == pytest.approx(0.5 * 25.0)
+
+    def test_additive(self):
+        v = np.array([[1.0, 0, 0], [0, 2.0, 0]])
+        assert kinetic_energy(make_system(v)) == pytest.approx(0.5 * (1 + 4))
+
+
+class TestTemperature:
+    def test_matches_equipartition(self):
+        v = np.ones((10, 3))
+        # E_kin = 15, T = 2*15/(3*10) = 1.
+        assert temperature(make_system(v)) == pytest.approx(1.0)
+
+    def test_zero_particles(self):
+        system = ParticleSystem(np.empty((0, 3)), box_length=5.0)
+        assert temperature(system) == 0.0
+
+
+class TestPressure:
+    def test_ideal_gas_limit(self):
+        # Zero virial: P V = N T.
+        v = np.ones((10, 3))
+        system = make_system(v, box=10.0)
+        p = pressure(system, virial=0.0)
+        assert p == pytest.approx(10 * 1.0 / 1000.0)
+
+    def test_positive_virial_raises_pressure(self):
+        v = np.ones((10, 3))
+        system = make_system(v)
+        assert pressure(system, virial=30.0) > pressure(system, virial=0.0)
+
+
+class TestVectorObservables:
+    def test_momentum(self):
+        v = np.array([[1.0, 2.0, 3.0], [-1.0, 0.0, 1.0]])
+        assert np.allclose(momentum(make_system(v)), [0.0, 2.0, 4.0])
+
+    def test_center_of_mass(self):
+        pos = np.array([[1.0, 1.0, 1.0], [3.0, 3.0, 3.0]])
+        system = ParticleSystem(pos, box_length=10.0)
+        assert np.allclose(center_of_mass(system), [2.0, 2.0, 2.0])

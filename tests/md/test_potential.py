@@ -1,0 +1,132 @@
+"""The Lennard-Jones potential."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.md.potential import LennardJones
+
+
+class TestConstruction:
+    def test_defaults_are_reduced_units(self):
+        lj = LennardJones()
+        assert lj.epsilon == 1.0
+        assert lj.sigma == 1.0
+        assert lj.cutoff == 2.5
+
+    @pytest.mark.parametrize("field", ["epsilon", "sigma", "cutoff"])
+    def test_rejects_non_positive_parameters(self, field):
+        with pytest.raises(ConfigurationError):
+            LennardJones(**{field: 0.0})
+
+    def test_cutoff_sq(self):
+        assert LennardJones(cutoff=2.5).cutoff_sq == pytest.approx(6.25)
+
+
+class TestEnergy:
+    def test_zero_at_sigma_unshifted(self):
+        lj = LennardJones(shift=False)
+        assert lj.energy(1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_minimum_depth_unshifted(self):
+        lj = LennardJones(shift=False)
+        r_min = 2.0 ** (1.0 / 6.0)
+        assert lj.energy(r_min) == pytest.approx(-1.0)
+
+    def test_zero_beyond_cutoff(self):
+        lj = LennardJones()
+        assert lj.energy(2.5) == 0.0
+        assert lj.energy(10.0) == 0.0
+
+    def test_shift_makes_energy_continuous_at_cutoff(self):
+        lj = LennardJones(shift=True)
+        just_inside = lj.energy(2.5 - 1e-9)
+        assert abs(just_inside) < 1e-6
+
+    def test_unshifted_discontinuity_equals_v_cut(self):
+        lju = LennardJones(shift=False)
+        ljs = LennardJones(shift=True)
+        r = 2.0
+        sr6 = r**-6
+        v_cut = 4 * (2.5**-12 - 2.5**-6)
+        assert lju.energy(r) - ljs.energy(r) == pytest.approx(v_cut)
+        del sr6
+
+    def test_matches_closed_form(self):
+        lj = LennardJones(shift=False)
+        for r in (0.9, 1.0, 1.3, 2.0, 2.4):
+            expected = 4.0 * (r**-12 - r**-6)
+            assert lj.energy(r) == pytest.approx(expected, rel=1e-12)
+
+    def test_vector_input(self):
+        lj = LennardJones()
+        r = np.array([0.9, 1.5, 3.0])
+        out = lj.energy(r)
+        assert out.shape == (3,)
+        assert out[2] == 0.0
+
+    def test_epsilon_scales_energy(self):
+        assert LennardJones(epsilon=3.0, shift=False).energy(1.2) == pytest.approx(
+            3.0 * LennardJones(shift=False).energy(1.2)
+        )
+
+
+class TestForce:
+    def test_zero_force_at_minimum(self):
+        lj = LennardJones()
+        r_min = 2.0 ** (1.0 / 6.0)
+        assert lj.force_magnitude(r_min) == pytest.approx(0.0, abs=1e-10)
+
+    def test_repulsive_inside_minimum(self):
+        assert LennardJones().force_magnitude(1.0) > 0
+
+    def test_attractive_outside_minimum(self):
+        assert LennardJones().force_magnitude(1.5) < 0
+
+    def test_zero_beyond_cutoff(self):
+        assert LennardJones().force_magnitude(3.0) == 0.0
+
+    def test_matches_numerical_derivative(self):
+        lj = LennardJones(shift=False)
+        h = 1e-7
+        for r in (0.95, 1.2, 1.8, 2.3):
+            numeric = -(lj.energy(r + h) - lj.energy(r - h)) / (2 * h)
+            assert lj.force_magnitude(r) == pytest.approx(numeric, rel=1e-5)
+
+    def test_shift_does_not_change_force(self):
+        a = LennardJones(shift=True)
+        b = LennardJones(shift=False)
+        r = np.linspace(0.9, 2.4, 10)
+        assert np.allclose(a.force_magnitude(r), b.force_magnitude(r))
+
+
+class TestSquaredKernel:
+    @given(st.floats(min_value=0.81, max_value=6.2))
+    @settings(max_examples=100, deadline=None)
+    def test_consistent_with_scalar_functions(self, r_sq):
+        lj = LennardJones()
+        r = math.sqrt(r_sq)
+        energies, f_over_r = lj.energy_force_sq(np.array([r_sq]))
+        assert energies[0] == pytest.approx(lj.energy(r), rel=1e-10, abs=1e-12)
+        assert f_over_r[0] * r == pytest.approx(lj.force_magnitude(r), rel=1e-10, abs=1e-12)
+
+    def test_vectorised_batch(self):
+        lj = LennardJones()
+        r_sq = np.array([1.0, 1.44, 4.0])
+        energies, f_over_r = lj.energy_force_sq(r_sq)
+        assert energies.shape == (3,)
+        assert f_over_r.shape == (3,)
+
+
+class TestMinimum:
+    def test_location(self):
+        r_min, _ = LennardJones().minimum()
+        assert r_min == pytest.approx(2.0 ** (1.0 / 6.0))
+
+    def test_depth_unshifted(self):
+        _, depth = LennardJones(shift=False).minimum()
+        assert depth == pytest.approx(-1.0)

@@ -1,0 +1,92 @@
+"""Serial MD driver."""
+
+import numpy as np
+import pytest
+
+from repro.config import MDConfig
+from repro.md.simulation import SerialSimulation, attractor_sites, build_system
+from repro.rng import generator
+
+
+class TestBuildSystem:
+    def test_counts_and_box(self):
+        config = MDConfig(n_particles=125, density=0.2)
+        system = build_system(config, generator(0))
+        assert system.n == 125
+        assert system.box_length == pytest.approx(config.box_length)
+
+    def test_initial_temperature_matches_config(self):
+        from repro.md.observables import temperature
+
+        config = MDConfig(n_particles=216, density=0.256, temperature=0.722)
+        system = build_system(config, generator(0))
+        assert temperature(system) == pytest.approx(0.722, rel=1e-10)
+
+
+class TestAttractorSites:
+    def test_none_without_field(self):
+        config = MDConfig(n_particles=64, density=0.2, attraction=0.0, n_attractors=5)
+        assert attractor_sites(config, generator(0)) is None
+
+    def test_none_for_single_site(self):
+        config = MDConfig(n_particles=64, density=0.2, attraction=0.1, n_attractors=1)
+        assert attractor_sites(config, generator(0)) is None
+
+    def test_sites_inside_box(self):
+        config = MDConfig(n_particles=64, density=0.2, attraction=0.1, n_attractors=7)
+        sites = attractor_sites(config, generator(0))
+        assert sites.shape == (7, 3)
+        assert np.all(sites >= 0) and np.all(sites <= config.box_length)
+
+
+class TestSerialSimulation:
+    def test_run_records_every_step(self):
+        sim = SerialSimulation(MDConfig(n_particles=64, density=0.2), seed=1)
+        result = sim.run(10)
+        assert len(result.records) == 10
+        assert result.records[-1].step == 10
+
+    def test_record_interval(self):
+        sim = SerialSimulation(MDConfig(n_particles=64, density=0.2), seed=1)
+        result = sim.run(10, record_interval=5)
+        assert [r.step for r in result.records] == [5, 10]
+
+    def test_deterministic_given_seed(self):
+        config = MDConfig(n_particles=64, density=0.2)
+        a = SerialSimulation(config, seed=9).run(20)
+        b = SerialSimulation(config, seed=9).run(20)
+        assert np.allclose(a.total_energies, b.total_energies)
+
+    def test_different_seeds_differ(self):
+        # Total energy is nearly seed-independent by construction (same
+        # lattice, velocities rescaled to the same T), so compare velocities.
+        config = MDConfig(n_particles=64, density=0.2)
+        a = SerialSimulation(config, seed=1)
+        b = SerialSimulation(config, seed=2)
+        assert not np.allclose(a.system.velocities, b.system.velocities)
+
+    def test_thermostat_keeps_temperature_near_target(self):
+        config = MDConfig(n_particles=216, density=0.256, rescale_interval=10)
+        sim = SerialSimulation(config, seed=2)
+        sim.run(100)
+        from repro.md.observables import temperature
+
+        # The rescale fires every 10 steps; right after a rescale T is exact.
+        assert temperature(sim.system) == pytest.approx(0.722, rel=0.15)
+
+    def test_callback_invoked(self):
+        seen = []
+        sim = SerialSimulation(MDConfig(n_particles=64, density=0.2), seed=1)
+        sim.run(5, callback=seen.append)
+        assert len(seen) == 5
+
+    def test_cells_backend_runs(self):
+        config = MDConfig(n_particles=125, density=0.2)
+        nc = int(config.box_length // config.cutoff)
+        sim = SerialSimulation(config, seed=1, backend="cells", cells_per_side=nc)
+        result = sim.run(3)
+        assert len(result.records) == 3
+
+    def test_pair_counts_positive_for_dense_gas(self):
+        sim = SerialSimulation(MDConfig(n_particles=216, density=0.256), seed=1)
+        assert sim.observe().n_pairs > 0

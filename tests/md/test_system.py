@@ -1,0 +1,67 @@
+"""Particle container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError, SimulationError
+from repro.md.system import ParticleSystem
+
+
+class TestConstruction:
+    def test_wraps_positions_on_construction(self):
+        system = ParticleSystem(np.array([[11.0, -1.0, 5.0]]), box_length=10.0)
+        assert np.allclose(system.positions, [[1.0, 9.0, 5.0]])
+
+    def test_defaults_velocities_and_forces_to_zero(self):
+        system = ParticleSystem(np.ones((4, 3)), box_length=5.0)
+        assert np.all(system.velocities == 0)
+        assert np.all(system.forces == 0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(GeometryError):
+            ParticleSystem(np.ones((4, 2)), box_length=5.0)
+        with pytest.raises(GeometryError):
+            ParticleSystem(np.ones((4, 3)), velocities=np.ones((3, 3)), box_length=5.0)
+
+    def test_rejects_missing_box(self):
+        with pytest.raises(GeometryError):
+            ParticleSystem(np.ones((4, 3)), box_length=None)
+
+    def test_n(self):
+        assert ParticleSystem(np.ones((7, 3)), box_length=5.0).n == 7
+
+    def test_arrays_are_float64_contiguous(self):
+        system = ParticleSystem(np.ones((4, 3), dtype=np.float32), box_length=5.0)
+        assert system.positions.dtype == np.float64
+        assert system.positions.flags["C_CONTIGUOUS"]
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        a = ParticleSystem(np.ones((4, 3)), box_length=5.0)
+        b = a.copy()
+        b.positions[0, 0] = 3.0
+        assert a.positions[0, 0] == 1.0
+
+
+class TestValidate:
+    def test_accepts_good_state(self):
+        ParticleSystem(np.ones((4, 3)), box_length=5.0).validate()
+
+    def test_rejects_nan_positions(self):
+        system = ParticleSystem(np.ones((4, 3)), box_length=5.0)
+        system.positions[0, 0] = np.nan
+        with pytest.raises(SimulationError):
+            system.validate()
+
+    def test_rejects_nan_velocities(self):
+        system = ParticleSystem(np.ones((4, 3)), box_length=5.0)
+        system.velocities[0, 0] = np.inf
+        with pytest.raises(SimulationError):
+            system.validate()
+
+    def test_rejects_escaped_positions(self):
+        system = ParticleSystem(np.ones((4, 3)), box_length=5.0)
+        system.positions[0, 0] = 7.0  # mutated after wrapping
+        with pytest.raises(SimulationError):
+            system.validate()

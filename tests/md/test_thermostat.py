@@ -1,0 +1,79 @@
+"""Velocity-rescaling thermostat."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.md.observables import temperature
+from repro.md.system import ParticleSystem
+from repro.md.thermostat import VelocityRescale, remove_drift
+
+
+def system_at_temperature(t: float, n: int = 100, seed: int = 0) -> ParticleSystem:
+    rng = np.random.default_rng(seed)
+    v = rng.normal(0, np.sqrt(max(t, 1e-12)), (n, 3))
+    return ParticleSystem(rng.uniform(0, 10, (n, 3)), v, 10.0)
+
+
+class TestConstruction:
+    def test_rejects_negative_temperature(self):
+        with pytest.raises(ConfigurationError):
+            VelocityRescale(-1.0, 50)
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ConfigurationError):
+            VelocityRescale(1.0, -1)
+
+
+class TestRescale:
+    def test_rescales_to_exact_target(self):
+        system = system_at_temperature(2.0)
+        VelocityRescale(0.722, 50).rescale(system)
+        assert temperature(system) == pytest.approx(0.722, rel=1e-12)
+
+    def test_factor_is_sqrt_ratio(self):
+        system = system_at_temperature(1.0)
+        before = temperature(system)
+        factor = VelocityRescale(0.25, 1).rescale(system)
+        assert factor == pytest.approx(np.sqrt(0.25 / before))
+
+    def test_zero_velocities_are_left_alone(self):
+        system = ParticleSystem(np.random.default_rng(0).uniform(0, 5, (10, 3)),
+                                box_length=5.0)
+        factor = VelocityRescale(0.722, 50).rescale(system)
+        assert factor == 1.0
+        assert np.all(system.velocities == 0.0)
+
+
+class TestMaybeRescale:
+    def test_fires_only_on_interval_steps(self):
+        thermo = VelocityRescale(0.722, 50)
+        system = system_at_temperature(2.0)
+        assert thermo.maybe_rescale(system, 49) is None
+        assert thermo.maybe_rescale(system, 50) is not None
+        assert thermo.maybe_rescale(system, 51) is None
+        assert thermo.maybe_rescale(system, 100) is not None
+
+    def test_interval_zero_disables(self):
+        thermo = VelocityRescale(0.722, 0)
+        system = system_at_temperature(2.0)
+        for step in range(1, 100):
+            assert thermo.maybe_rescale(system, step) is None
+
+    def test_step_zero_never_fires(self):
+        thermo = VelocityRescale(0.722, 50)
+        assert thermo.maybe_rescale(system_at_temperature(2.0), 0) is None
+
+
+class TestRemoveDrift:
+    def test_zeroes_total_momentum(self):
+        system = system_at_temperature(1.0)
+        system.velocities += np.array([1.0, -2.0, 0.5])
+        remove_drift(system)
+        assert np.allclose(system.velocities.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_returns_the_removed_drift(self):
+        system = system_at_temperature(1.0, seed=3)
+        expected = system.velocities.mean(axis=0)
+        drift = remove_drift(system)
+        assert np.allclose(drift, expected)

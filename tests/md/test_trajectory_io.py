@@ -1,0 +1,76 @@
+"""XYZ trajectory I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.md.system import ParticleSystem
+from repro.md.trajectory_io import read_xyz, write_xyz
+
+
+@pytest.fixture
+def system(rng):
+    pos = rng.uniform(0, 8.0, (20, 3))
+    vel = rng.normal(0, 1, (20, 3))
+    return ParticleSystem(pos, vel, 8.0)
+
+
+class TestRoundtrip:
+    def test_positions_velocities_box(self, system, tmp_path):
+        path = write_xyz(tmp_path / "t.xyz", system)
+        loaded = read_xyz(path)
+        assert loaded.n == system.n
+        assert loaded.box_length == pytest.approx(system.box_length)
+        assert np.allclose(loaded.positions, system.positions, atol=1e-8)
+        assert np.allclose(loaded.velocities, system.velocities, atol=1e-8)
+
+    def test_without_velocities(self, system, tmp_path):
+        path = write_xyz(tmp_path / "t.xyz", system, include_velocities=False)
+        loaded = read_xyz(path)
+        assert np.all(loaded.velocities == 0.0)
+
+    def test_multi_frame_append(self, system, tmp_path):
+        path = write_xyz(tmp_path / "t.xyz", system)
+        moved = system.copy()
+        moved.positions[:] = (moved.positions + 1.0) % moved.box_length
+        write_xyz(path, moved, append=True)
+        first = read_xyz(path, frame=0)
+        second = read_xyz(path, frame=1)
+        assert not np.allclose(first.positions, second.positions)
+        assert np.allclose(second.positions, moved.positions, atol=1e-8)
+
+    def test_missing_frame_raises(self, system, tmp_path):
+        path = write_xyz(tmp_path / "t.xyz", system)
+        with pytest.raises(GeometryError):
+            read_xyz(path, frame=3)
+
+
+class TestMalformedInput:
+    def test_bad_count_line(self, tmp_path):
+        path = tmp_path / "bad.xyz"
+        path.write_text("not-a-number\ncomment\n")
+        with pytest.raises(GeometryError):
+            read_xyz(path)
+
+    def test_missing_lattice(self, tmp_path):
+        path = tmp_path / "bad.xyz"
+        path.write_text("1\nno lattice here\nAr 0 0 0\n")
+        with pytest.raises(GeometryError):
+            read_xyz(path)
+
+    def test_non_cubic_lattice_rejected(self, tmp_path):
+        path = tmp_path / "bad.xyz"
+        path.write_text('1\nLattice="5 0 0 0 6 0 0 0 5"\nAr 0 0 0\n')
+        with pytest.raises(GeometryError):
+            read_xyz(path)
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.xyz"
+        path.write_text('1\nLattice="5 0 0 0 5 0 0 0 5"\nAr 0 0\n')
+        with pytest.raises(GeometryError):
+            read_xyz(path)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)

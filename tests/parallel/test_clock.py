@@ -1,0 +1,54 @@
+"""Per-PE clocks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.clock import PEClocks
+
+
+class TestPEClocks:
+    def test_starts_at_zero(self):
+        assert np.all(PEClocks(4).times == 0.0)
+
+    def test_advance_single(self):
+        clocks = PEClocks(4)
+        clocks.advance(2, 1.5)
+        assert clocks.times[2] == 1.5
+        assert clocks.times[0] == 0.0
+
+    def test_advance_all(self):
+        clocks = PEClocks(3)
+        clocks.advance_all(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(clocks.times, [1, 2, 3])
+
+    def test_advance_all_rejects_wrong_shape(self):
+        with pytest.raises(ConfigurationError):
+            PEClocks(3).advance_all(np.zeros(4))
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            PEClocks(3).advance(0, -1.0)
+        with pytest.raises(ConfigurationError):
+            PEClocks(3).advance_all(np.array([1.0, -1.0, 0.0]))
+
+    def test_barrier_returns_max_and_synchronises(self):
+        clocks = PEClocks(3)
+        clocks.advance_all(np.array([1.0, 5.0, 3.0]))
+        assert clocks.barrier() == 5.0
+        assert np.all(clocks.times == 5.0)
+
+    def test_spread(self):
+        clocks = PEClocks(3)
+        clocks.advance_all(np.array([1.0, 5.0, 3.0]))
+        assert clocks.spread() == pytest.approx(4.0)
+
+    def test_reset(self):
+        clocks = PEClocks(3)
+        clocks.advance(0, 2.0)
+        clocks.reset()
+        assert np.all(clocks.times == 0.0)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            PEClocks(0)

@@ -1,0 +1,46 @@
+"""Timing instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.parallel.instrumentation import StepTiming, TimingLog
+
+
+class TestStepTiming:
+    def test_from_components(self):
+        force = np.array([1.0, 2.0, 3.0])
+        comm = np.array([0.1, 0.1, 0.1])
+        other = np.array([0.2, 0.2, 0.2])
+        timing = StepTiming.from_components(5, force, comm, other, dlb_time=0.05)
+        assert timing.step == 5
+        assert timing.fmax == 3.0
+        assert timing.fmin == 1.0
+        assert timing.fave == pytest.approx(2.0)
+        assert timing.tt == pytest.approx(3.0 + 0.1 + 0.2 + 0.05)
+        assert timing.spread == pytest.approx(2.0)
+
+    def test_tt_tracks_slowest_pe(self):
+        # Barrier semantics: one slow PE sets the step time.
+        force = np.array([1.0, 1.0, 10.0])
+        timing = StepTiming.from_components(0, force, np.zeros(3), np.zeros(3))
+        assert timing.tt == 10.0
+
+
+class TestTimingLog:
+    def test_arrays_roundtrip(self):
+        log = TimingLog()
+        for step in range(5):
+            log.append(
+                StepTiming(step=step, tt=float(step), fmax=2.0, fave=1.5, fmin=1.0)
+            )
+        assert len(log) == 5
+        assert np.array_equal(log.steps, np.arange(5))
+        assert np.array_equal(log.tt, np.arange(5.0))
+        assert np.all(log.spread == 1.0)
+
+    def test_empty_log_raises(self):
+        with pytest.raises(AnalysisError):
+            TimingLog().tt
+        with pytest.raises(AnalysisError):
+            TimingLog().steps

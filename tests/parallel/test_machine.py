@@ -1,0 +1,46 @@
+"""The virtual machine facade."""
+
+import numpy as np
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import ConfigurationError
+from repro.parallel.machine import VirtualMachine
+
+
+class TestVirtualMachine:
+    def test_preset_by_name(self):
+        vm = VirtualMachine(4, "cm5")
+        assert vm.config.name == "cm5"
+
+    def test_explicit_config(self):
+        vm = VirtualMachine(4, MachineConfig(latency=1e-6))
+        assert vm.config.latency == 1e-6
+
+    def test_charge_compute_advances_clocks(self):
+        vm = VirtualMachine(3)
+        vm.charge_compute(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(vm.clocks.times, [1, 2, 3])
+
+    def test_charge_exchange_returns_duration_and_logs(self):
+        vm = VirtualMachine(3, MachineConfig(latency=1e-5, inv_bandwidth=1e-9))
+        duration = vm.charge_exchange(pe=0, peer=1, n_messages=2, n_bytes=1000, tag="halo")
+        assert duration == pytest.approx(2e-5 + 1e-6)
+        assert vm.clocks.times[0] == pytest.approx(duration)
+        assert vm.traffic.bytes_received[0] == 1000
+        assert vm.traffic.by_tag["halo"] == 1000
+
+    def test_barrier(self):
+        vm = VirtualMachine(2)
+        vm.charge_compute(np.array([1.0, 4.0]))
+        assert vm.barrier() == 4.0
+
+    def test_start_step_resets(self):
+        vm = VirtualMachine(2)
+        vm.charge_compute(np.array([1.0, 4.0]))
+        vm.start_step()
+        assert np.all(vm.clocks.times == 0.0)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            VirtualMachine(0)

@@ -1,0 +1,55 @@
+"""Message records and traffic accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.message import Message, TrafficLog
+
+
+class TestMessage:
+    def test_valid_message(self):
+        msg = Message(src=0, dst=1, n_bytes=100, tag="halo")
+        assert msg.n_bytes == 100
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ConfigurationError):
+            Message(src=-1, dst=0, n_bytes=0)
+        with pytest.raises(ConfigurationError):
+            Message(src=0, dst=0, n_bytes=-5)
+
+
+class TestTrafficLog:
+    def test_record_updates_counters(self):
+        log = TrafficLog(4)
+        log.record(Message(src=1, dst=2, n_bytes=100, tag="halo"))
+        assert log.bytes_sent[1] == 100
+        assert log.bytes_received[2] == 100
+        assert log.messages_sent[1] == 1
+        assert log.by_tag["halo"] == 100
+
+    def test_record_rejects_out_of_range_endpoints(self):
+        log = TrafficLog(2)
+        with pytest.raises(ConfigurationError):
+            log.record(Message(src=0, dst=5, n_bytes=1))
+
+    def test_record_bulk(self):
+        log = TrafficLog(4)
+        log.record_bulk(0, 3, n_bytes=400, count=4, tag="migration")
+        assert log.bytes_sent[0] == 400
+        assert log.messages_sent[0] == 4
+        assert log.by_tag["migration"] == 400
+
+    def test_total_bytes(self):
+        log = TrafficLog(3)
+        log.record_bulk(0, 1, 10)
+        log.record_bulk(1, 2, 20)
+        assert log.total_bytes == 30
+
+    def test_untagged_messages_not_in_by_tag(self):
+        log = TrafficLog(2)
+        log.record(Message(src=0, dst=1, n_bytes=5))
+        assert log.by_tag == {}
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            TrafficLog(0)

@@ -1,0 +1,62 @@
+"""Network cost model and presets."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import ConfigurationError
+from repro.parallel.network import PRESETS, NetworkModel, preset
+
+
+class TestPresets:
+    def test_t3e_exists_with_paper_bandwidth(self):
+        t3e = preset("t3e")
+        assert t3e.inv_bandwidth == pytest.approx(1.0 / 2.8e9)
+
+    def test_cm5_is_slower_than_t3e(self):
+        assert preset("cm5").latency > preset("t3e").latency
+        assert preset("cm5").inv_bandwidth > preset("t3e").inv_bandwidth
+
+    def test_ideal_has_free_communication(self):
+        ideal = preset("ideal")
+        assert ideal.latency == 0.0
+        assert ideal.inv_bandwidth == 0.0
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigurationError):
+            preset("cray-1")
+
+    def test_all_presets_construct(self):
+        for name in PRESETS:
+            assert preset(name).name == name
+
+
+class TestNetworkModel:
+    def test_transfer_time_postal_model(self):
+        model = NetworkModel(MachineConfig(latency=1e-5, inv_bandwidth=1e-9))
+        assert model.transfer_time(1000) == pytest.approx(1e-5 + 1e-6)
+
+    def test_zero_bytes_costs_latency(self):
+        model = NetworkModel(MachineConfig(latency=1e-5, inv_bandwidth=1e-9))
+        assert model.transfer_time(0) == pytest.approx(1e-5)
+
+    def test_exchange_time_scales_with_messages(self):
+        model = NetworkModel(MachineConfig(latency=1e-5, inv_bandwidth=1e-9))
+        one = model.exchange_time(1, 1000)
+        eight = model.exchange_time(8, 1000)
+        assert eight == pytest.approx(one + 7e-5)
+
+    def test_particles_time_uses_payload_size(self):
+        config = MachineConfig(latency=0.0, inv_bandwidth=1e-9, bytes_per_particle=48)
+        model = NetworkModel(config)
+        assert model.particles_time(1, 100) == pytest.approx(100 * 48 * 1e-9)
+
+    def test_rejects_negative_inputs(self):
+        model = NetworkModel(MachineConfig())
+        with pytest.raises(ConfigurationError):
+            model.transfer_time(-1)
+        with pytest.raises(ConfigurationError):
+            model.exchange_time(-1, 0)
+
+    def test_monotone_in_bytes(self):
+        model = NetworkModel(preset("t3e"))
+        assert model.transfer_time(2000) > model.transfer_time(1000)

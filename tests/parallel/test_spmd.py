@@ -1,0 +1,59 @@
+"""SPMD executor (BSP semantics)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.parallel.spmd import SPMDExecutor
+
+
+class TestSuperstep:
+    def test_runs_body_for_every_rank_in_order(self):
+        ex = SPMDExecutor(4)
+        order = []
+        ex.superstep(lambda rank, _: order.append(rank))
+        assert order == [0, 1, 2, 3]
+
+    def test_returns_per_rank_results(self):
+        ex = SPMDExecutor(3)
+        results = ex.superstep(lambda rank, _: rank * rank)
+        assert results == [0, 1, 4]
+
+    def test_messages_delivered_next_superstep(self):
+        ex = SPMDExecutor(2)
+
+        def send_phase(rank, executor):
+            executor.send(rank, (rank + 1) % 2, f"hello from {rank}")
+            return executor.inbox(rank)
+
+        first = ex.superstep(send_phase)
+        assert first == [[], []]  # nothing delivered yet
+        second = ex.superstep(lambda rank, executor: executor.inbox(rank))
+        assert second[0] == [(1, "hello from 1")]
+        assert second[1] == [(0, "hello from 0")]
+
+    def test_messages_do_not_persist_beyond_one_superstep(self):
+        ex = SPMDExecutor(2)
+        ex.superstep(lambda rank, e: e.send(rank, rank, "x"))
+        ex.superstep(lambda rank, e: None)  # consumes (ignores) delivery
+        third = ex.superstep(lambda rank, e: e.inbox(rank))
+        assert third == [[], []]
+
+
+class TestValidation:
+    def test_rejects_bad_rank_count(self):
+        with pytest.raises(ConfigurationError):
+            SPMDExecutor(0)
+
+    def test_send_rejects_bad_ranks(self):
+        ex = SPMDExecutor(2)
+        with pytest.raises(ConfigurationError):
+            ex.send(0, 5, "x")
+
+    def test_allgather(self):
+        ex = SPMDExecutor(3)
+        gathered = ex.allgather([10, 20, 30])
+        assert gathered == [[10, 20, 30]] * 3
+
+    def test_allgather_rejects_wrong_length(self):
+        with pytest.raises(ProtocolError):
+            SPMDExecutor(3).allgather([1, 2])

@@ -1,0 +1,41 @@
+"""ASCII load maps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.loadmap import imbalance_summary, load_map
+
+
+class TestLoadMap:
+    def test_grid_layout(self):
+        out = load_map(np.arange(9.0), title="loads")
+        lines = out.splitlines()
+        assert lines[0] == "loads"
+        assert len(lines) == 4
+        assert lines[1].count("[") == 3
+
+    def test_peak_cell_shows_100(self):
+        out = load_map(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert "100%" in out
+
+    def test_all_zero(self):
+        out = load_map(np.zeros(4))
+        assert "0%" in out
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            load_map(np.zeros(5))
+
+
+class TestImbalanceSummary:
+    def test_balanced(self):
+        out = imbalance_summary(np.full(4, 2.0))
+        assert "max/mean = 1.00" in out
+
+    def test_idle(self):
+        assert imbalance_summary(np.zeros(4)) == "all PEs idle"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            imbalance_summary(np.array([]))

@@ -1,0 +1,47 @@
+"""Report builders."""
+
+import numpy as np
+
+from repro.core.results import RunResult, StepRecord
+from repro.parallel.instrumentation import StepTiming
+from repro.reporting.report import comparison_report, series_preview
+from repro.theory.concentration import ConcentrationState
+
+
+def run_result(tts, dlb: bool) -> RunResult:
+    result = RunResult(dlb_enabled=dlb)
+    for step, tt in enumerate(tts, start=1):
+        result.append(
+            StepRecord(
+                step=step,
+                timing=StepTiming(step=step, tt=tt, fmax=tt, fave=tt / 2, fmin=tt / 4),
+                concentration=ConcentrationState(100, 0, 0.0, 1.0, 50),
+                n_moves=1 if dlb else 0,
+            )
+        )
+    return result
+
+
+class TestSeriesPreview:
+    def test_downsamples(self):
+        out = series_preview(np.arange(100), np.arange(100.0), n_points=5, label="tt")
+        lines = out.splitlines()
+        assert len(lines) == 2 + 5
+        assert "tt" in lines[0]
+
+    def test_empty_series(self):
+        assert "empty" in series_preview(np.array([]), np.array([]))
+
+    def test_short_series(self):
+        out = series_preview(np.arange(3), np.arange(3.0), n_points=10)
+        assert len(out.splitlines()) == 2 + 3
+
+
+class TestComparisonReport:
+    def test_contains_both_columns_and_growth(self):
+        ddm = run_result([1.0, 2.0, 4.0], dlb=False)
+        dlb = run_result([1.0, 1.1, 1.2], dlb=True)
+        out = comparison_report(ddm, dlb)
+        assert "DDM" in out and "DLB-DDM" in out
+        assert "tt growth" in out
+        assert "4" in out  # DDM growth factor

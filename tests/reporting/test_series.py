@@ -1,0 +1,31 @@
+"""CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.series import write_csv
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", {"x": [1, 2, 3], "y": np.array([0.5, 1.5, 2.5])})
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["x", "y"]
+        assert rows[1] == ["1", "0.5"]
+        assert len(rows) == 4
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "out.csv", {"a": [1]})
+        assert path.exists()
+
+    def test_rejects_empty_columns(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv(tmp_path / "x.csv", {})
+
+    def test_rejects_ragged_columns(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv(tmp_path / "x.csv", {"a": [1, 2], "b": [1]})

@@ -1,0 +1,44 @@
+"""ASCII tables."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-+-" in lines[1]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_custom_float_format(self):
+        out = format_table(["v"], [[0.5]], float_format="{:.1f}")
+        assert "0.5" in out
+
+    def test_columns_aligned(self):
+        out = format_table(["col"], [["x"], ["longer"]])
+        lines = out.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out

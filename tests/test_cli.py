@@ -1,0 +1,68 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["presets"],
+            ["run", "bench-m2", "--mode", "ddm", "--steps", "3"],
+            ["sweep", "--m", "2", "--pes", "9"],
+            ["bounds", "--n-min", "1", "--n-max", "2"],
+            ["calibrate", "--particles", "256"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_presets_lists_registry(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5a-paper" in out
+        assert "fig5b-scaled" in out
+
+    def test_bounds_prints_table(self, capsys):
+        assert main(["bounds", "--n-min", "1", "--n-max", "2", "--points", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "f(2,n)" in out and "f(4,n)" in out
+        # f(m, 1) = 1 for every m.
+        assert "1.0000" in out
+
+    def test_run_single_mode(self, capsys):
+        code = main(["run", "bench-m2", "--mode", "dlb", "--steps", "5",
+                     "--record-interval", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Tt" in out
+
+    def test_run_both_modes(self, capsys):
+        code = main(["run", "bench-m2", "--steps", "5", "--record-interval", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DDM" in out and "DLB-DDM" in out
+
+    def test_run_unknown_preset_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "nope", "--steps", "1"])
+
+    def test_sweep_tiny(self, capsys):
+        code = main(["sweep", "--m", "2", "--pes", "9", "--reps", "1",
+                     "--steps", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ("E/T" in out) or ("no divergence" in out)
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--particles", "256", "--repeats", "1"]) == 0
+        assert "tau_pair" in capsys.readouterr().out

@@ -1,0 +1,48 @@
+"""RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.rng import generator, spawn, stream
+
+
+class TestGenerator:
+    def test_default_seed_deterministic(self):
+        assert generator().integers(10**9) == generator().integers(10**9)
+
+    def test_explicit_seed(self):
+        assert generator(5).integers(10**9) == generator(5).integers(10**9)
+        assert generator(5).integers(10**9) != generator(6).integers(10**9)
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        a, b = spawn(0, 2)
+        assert a.integers(10**9) != b.integers(10**9)
+
+    def test_deterministic(self):
+        first = [g.integers(10**9) for g in spawn(1, 3)]
+        second = [g.integers(10**9) for g in spawn(1, 3)]
+        assert first == second
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+    def test_zero_children(self):
+        assert spawn(0, 0) == []
+
+
+class TestStream:
+    def test_yields_distinct_generators(self):
+        it = stream(7)
+        values = [next(it).integers(10**9) for _ in range(4)]
+        assert len(set(values)) == 4
+
+    def test_deterministic(self):
+        a = [next(g).integers(10**9) for g in [stream(7)] * 3]
+        b = [next(g).integers(10**9) for g in [stream(7)] * 3]
+        del a, b  # iterator aliasing: just check restart determinism below
+        x = stream(7)
+        y = stream(7)
+        assert next(x).integers(10**9) == next(y).integers(10**9)

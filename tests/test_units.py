@@ -1,0 +1,49 @@
+"""Reduced units and Argon mapping."""
+
+import pytest
+
+from repro.units import (
+    ARGON,
+    PAPER_RHO_SWEEP,
+    PAPER_T_REF,
+    Substance,
+    box_length_for,
+)
+
+
+class TestSubstance:
+    def test_argon_temperature_roundtrip(self):
+        kelvin = ARGON.temperature_from_reduced(PAPER_T_REF)
+        assert ARGON.temperature_to_reduced(kelvin) == pytest.approx(PAPER_T_REF)
+
+    def test_paper_temperature_below_argon_boiling(self):
+        # Section 3.2: T* = 0.722 is below Argon's boiling point (87.3 K).
+        kelvin = ARGON.temperature_from_reduced(PAPER_T_REF)
+        assert 80 < kelvin < 90
+
+    def test_tau_is_picoseconds_for_argon(self):
+        # The Argon LJ time unit is ~2.16 ps.
+        assert ARGON.tau_s == pytest.approx(2.16e-12, rel=0.05)
+
+    def test_time_from_reduced(self):
+        custom = Substance("x", sigma_m=1.0, epsilon_j=1.0, mass_kg=1.0)
+        assert custom.time_from_reduced(2.0) == pytest.approx(2.0)
+
+
+class TestBoxLength:
+    def test_cube_root_scaling(self):
+        assert box_length_for(1000, 1.0) == pytest.approx(10.0)
+
+    def test_paper_case(self):
+        assert box_length_for(8000, 0.256) == pytest.approx(31.5, abs=0.01)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            box_length_for(0, 1.0)
+        with pytest.raises(ValueError):
+            box_length_for(10, 0.0)
+
+
+class TestConstants:
+    def test_density_sweep_matches_figure_10(self):
+        assert PAPER_RHO_SWEEP == (0.128, 0.256, 0.384, 0.512)

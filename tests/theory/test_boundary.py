@@ -1,0 +1,109 @@
+"""Boundary-point detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.theory.boundary import (
+    BoundaryPoint,
+    boundary_point,
+    detect_divergence_step,
+    moving_average,
+)
+from repro.theory.trajectory import Trajectory
+
+
+def synthetic_spread(n_flat: int, n_rise: int, noise: float = 0.0, seed: int = 0):
+    """Flat baseline then linear rise, with optional noise."""
+    rng = np.random.default_rng(seed)
+    flat = np.full(n_flat, 1.0)
+    rise = 1.0 + np.arange(1, n_rise + 1) * 0.5
+    series = np.concatenate([flat, rise])
+    if noise:
+        series = series + rng.normal(0, noise, len(series))
+    return series
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        x = np.array([1.0, 5.0, 2.0])
+        assert np.allclose(moving_average(x, 1), x)
+
+    def test_preserves_length(self):
+        x = np.arange(20.0)
+        assert len(moving_average(x, 5)) == 20
+
+    def test_smooths_constant_exactly(self):
+        x = np.full(30, 3.0)
+        assert np.allclose(moving_average(x, 7), 3.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(AnalysisError):
+            moving_average(np.arange(5.0), 0)
+
+
+class TestDetectDivergence:
+    def test_clean_divergence_found_near_rise(self):
+        series = synthetic_spread(100, 60)
+        step = detect_divergence_step(series, window=5, sustain=5)
+        assert 95 <= step <= 120
+
+    def test_noisy_divergence_found(self):
+        series = synthetic_spread(100, 60, noise=0.2)
+        step = detect_divergence_step(series, window=11, sustain=10)
+        assert 90 <= step <= 130
+
+    def test_flat_series_raises(self):
+        with pytest.raises(AnalysisError):
+            detect_divergence_step(np.full(200, 1.0))
+
+    def test_noise_only_series_raises(self):
+        rng = np.random.default_rng(3)
+        series = 1.0 + rng.normal(0, 0.05, 200)
+        with pytest.raises(AnalysisError):
+            detect_divergence_step(series, factor=2.0, sustain=10)
+
+    def test_short_series_raises(self):
+        with pytest.raises(AnalysisError):
+            detect_divergence_step(np.array([1.0, 2.0]))
+
+    def test_transient_spike_not_flagged(self):
+        series = np.full(200, 1.0)
+        series[80:84] = 10.0  # short spike, shorter than sustain
+        with pytest.raises(AnalysisError):
+            detect_divergence_step(series, window=1, sustain=10)
+
+    def test_steps_labels_are_used(self):
+        series = synthetic_spread(100, 60)
+        steps = np.arange(len(series)) * 10
+        step = detect_divergence_step(series, steps=steps, window=5, sustain=5)
+        assert step % 10 == 0
+        assert 900 <= step <= 1300
+
+    def test_rejects_bad_baseline_fraction(self):
+        with pytest.raises(AnalysisError):
+            detect_divergence_step(synthetic_spread(50, 50), baseline_fraction=1.5)
+
+    def test_sensitivity_to_factor(self):
+        series = synthetic_spread(100, 100)
+        early = detect_divergence_step(series, factor=1.5, window=5, sustain=5)
+        late = detect_divergence_step(series, factor=5.0, window=5, sustain=5)
+        assert late >= early
+
+
+class TestBoundaryPoint:
+    def test_reads_trajectory_at_detected_step(self):
+        series = synthetic_spread(100, 60)
+        n_records = len(series)
+        trajectory = Trajectory(
+            steps=np.arange(n_records),
+            n=np.linspace(1.0, 3.0, n_records),
+            c0_ratio=np.linspace(0.0, 0.8, n_records),
+        )
+        point = boundary_point(series, trajectory, window=5, sustain=5)
+        assert isinstance(point, BoundaryPoint)
+        assert 1.0 <= point.n <= 3.0
+        assert 0.0 <= point.c0_ratio <= 0.8
+        # The point must correspond to the detected step's trajectory entry.
+        idx = point.step
+        assert point.n == pytest.approx(trajectory.n[idx])

@@ -1,0 +1,86 @@
+"""Theoretical upper bounds f(m, n)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.theory.bounds import f2, f3, f4, ordering_gap, upper_bound
+
+n_values = st.floats(min_value=1.0, max_value=50.0, allow_nan=False)
+
+
+class TestClosedForms:
+    @given(n_values)
+    @settings(max_examples=100, deadline=None)
+    def test_f2_matches_general_formula(self, n):
+        # Equation (9): f(2, n) = 3 / (7n - 4).
+        assert f2(n) == pytest.approx(upper_bound(2, n), rel=1e-12)
+
+    @given(n_values)
+    @settings(max_examples=100, deadline=None)
+    def test_f3_matches_general_formula(self, n):
+        # Equation (10): f(3, n) = 4 / (7n - 3). The paper divides both
+        # numerator 3*4=12 and denominator by 3.
+        assert f3(n) == pytest.approx(upper_bound(3, n), rel=1e-12)
+
+    @given(n_values)
+    @settings(max_examples=100, deadline=None)
+    def test_f4_matches_general_formula(self, n):
+        # Equation (11): f(4, n) = 27 / (43n - 16).
+        assert f4(n) == pytest.approx(upper_bound(4, n), rel=1e-12)
+
+    def test_specific_values(self):
+        assert f2(1.0) == pytest.approx(1.0)
+        assert f3(1.0) == pytest.approx(1.0)
+        assert f4(1.0) == pytest.approx(1.0)
+        assert f2(2.0) == pytest.approx(0.3)
+        assert f3(2.0) == pytest.approx(4 / 11)
+        assert f4(2.0) == pytest.approx(27 / 70)
+
+
+class TestOrdering:
+    @given(n_values)
+    @settings(max_examples=100, deadline=None)
+    def test_equation_12_ordering(self, n):
+        # f(2, n) <= f(3, n) <= f(4, n) for n >= 1.
+        assert ordering_gap(n) >= -1e-12
+
+    @given(n_values)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_m_generally(self, n):
+        values = [upper_bound(m, n) for m in range(2, 8)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestGeneralBound:
+    def test_at_n_equal_one_is_one(self):
+        # n = 1 (uniform emptiness): the bound allows any C0/C up to 1.
+        for m in range(2, 6):
+            assert upper_bound(m, 1.0) == pytest.approx(1.0)
+
+    @given(st.integers(min_value=2, max_value=10), n_values)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_in_unit_interval(self, m, n):
+        value = upper_bound(m, n)
+        assert 0.0 < value <= 1.0 + 1e-12
+
+    @given(st.integers(min_value=2, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_decreasing_in_n(self, m):
+        n = np.linspace(1.0, 20.0, 50)
+        values = np.asarray(upper_bound(m, n))
+        assert np.all(np.diff(values) < 0)
+
+    def test_vector_input(self):
+        out = upper_bound(3, np.array([1.0, 2.0, 3.0]))
+        assert out.shape == (3,)
+
+    def test_rejects_m_below_two(self):
+        with pytest.raises(AnalysisError):
+            upper_bound(1, 2.0)
+
+    def test_rejects_n_below_one(self):
+        with pytest.raises(AnalysisError):
+            upper_bound(3, 0.5)

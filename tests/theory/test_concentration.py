@@ -1,0 +1,93 @@
+"""Concentration parameter measurement."""
+
+import numpy as np
+import pytest
+
+from repro.decomp.assignment import CellAssignment
+from repro.errors import AnalysisError
+from repro.theory.concentration import (
+    exact_concentration_factor,
+    measure_concentration,
+)
+
+
+@pytest.fixture
+def assignment():
+    return CellAssignment(cells_per_side=9, n_pes=9)  # m = 3
+
+
+class TestMeasureConcentration:
+    def test_uniform_gas_has_n_one(self, assignment):
+        counts = np.full((9, 9, 9), 4)
+        state = measure_concentration(counts, assignment)
+        assert state.empty_cells == 0
+        assert state.c0_ratio == 0.0
+        assert state.n == 1.0
+
+    def test_counts_totals(self, assignment):
+        counts = np.zeros((9, 9, 9), dtype=int)
+        counts[:3] = 2
+        state = measure_concentration(counts, assignment)
+        assert state.n_cells == 729
+        assert state.empty_cells == 6 * 81
+        assert state.c0_ratio == pytest.approx(6 / 9)
+
+    def test_max_domain_cells_constant(self, assignment):
+        counts = np.ones((9, 9, 9), dtype=int)
+        state = measure_concentration(counts, assignment)
+        # C' = [m^2 + 3(m-1)^2] * nc = 21 * 9.
+        assert state.max_domain_cells == 189
+
+    def test_n_grows_with_localised_emptiness(self, assignment):
+        # Emptiness concentrated inside one PE's block vs spread uniformly.
+        concentrated = np.ones((9, 9, 9), dtype=int)
+        concentrated[0:3, 0:3, :] = 0  # PE(0,0)'s whole domain empty
+        spread = np.ones((9, 9, 9), dtype=int)
+        flat = spread.reshape(-1)
+        flat[:: 729 // 81] = 0  # roughly uniform emptiness
+        n_conc = measure_concentration(concentrated, assignment).n
+        n_spread = measure_concentration(spread, assignment).n
+        assert n_conc > n_spread
+
+    def test_n_at_least_one(self, assignment):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            counts = rng.integers(0, 3, (9, 9, 9))
+            assert measure_concentration(counts, assignment).n >= 1.0
+
+    def test_rejects_wrong_shape(self, assignment):
+        with pytest.raises(AnalysisError):
+            measure_concentration(np.zeros((3, 3, 3)), assignment)
+
+    def test_respects_current_holder_not_home(self, assignment):
+        # Lend a cell: the per-PE stats must follow the holder map.
+        counts = np.ones((9, 9, 9), dtype=int)
+        cells = assignment.movable_at_home(4)
+        flat = counts.reshape(-1)
+        flat[cells] = 0  # PE 4's movable cells empty
+        before = measure_concentration(counts, assignment)
+        for cell in list(cells):
+            assignment.transfer(int(cell), assignment.pe_flat(0, 1))
+        after = measure_concentration(counts, assignment)
+        # Same global ratio, possibly different estimate -- but both valid.
+        assert after.c0_ratio == before.c0_ratio
+        assert after.n >= 1.0
+
+
+class TestExactConcentrationFactor:
+    def test_uniform_emptiness_is_one(self, assignment):
+        counts = np.ones((9, 9, 9), dtype=int)
+        assert exact_concentration_factor(counts, assignment) == 1.0
+
+    def test_no_empty_cells_is_one(self, assignment):
+        counts = np.full((9, 9, 9), 2)
+        assert exact_concentration_factor(counts, assignment) == 1.0
+
+    def test_concentrated_emptiness_exceeds_one(self, assignment):
+        counts = np.ones((9, 9, 9), dtype=int)
+        counts[0:3, 0:3, :] = 0
+        assert exact_concentration_factor(counts, assignment) > 1.5
+
+    def test_rejects_wrong_shape(self, assignment):
+        with pytest.raises(AnalysisError):
+            exact_concentration_factor(np.zeros((2, 2, 2)), assignment)

@@ -1,0 +1,77 @@
+"""Least-squares boundary fitting and E/T."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.theory.boundary import BoundaryPoint
+from repro.theory.bounds import upper_bound
+from repro.theory.fitting import (
+    average_points,
+    fit_boundary_scale,
+    point_error_ranges,
+)
+
+
+def points_on_scaled_bound(m: int, k: float, n_values) -> list[BoundaryPoint]:
+    return [
+        BoundaryPoint(step=i, n=float(n), c0_ratio=float(k * upper_bound(m, n)))
+        for i, n in enumerate(n_values)
+    ]
+
+
+class TestFitBoundaryScale:
+    def test_recovers_exact_scale(self):
+        points = points_on_scaled_bound(3, 0.7, [1.2, 1.5, 2.0, 3.0])
+        fit = fit_boundary_scale(points, 3)
+        assert fit.ratio == pytest.approx(0.7, rel=1e-12)
+        assert fit.residual_rms == pytest.approx(0.0, abs=1e-12)
+        assert fit.n_points == 4
+
+    def test_recovers_scale_under_noise(self):
+        rng = np.random.default_rng(0)
+        points = [
+            BoundaryPoint(
+                step=i,
+                n=float(n),
+                c0_ratio=float(0.6 * upper_bound(2, n) + rng.normal(0, 0.01)),
+            )
+            for i, n in enumerate([1.1, 1.4, 1.9, 2.6])
+        ]
+        fit = fit_boundary_scale(points, 2)
+        assert fit.ratio == pytest.approx(0.6, abs=0.05)
+        assert fit.residual_rms < 0.03
+
+    def test_boundary_callable(self):
+        points = points_on_scaled_bound(4, 0.5, [1.5, 2.0])
+        fit = fit_boundary_scale(points, 4)
+        assert fit.boundary(2.0) == pytest.approx(0.5 * upper_bound(4, 2.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            fit_boundary_scale([], 3)
+
+
+class TestAveraging:
+    def test_average_points(self):
+        group = [
+            BoundaryPoint(step=10, n=1.0, c0_ratio=0.2),
+            BoundaryPoint(step=20, n=2.0, c0_ratio=0.4),
+        ]
+        (mean,) = average_points([group])
+        assert mean.step == 15
+        assert mean.n == pytest.approx(1.5)
+        assert mean.c0_ratio == pytest.approx(0.3)
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(AnalysisError):
+            average_points([[]])
+
+    def test_error_ranges(self):
+        group = [
+            BoundaryPoint(step=10, n=1.0, c0_ratio=0.2),
+            BoundaryPoint(step=20, n=3.0, c0_ratio=0.2),
+        ]
+        ((n_std, c0_std),) = point_error_ranges([group])
+        assert n_std == pytest.approx(1.0)
+        assert c0_std == pytest.approx(0.0)
