@@ -1,22 +1,39 @@
 """Supporting kernel benchmarks: the building blocks' costs.
 
-Not a paper table -- these time the substrate operations (force kernel, cell
-list construction, halo accounting, one DLB round, one accounted step) so
-regressions in the hot paths are visible.
+Not a paper table -- these time the substrate operations (pair search on
+uniform *and* clustered configurations, Verlet-list reuse across a real
+multi-step run, force kernel, cell list construction, halo accounting, one
+DLB round, one accounted step) so regressions in the hot paths are visible.
+
+Results are also written to ``BENCH_kernels.json`` at the repo root (see
+``conftest.record_kernel``); ``benchmarks/check_regression.py`` diffs a fresh
+file against the committed baseline.
+
+The clustered cases matter: the padded-occupancy candidate generator costs
+O(n_cells * max_count^2) and collapses exactly on the concentrated
+configurations this paper studies (C0/C sweeps, Figures 9-10), which
+uniform-only benchmarks cannot see.
 """
 
 import numpy as np
 import pytest
 
-from repro.config import MachineConfig
+from conftest import record_kernel
+from repro.config import MachineConfig, MDConfig
 from repro.core.accounting import StepAccountant
 from repro.decomp.assignment import CellAssignment
 from repro.decomp.halo import compute_halo
 from repro.dlb.balancer import DynamicLoadBalancer
 from repro.md.celllist import CellList
 from repro.md.forces import forces_from_pairs
-from repro.md.neighbors import pairs_celllist, pairs_kdtree
+from repro.md.neighbors import (
+    candidate_pairs_padded,
+    pairs_celllist,
+    pairs_kdtree,
+)
+from repro.md.pbc import minimum_image
 from repro.md.potential import LennardJones
+from repro.md.simulation import SerialSimulation
 
 N = 4096
 BOX = (N / 0.256) ** (1.0 / 3.0)
@@ -28,39 +45,112 @@ def positions():
     return np.random.default_rng(0).uniform(0.0, BOX, (N, 3))
 
 
-def test_pairs_kdtree(benchmark, positions):
+@pytest.fixture(scope="module")
+def clustered_positions():
+    """Half the gas collapsed into a blob: the paper's concentration regime.
+
+    The blob's cells hold tens of particles while most cells are near-empty --
+    the occupancy skew that breaks padded broadcasting.
+    """
+    rng = np.random.default_rng(1)
+    blob = rng.normal(BOX / 2.0, BOX / 18.0, (N // 2, 3))
+    rest = rng.uniform(0.0, BOX, (N - N // 2, 3))
+    return np.mod(np.vstack([blob, rest]), BOX)
+
+
+def test_pairs_kdtree(benchmark, positions, kernel_log):
     pairs = benchmark(pairs_kdtree, positions, BOX, 2.5)
+    record_kernel(kernel_log, benchmark, "pairs_kdtree")
     assert len(pairs) > N  # dense enough to be a meaningful workload
 
 
-def test_pairs_celllist(benchmark, positions):
+def test_pairs_celllist(benchmark, positions, kernel_log):
     cell_list = CellList(BOX, NC)
     pairs = benchmark(pairs_celllist, positions, cell_list, 2.5)
+    record_kernel(kernel_log, benchmark, "pairs_celllist")
     assert len(pairs) > N
 
 
-def test_force_accumulation(benchmark, positions):
+def test_pairs_celllist_clustered(benchmark, clustered_positions, kernel_log):
+    """The CSR generator on the skewed-occupancy configuration."""
+    cell_list = CellList(BOX, NC)
+    pairs = benchmark(pairs_celllist, clustered_positions, cell_list, 2.5)
+    record_kernel(kernel_log, benchmark, "pairs_celllist_clustered")
+    assert len(pairs) > N
+
+
+def test_pairs_celllist_clustered_padded(benchmark, clustered_positions, kernel_log):
+    """The legacy padded-occupancy generator on the same configuration.
+
+    The baseline of the tentpole claim: the CSR generator must beat this by
+    >= 2x (it is typically 1-2 orders of magnitude ahead); the measured ratio
+    lands in BENCH_kernels.json as ``clustered_padded_over_csr``.
+    """
+    cell_list = CellList(BOX, NC)
+
+    def padded_search():
+        candidates = candidate_pairs_padded(clustered_positions, cell_list)
+        delta = minimum_image(
+            clustered_positions[candidates[:, 0]] - clustered_positions[candidates[:, 1]],
+            BOX,
+        )
+        r_sq = np.einsum("ij,ij->i", delta, delta)
+        return candidates[r_sq < 2.5 * 2.5]
+
+    pairs = benchmark.pedantic(padded_search, rounds=3, iterations=1)
+    record_kernel(kernel_log, benchmark, "pairs_celllist_clustered_padded")
+    assert len(pairs) > N
+
+
+def test_serial_run_verlet(benchmark, kernel_log):
+    """Multi-step serial MD with the Verlet backend: neighbour-list reuse.
+
+    This is the end-to-end shape of the tentpole win -- the pair search runs
+    once every ~15-20 steps instead of every step.
+    """
+    config = MDConfig(n_particles=1000, density=0.256)
+    sim = SerialSimulation(config, seed=7, backend="verlet")
+
+    benchmark.pedantic(sim.run, args=(20,), rounds=3, iterations=1)
+    record_kernel(kernel_log, benchmark, "serial_run_verlet_20steps")
+    stats = sim.neighbor_stats
+    assert stats.rebuilds <= max(1, stats.evaluations // 5)
+
+
+def test_serial_run_kdtree(benchmark, kernel_log):
+    """The same multi-step run with per-step searches (the seed behaviour)."""
+    config = MDConfig(n_particles=1000, density=0.256)
+    sim = SerialSimulation(config, seed=7, backend="kdtree")
+
+    benchmark.pedantic(sim.run, args=(20,), rounds=3, iterations=1)
+    record_kernel(kernel_log, benchmark, "serial_run_kdtree_20steps")
+
+
+def test_force_accumulation(benchmark, positions, kernel_log):
     potential = LennardJones()
     pairs = pairs_kdtree(positions, BOX, 2.5)
     result = benchmark(forces_from_pairs, positions, pairs, BOX, potential)
+    record_kernel(kernel_log, benchmark, "force_accumulation")
     assert result.n_pairs == len(pairs)
 
 
-def test_cell_counts(benchmark, positions):
+def test_cell_counts(benchmark, positions, kernel_log):
     cell_list = CellList(BOX, NC)
     counts = benchmark(cell_list.counts, positions)
+    record_kernel(kernel_log, benchmark, "cell_counts")
     assert counts.sum() == N
 
 
-def test_halo_accounting(benchmark, positions):
+def test_halo_accounting(benchmark, positions, kernel_log):
     cell_list = CellList(BOX, 12)
     assignment = CellAssignment(12, 9)
     counts = cell_list.counts(positions).reshape(-1)
     halo = benchmark(compute_halo, assignment.cell_owner_map(), cell_list, counts, 9)
+    record_kernel(kernel_log, benchmark, "halo_accounting")
     assert halo.ghost_cells.sum() > 0
 
 
-def test_dlb_decision_round(benchmark):
+def test_dlb_decision_round(benchmark, kernel_log):
     assignment = CellAssignment(12, 9)
     balancer = DynamicLoadBalancer(assignment)
     times = np.random.default_rng(1).uniform(0.5, 1.5, 9)
@@ -70,10 +160,11 @@ def test_dlb_decision_round(benchmark):
         return moves
 
     moves = benchmark(round_)
+    record_kernel(kernel_log, benchmark, "dlb_decision_round")
     assert isinstance(moves, list)
 
 
-def test_accounted_step(benchmark, positions):
+def test_accounted_step(benchmark, positions, kernel_log):
     cell_list = CellList(BOX, 12)
     assignment = CellAssignment(12, 9)
     accountant = StepAccountant(MachineConfig(), cell_list, 9)
@@ -81,5 +172,6 @@ def test_accounted_step(benchmark, positions):
     timing, totals = benchmark(
         accountant.account_step, 1, counts, assignment, True
     )
+    record_kernel(kernel_log, benchmark, "accounted_step")
     assert timing.tt > 0
     assert totals.shape == (9,)

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_kernels.json against the committed baseline.
+
+Usage::
+
+    # 1. regenerate the kernel timings (writes BENCH_kernels.json at repo root)
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py -q
+
+    # 2. diff against a saved baseline
+    python benchmarks/check_regression.py --baseline BENCH_kernels.baseline.json
+
+Exits non-zero when any kernel's mean time grew beyond ``--threshold``
+(default 1.3x) over the baseline. Kernels present in only one file are
+reported but do not fail the check (new benchmarks must be able to land).
+
+The same comparison is wired into the test suite as the opt-in ``perf``
+marker (``tests/test_perf_regression.py``), so tier-1 stays fast while CI
+can run ``pytest -m perf`` after regenerating the timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_RESULTS = REPO_ROOT / "BENCH_kernels.json"
+
+#: Allowed slowdown factor before the check fails.
+DEFAULT_THRESHOLD = 1.3
+
+
+def compare_kernels(
+    baseline: dict, fresh: dict, threshold: float = DEFAULT_THRESHOLD
+) -> tuple[list[str], list[str]]:
+    """Diff two BENCH_kernels payloads.
+
+    Returns ``(regressions, notes)``: human-readable lines for kernels slower
+    than ``threshold`` x baseline, and informational lines (speedups, kernels
+    present on only one side).
+    """
+    base_kernels = baseline.get("kernels", {})
+    fresh_kernels = fresh.get("kernels", {})
+    regressions: list[str] = []
+    notes: list[str] = []
+    for name in sorted(set(base_kernels) | set(fresh_kernels)):
+        if name not in base_kernels:
+            notes.append(f"NEW      {name}: no baseline entry")
+            continue
+        if name not in fresh_kernels:
+            notes.append(f"MISSING  {name}: present only in baseline")
+            continue
+        old = float(base_kernels[name]["mean_s"])
+        new = float(fresh_kernels[name]["mean_s"])
+        if old <= 0:
+            notes.append(f"SKIP     {name}: non-positive baseline mean")
+            continue
+        ratio = new / old
+        line = f"{name}: {old * 1e3:.3f} ms -> {new * 1e3:.3f} ms ({ratio:.2f}x)"
+        if ratio > threshold:
+            regressions.append(f"SLOWER   {line}")
+        elif ratio < 1.0 / threshold:
+            notes.append(f"FASTER   {line}")
+        else:
+            notes.append(f"OK       {line}")
+    return regressions, notes
+
+
+def load(path: Path) -> dict:
+    """Read one BENCH_kernels.json payload."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        help="committed baseline BENCH_kernels.json to compare against",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=DEFAULT_RESULTS,
+        help=f"freshly generated results (default {DEFAULT_RESULTS})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"allowed slowdown factor (default {DEFAULT_THRESHOLD})",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.fresh.exists():
+        print(f"fresh results {args.fresh} not found: run the kernel benchmarks first")
+        return 2
+    regressions, notes = compare_kernels(
+        load(args.baseline), load(args.fresh), args.threshold
+    )
+    for line in notes:
+        print(line)
+    for line in regressions:
+        print(line)
+    if regressions:
+        print(f"\n{len(regressions)} kernel(s) regressed beyond {args.threshold}x")
+        return 1
+    print("\nno kernel regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,13 +11,18 @@ Scale knobs via environment:
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from pathlib import Path
 
 import pytest
 
 #: Output directory for regenerated series.
 OUT_DIR = Path(__file__).parent / "out"
+
+#: Machine-readable kernel timings tracked across PRs (repo root).
+KERNEL_RESULTS_PATH = Path(__file__).parent.parent / "BENCH_kernels.json"
 
 
 def bench_scale() -> str:
@@ -37,3 +42,42 @@ def out_dir() -> Path:
 @pytest.fixture(scope="session")
 def scale() -> str:
     return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def kernel_log():
+    """Collector for kernel benchmark timings, flushed to BENCH_kernels.json.
+
+    Kernel benchmarks call :func:`record_kernel` with their pytest-benchmark
+    fixture; at session end the collected means land in a machine-readable
+    file at the repo root so ``benchmarks/check_regression.py`` can compare
+    the perf trajectory across PRs.
+    """
+    entries: dict[str, dict[str, float]] = {}
+    yield entries
+    if not entries:
+        return
+    payload = {
+        "schema": 1,
+        "scale": bench_scale(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "kernels": entries,
+    }
+    csr = entries.get("pairs_celllist_clustered")
+    padded = entries.get("pairs_celllist_clustered_padded")
+    if csr and padded and csr["mean_s"] > 0:
+        payload["derived"] = {
+            "clustered_padded_over_csr": padded["mean_s"] / csr["mean_s"]
+        }
+    KERNEL_RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def record_kernel(kernel_log: dict, benchmark, name: str) -> None:
+    """File one kernel benchmark's summary statistics under ``name``."""
+    stats = benchmark.stats.stats
+    kernel_log[name] = {
+        "mean_s": float(stats.mean),
+        "min_s": float(stats.min),
+        "rounds": int(stats.rounds),
+    }

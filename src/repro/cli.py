@@ -50,9 +50,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"running {label} ({steps} steps) ...", file=sys.stderr)
         runner = ParallelMDRunner(
             preset.simulation_config(dlb_enabled=dlb_enabled),
-            RunConfig(steps=steps, seed=args.seed, record_interval=args.record_interval),
+            RunConfig(
+                steps=steps,
+                seed=args.seed,
+                record_interval=args.record_interval,
+                force_backend=args.backend,
+                skin=args.skin,
+            ),
         )
         results[label] = runner.run()
+        stats = runner.neighbor_stats
+        if args.backend == "verlet":
+            print(
+                f"  {label}: pair-search rebuilds={stats.rebuilds} "
+                f"reuses={stats.reuses} (reuse ratio {stats.reuse_ratio:.2f}, "
+                f"acceptance {stats.acceptance_ratio:.2f})",
+                file=sys.stderr,
+            )
     if len(results) == 2:
         print(comparison_report(results["ddm"], results["dlb"],
                                 title=preset.description))
@@ -131,6 +145,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--steps", type=int, default=None)
     run.add_argument("--seed", type=int, default=7)
     run.add_argument("--record-interval", type=int, default=20)
+    run.add_argument(
+        "--backend",
+        choices=["kdtree", "cells", "verlet"],
+        default="kdtree",
+        help="pair-search backend (verlet caches the list across steps)",
+    )
+    run.add_argument(
+        "--skin",
+        type=float,
+        default=0.4,
+        help="Verlet-list skin radius (verlet backend only)",
+    )
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="run one effective-range experiment")

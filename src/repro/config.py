@@ -279,8 +279,15 @@ class RunConfig:
     record_interval:
         Instrumentation records are kept every this many steps.
     force_backend:
-        ``"kdtree"`` (fast, scipy) or ``"cells"`` (pure-NumPy linked cells,
-        the faithful reference kernel).
+        ``"kdtree"`` (fast, scipy), ``"cells"`` (pure-NumPy linked cells,
+        the faithful reference kernel) or ``"verlet"`` (cached neighbour
+        list with a skin radius, rebuilt only on sufficient displacement).
+    skin:
+        Verlet-list search margin beyond the cut-off (``"verlet"`` backend).
+        Larger skins rebuild less often but evaluate more candidates.
+    neighbor_max_reuse:
+        Cap on consecutive Verlet-list reuses before a forced rebuild
+        (0 disables the cap; the displacement criterion alone decides).
     timing_mode:
         ``"model"`` derives per-PE times from the calibratable cost model
         (fast, deterministic); ``"measured"`` actually runs each PE's force
@@ -292,6 +299,8 @@ class RunConfig:
     seed: int | None = None
     record_interval: int = 1
     force_backend: str = "kdtree"
+    skin: float = 0.4
+    neighbor_max_reuse: int = 20
     timing_mode: str = "model"
 
     def __post_init__(self) -> None:
@@ -301,8 +310,14 @@ class RunConfig:
             raise ConfigurationError(
                 f"record_interval must be positive, got {self.record_interval}"
             )
-        if self.force_backend not in ("kdtree", "cells"):
+        if self.force_backend not in ("kdtree", "cells", "verlet"):
             raise ConfigurationError(f"unknown force_backend {self.force_backend!r}")
+        if self.skin <= 0:
+            raise ConfigurationError(f"skin must be positive, got {self.skin}")
+        if self.neighbor_max_reuse < 0:
+            raise ConfigurationError(
+                f"neighbor_max_reuse must be non-negative, got {self.neighbor_max_reuse}"
+            )
         if self.timing_mode not in ("model", "measured"):
             raise ConfigurationError(f"unknown timing_mode {self.timing_mode!r}")
 

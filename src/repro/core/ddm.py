@@ -64,11 +64,23 @@ def decomposed_force_pass(
     cell_owner: np.ndarray,
     n_pes: int,
     potential: LennardJones,
+    candidate_pairs: np.ndarray | None = None,
 ) -> DecomposedForceResult:
-    """Run the per-PE force computation and merge the results."""
+    """Run the per-PE force computation and merge the results.
+
+    When ``candidate_pairs`` is given (e.g. a cached Verlet list covering
+    every interaction of the current positions), the per-PE kd-tree searches
+    are skipped entirely: each PE's pairs are sliced out of the shared list,
+    which is how a real DDM code reuses one neighbour structure across the
+    decomposition.
+    """
     if cell_owner.shape != (cell_list.n_cells,):
         raise DecompositionError(
             f"owner map shape {cell_owner.shape} != ({cell_list.n_cells},)"
+        )
+    if candidate_pairs is not None:
+        return _decomposed_from_candidates(
+            system, cell_list, cell_owner, n_pes, potential, candidate_pairs
         )
     positions = system.positions
     box = system.box_length
@@ -116,6 +128,75 @@ def decomposed_force_pass(
             # Energy: both-owned pairs belong fully to this PE; mixed pairs are
             # shared half-half with the neighbouring owner.
             weight = np.where(owned_local[i] & owned_local[j], 1.0, 0.5)
+            total_energy += float(np.dot(weight, energies))
+        per_pe_seconds[pe] = time.perf_counter() - start
+
+    return DecomposedForceResult(
+        forces=forces,
+        potential_energy=total_energy,
+        per_pe_seconds=per_pe_seconds,
+        per_pe_pairs=per_pe_pairs,
+    )
+
+
+def _decomposed_from_candidates(
+    system: ParticleSystem,
+    cell_list: CellList,
+    cell_owner: np.ndarray,
+    n_pes: int,
+    potential: LennardJones,
+    candidate_pairs: np.ndarray,
+) -> DecomposedForceResult:
+    """Per-PE pass driven by a shared (possibly skinned) candidate pair list."""
+    positions = system.positions
+    box = system.box_length
+    particle_cell = cell_list.assign(positions)
+    particle_owner = cell_owner[particle_cell]
+
+    forces = np.zeros_like(positions)
+    total_energy = 0.0
+    per_pe_seconds = np.zeros(n_pes, dtype=np.float64)
+    per_pe_pairs = np.zeros(n_pes, dtype=np.int64)
+
+    if len(candidate_pairs) == 0:
+        return DecomposedForceResult(forces, 0.0, per_pe_seconds, per_pe_pairs)
+
+    # The candidate list may carry skin pairs beyond the cut-off; filter once.
+    i_all = candidate_pairs[:, 0]
+    j_all = candidate_pairs[:, 1]
+    delta_all = positions[i_all] - positions[j_all]
+    minimum_image_inplace(delta_all, box)
+    r_sq_all = np.einsum("ij,ij->i", delta_all, delta_all)
+    within = r_sq_all < potential.cutoff_sq
+    i_all, j_all = i_all[within], j_all[within]
+    delta_all, r_sq_all = delta_all[within], r_sq_all[within]
+    owner_i = particle_owner[i_all]
+    owner_j = particle_owner[j_all]
+
+    for pe in range(n_pes):
+        start = time.perf_counter()
+        touches = (owner_i == pe) | (owner_j == pe)
+        per_pe_pairs[pe] = int(touches.sum())
+        if per_pe_pairs[pe]:
+            i, j = i_all[touches], j_all[touches]
+            delta, r_sq = delta_all[touches], r_sq_all[touches]
+            energies, f_over_r = potential.energy_force_sq(r_sq)
+            fvec = delta * f_over_r[:, None]
+            i_owned = owner_i[touches] == pe
+            j_owned = owner_j[touches] == pe
+            n = len(positions)
+            # Only the owned endpoints' forces are this PE's responsibility;
+            # a mixed pair's other half is computed by the ghost's owner.
+            for axis in range(3):
+                forces[:, axis] += np.bincount(
+                    i[i_owned], weights=fvec[i_owned, axis], minlength=n
+                )
+                forces[:, axis] -= np.bincount(
+                    j[j_owned], weights=fvec[j_owned, axis], minlength=n
+                )
+            # Energy: both-owned pairs belong fully to this PE; mixed pairs are
+            # shared half-half with the neighbouring owner.
+            weight = np.where(i_owned & j_owned, 1.0, 0.5)
             total_energy += float(np.dot(weight, energies))
         per_pe_seconds[pe] = time.perf_counter() - start
 

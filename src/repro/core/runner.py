@@ -74,6 +74,11 @@ class ParallelMDRunner:
             cells_per_side=dec.cells_per_side,
             attraction=md.attraction,
             attractors=attractor_sites(md, rng),
+            skin=run_config.skin,
+            max_reuse=run_config.neighbor_max_reuse,
+            # Share the runner's grid instead of letting the force field build
+            # its own copy per search (the seed rebuilt one per step).
+            cell_list=self.cell_list,
         )
         self.integrator = VelocityVerlet(md.dt)
         self.thermostat = VelocityRescale(md.temperature, md.rescale_interval)
@@ -87,6 +92,11 @@ class ParallelMDRunner:
     def dlb_enabled(self) -> bool:
         """Whether this runner balances load (DLB-DDM) or not (plain DDM)."""
         return self.balancer is not None
+
+    @property
+    def neighbor_stats(self):
+        """Pair-search counters (Verlet rebuilds/reuses, candidate ratios)."""
+        return self.force_field.stats
 
     def _maybe_rebalance(self) -> list:
         if self.balancer is None or self.step_count == 0:
@@ -108,12 +118,18 @@ class ParallelMDRunner:
         counts = self.cell_list.counts(self.system.positions)
         override = None
         if self.run_config.timing_mode == "measured":
+            # With the Verlet backend the integrator's force pass just refreshed
+            # (or reused) the cached candidate list; hand it to the decomposed
+            # pass so no PE repeats the pair search.
+            verlet = self.force_field.verlet_list
+            candidates = verlet.candidates(self.system.positions) if verlet is not None else None
             decomposed = decomposed_force_pass(
                 self.system,
                 self.cell_list,
                 self.assignment.cell_owner_map(),
                 self.config.decomposition.n_pes,
                 self.potential,
+                candidate_pairs=candidates,
             )
             override = decomposed.per_pe_seconds
         timing, totals = self.accountant.account_step(
@@ -151,6 +167,11 @@ class DrivenLoadRunner:
     balancer reacts. This isolates the DLB mechanism from the (slow) physics
     that produces concentration, which is exactly what the effective-range
     experiments need.
+
+    The runner owns a single :class:`CellList` whose periodic stencil tables
+    are computed once and cached, so the per-round halo accounting does not
+    re-derive the grid geometry (the seed recomputed the 26-neighbour tables
+    on every call).
     """
 
     def __init__(

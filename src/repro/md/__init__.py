@@ -6,8 +6,9 @@ Verlet integration and the velocity-rescaling thermostat of the paper's
 Section 3.2.
 """
 
-from .celllist import CellList
+from .celllist import CellList, CellSort
 from .forces import ForceField, ForceResult
+from .neighbors import NeighborStats, VerletList
 from .integrator import VelocityVerlet
 from .lattice import fcc_positions, maxwell_boltzmann_velocities, simple_cubic_positions
 from .observables import kinetic_energy, pressure, temperature
@@ -20,9 +21,12 @@ from .trajectory_io import read_xyz, write_xyz
 
 __all__ = [
     "CellList",
+    "CellSort",
     "ForceField",
     "ForceResult",
     "LennardJones",
+    "NeighborStats",
+    "VerletList",
     "ParticleSystem",
     "SerialSimulation",
     "VelocityRescale",

@@ -7,9 +7,16 @@ to cell mapping, flat indices, periodic stencils) and the occupancy
 structures the force kernels and the cost model consume.
 
 Flat cell index convention: ``flat = (ix * nc + iy) * nc + iz``.
+
+The occupancy builders share one :class:`CellSort` -- the assign/argsort/
+bincount pipeline run once per position snapshot -- and the periodic stencil
+tables (``neighbor_ids``) are computed once per offset and cached, since the
+grid geometry never changes over a ``CellList``'s lifetime.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -32,6 +39,34 @@ FULL_STENCIL: tuple[tuple[int, int, int], ...] = tuple(
 )
 
 
+@dataclass(frozen=True)
+class CellSort:
+    """Particles sorted by cell: one snapshot's CSR occupancy structure.
+
+    Attributes
+    ----------
+    flat:
+        ``(N,)`` flat cell id of each particle.
+    order:
+        ``(N,)`` particle indices sorted by cell (stable).
+    counts:
+        ``(n_cells,)`` particles per cell.
+    starts:
+        ``(n_cells + 1,)`` CSR offsets: ``order[starts[c]:starts[c+1]]`` are
+        the particles in flat cell ``c``.
+    """
+
+    flat: np.ndarray
+    order: np.ndarray
+    counts: np.ndarray
+    starts: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of particles in the snapshot."""
+        return len(self.flat)
+
+
 class CellList:
     """Geometry of a periodic cubic cell grid plus occupancy builders."""
 
@@ -44,6 +79,10 @@ class CellList:
         self.cells_per_side = int(cells_per_side)
         self.cell_size = self.box_length / self.cells_per_side
         self.n_cells = self.cells_per_side**3
+        # Stencil tables depend only on the (immutable) grid geometry; they are
+        # computed lazily once per offset instead of 13x per pair search.
+        self._all_coords: np.ndarray | None = None
+        self._neighbor_ids_cache: dict[tuple[int, int, int], np.ndarray] = {}
 
     # -- index arithmetic -------------------------------------------------
 
@@ -70,12 +109,24 @@ class CellList:
         """Flat cell id of each particle."""
         return self.flatten(self.cell_coords(positions))
 
+    def _coords_table(self) -> np.ndarray:
+        if self._all_coords is None:
+            self._all_coords = self.unflatten(np.arange(self.n_cells))
+        return self._all_coords
+
     def neighbor_ids(self, offset: tuple[int, int, int]) -> np.ndarray:
-        """For every cell, the flat id of its neighbour at ``offset`` (periodic)."""
-        nc = self.cells_per_side
-        all_coords = self.unflatten(np.arange(self.n_cells))
-        shifted = (all_coords + np.asarray(offset)) % nc
-        return self.flatten(shifted)
+        """For every cell, the flat id of its neighbour at ``offset`` (periodic).
+
+        Cached per offset: callers may treat the returned array as read-only.
+        """
+        key = (int(offset[0]), int(offset[1]), int(offset[2]))
+        cached = self._neighbor_ids_cache.get(key)
+        if cached is None:
+            shifted = (self._coords_table() + np.asarray(key)) % self.cells_per_side
+            cached = self.flatten(shifted)
+            cached.setflags(write=False)
+            self._neighbor_ids_cache[key] = cached
+        return cached
 
     # -- occupancy structures ---------------------------------------------
 
@@ -85,37 +136,54 @@ class CellList:
         grid = np.bincount(flat, minlength=self.n_cells)
         return grid.reshape((self.cells_per_side,) * 3)
 
-    def sorted_particles(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def cell_sort(self, positions: np.ndarray) -> CellSort:
+        """Run the assign/argsort/bincount pipeline once for a snapshot.
+
+        Every occupancy consumer (:meth:`sorted_particles`,
+        :meth:`padded_occupancy`, the candidate generators in
+        :mod:`repro.md.neighbors`) accepts the returned :class:`CellSort`, so
+        one sort serves an arbitrary number of consumers per step.
+        """
+        flat = self.assign(positions)
+        order = np.argsort(flat, kind="stable")
+        counts = np.bincount(flat, minlength=self.n_cells)
+        starts = np.zeros(self.n_cells + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        return CellSort(flat=flat, order=order, counts=counts, starts=starts)
+
+    def sorted_particles(
+        self, positions: np.ndarray, sort: CellSort | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Particle indices sorted by cell, plus per-cell start offsets.
 
         Returns ``(order, starts)`` where ``order[starts[c]:starts[c+1]]`` are
-        the particles in flat cell ``c``.
+        the particles in flat cell ``c``. Pass a precomputed ``sort`` to reuse
+        an existing :meth:`cell_sort` of the same snapshot.
         """
-        flat = self.assign(positions)
-        order = np.argsort(flat, kind="stable")
-        counts = np.bincount(flat, minlength=self.n_cells)
-        starts = np.zeros(self.n_cells + 1, dtype=np.int64)
-        np.cumsum(counts, out=starts[1:])
-        return order, starts
+        if sort is None:
+            sort = self.cell_sort(positions)
+        return sort.order, sort.starts
 
-    def padded_occupancy(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def padded_occupancy(
+        self, positions: np.ndarray, sort: CellSort | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Occupancy matrix ``(n_cells, max_count)`` of particle ids, -1 padded.
 
         Returns ``(occupancy, counts_flat)``. The padded layout lets the
-        reference force kernel generate all intra- and inter-cell candidate
-        pairs with pure broadcasting.
+        legacy reference kernel generate all intra- and inter-cell candidate
+        pairs with pure broadcasting; it degrades to O(n_cells * max_count^2)
+        on skewed occupancies, which is why the CSR generator in
+        :mod:`repro.md.neighbors` is the production path.
         """
-        flat = self.assign(positions)
-        counts = np.bincount(flat, minlength=self.n_cells)
+        if sort is None:
+            sort = self.cell_sort(positions)
+        counts = sort.counts
         max_count = int(counts.max(initial=0))
         occupancy = np.full((self.n_cells, max(max_count, 1)), -1, dtype=np.int64)
-        order = np.argsort(flat, kind="stable")
-        sorted_cells = flat[order]
+        sorted_cells = sort.flat[sort.order]
         # Rank of each particle within its cell: position in the sorted run.
-        starts = np.zeros(self.n_cells + 1, dtype=np.int64)
-        np.cumsum(counts, out=starts[1:])
-        ranks = np.arange(len(flat)) - starts[sorted_cells]
-        occupancy[sorted_cells, ranks] = order
+        ranks = np.arange(sort.n) - sort.starts[sorted_cells]
+        occupancy[sorted_cells, ranks] = sort.order
         return occupancy, counts
 
     def neighbor_count_sum(self, counts_grid: np.ndarray) -> np.ndarray:

@@ -8,10 +8,13 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from .celllist import CellList
-from .neighbors import pairs_celllist, pairs_kdtree
+from .neighbors import NeighborStats, VerletList, pairs_celllist, pairs_kdtree
 from .pbc import minimum_image, minimum_image_inplace
 from .potential import LennardJones
 from .system import ParticleSystem
+
+#: Pair-search backends understood by :class:`ForceField`.
+BACKENDS = ("kdtree", "cells", "verlet")
 
 
 @dataclass(frozen=True)
@@ -83,11 +86,20 @@ class ForceField:
     potential:
         The pair potential.
     backend:
-        ``"kdtree"`` (scipy, fast default) or ``"cells"`` (linked-cell
-        reference kernel).
+        ``"kdtree"`` (scipy, fast default), ``"cells"`` (linked-cell
+        reference kernel) or ``"verlet"`` (cached neighbour list with a skin
+        radius, rebuilt only when a particle moves farther than ``skin/2``).
     cells_per_side:
         Required by the ``"cells"`` backend: grid resolution (cell edge must
         be at least the cut-off).
+    skin:
+        Verlet-list search margin beyond the cut-off (``"verlet"`` only).
+    max_reuse:
+        Cap on consecutive Verlet-list reuses before a forced rebuild
+        (0 = displacement criterion only).
+    cell_list:
+        Optional pre-built :class:`CellList` to share with the caller (the
+        parallel runner already owns one); must match the system's box.
     attraction:
         Spring constant of an optional harmonic pull toward nucleation sites,
         used by scaled workloads to accelerate the supercooled gas's natural
@@ -105,16 +117,28 @@ class ForceField:
         cells_per_side: int | None = None,
         attraction: float = 0.0,
         attractors: np.ndarray | None = None,
+        skin: float = 0.4,
+        max_reuse: int = 20,
+        cell_list: CellList | None = None,
     ) -> None:
-        if backend not in ("kdtree", "cells"):
+        if backend not in BACKENDS:
             raise ConfigurationError(f"unknown backend {backend!r}")
-        if backend == "cells" and cells_per_side is None:
+        if backend == "cells" and cells_per_side is None and cell_list is None:
             raise ConfigurationError("the 'cells' backend requires cells_per_side")
         if attraction < 0:
             raise ConfigurationError(f"attraction must be non-negative, got {attraction}")
+        if skin <= 0:
+            raise ConfigurationError(f"skin must be positive, got {skin}")
+        if max_reuse < 0:
+            raise ConfigurationError(f"max_reuse must be non-negative, got {max_reuse}")
         self.potential = potential
         self.backend = backend
-        self.cells_per_side = cells_per_side
+        self.cells_per_side = (
+            cell_list.cells_per_side if cells_per_side is None and cell_list is not None
+            else cells_per_side
+        )
+        self.skin = float(skin)
+        self.max_reuse = int(max_reuse)
         self.attraction = float(attraction)
         if attractors is not None:
             attractors = np.ascontiguousarray(attractors, dtype=np.float64)
@@ -123,20 +147,74 @@ class ForceField:
                     f"attractors must have shape (K, 3) with K >= 1, got {attractors.shape}"
                 )
         self.attractors = attractors
+        #: Pair-search instrumentation (rebuilds, reuses, candidate counts).
+        self.stats = NeighborStats()
+        # The search structures are box-dependent; build lazily on first use
+        # (and exactly once -- rebuilding a CellList per call was the seed's
+        # hidden per-step overhead), or adopt the caller's shared CellList.
+        self._cell_list: CellList | None = cell_list
+        self._verlet: VerletList | None = None
+
+    def _get_cell_list(self, box_length: float) -> CellList:
+        if self._cell_list is None:
+            self._cell_list = CellList(box_length, int(self.cells_per_side))
+        elif abs(self._cell_list.box_length - box_length) > 1e-9:
+            raise ConfigurationError(
+                f"cell list box {self._cell_list.box_length} != system box {box_length}"
+            )
+        return self._cell_list
+
+    def _get_verlet(self, box_length: float) -> VerletList:
+        if self._verlet is None:
+            self._verlet = VerletList(
+                box_length,
+                self.potential.cutoff,
+                self.skin,
+                max_reuse=self.max_reuse,
+                stats=self.stats,
+            )
+        elif abs(self._verlet.box_length - box_length) > 1e-9:
+            raise ConfigurationError(
+                f"Verlet list box {self._verlet.box_length} != system box {box_length}"
+            )
+        return self._verlet
+
+    @property
+    def verlet_list(self) -> VerletList | None:
+        """The backing Verlet list (``None`` until first use / other backends)."""
+        return self._verlet
+
+    def invalidate_cache(self) -> None:
+        """Drop any cached neighbour structure (next evaluation rebuilds)."""
+        if self._verlet is not None:
+            self._verlet.invalidate()
 
     def find_pairs(self, system: ParticleSystem) -> np.ndarray:
-        """Interacting pairs under the configured backend."""
+        """Interacting pairs (within the true cut-off) under the configured backend."""
         if self.backend == "kdtree":
-            return pairs_kdtree(system.positions, system.box_length, self.potential.cutoff)
-        cell_list = CellList(system.box_length, int(self.cells_per_side))
-        return pairs_celllist(system.positions, cell_list, self.potential.cutoff)
+            pairs = pairs_kdtree(system.positions, system.box_length, self.potential.cutoff)
+            self.stats.record_build(len(pairs))
+            return pairs
+        if self.backend == "verlet":
+            return self._get_verlet(system.box_length).pairs(system.positions)
+        cell_list = self._get_cell_list(system.box_length)
+        pairs = pairs_celllist(system.positions, cell_list, self.potential.cutoff)
+        self.stats.record_build(len(pairs))
+        return pairs
+
+    def _candidate_pairs(self, system: ParticleSystem) -> np.ndarray:
+        """Pair list for the force kernel (may exceed the cut-off; filtered there)."""
+        if self.backend == "verlet":
+            return self._get_verlet(system.box_length).candidates(system.positions)
+        return self.find_pairs(system)
 
     def compute(self, system: ParticleSystem) -> ForceResult:
         """Evaluate forces, writing them into ``system.forces`` as well."""
-        pairs = self.find_pairs(system)
+        pairs = self._candidate_pairs(system)
         result = forces_from_pairs(
             system.positions, pairs, system.box_length, self.potential, system.n
         )
+        self.stats.record_evaluation(len(pairs), result.n_pairs)
         forces = result.forces
         potential_energy = result.potential_energy
         if self.attraction > 0.0:

@@ -1,23 +1,35 @@
 """Pair finding: who interacts with whom within the cut-off.
 
-Two interchangeable backends produce identical pair sets (tested against
-each other):
+Interchangeable backends produce identical pair sets (tested against each
+other):
 
 ``pairs_kdtree``
     scipy's periodic cKDTree -- the fast default (compiled C).
 ``pairs_celllist``
-    the faithful linked-cell search of the paper, vectorised with a padded
-    occupancy matrix -- pure NumPy, used as the reference kernel and by the
-    per-PE decomposed force path.
+    the faithful linked-cell search of the paper, vectorised with a CSR
+    (sorted-run) candidate generator -- pure NumPy, linear in the actual
+    candidate count and robust to skewed occupancies, used as the reference
+    kernel and by the per-PE decomposed force path.
+``VerletList``
+    a cached pair list built with ``cutoff + skin`` and reused across steps
+    until any particle moves farther than ``skin / 2``; the ``"verlet"``
+    backend of :class:`repro.md.forces.ForceField`.
+
+``candidate_pairs_padded`` keeps the legacy padded-occupancy generator,
+which costs O(n_cells * max_count^2) and blows up on the concentrated
+configurations this paper studies; it remains as a correctness oracle and a
+benchmark baseline (see ``benchmarks/bench_kernels.py``).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 from scipy.spatial import cKDTree
 
 from ..errors import GeometryError
-from .celllist import HALF_STENCIL, CellList
+from .celllist import HALF_STENCIL, CellList, CellSort
 from .pbc import minimum_image
 
 
@@ -47,8 +59,15 @@ def pairs_kdtree(positions: np.ndarray, box_length: float, cutoff: float) -> np.
     return np.ascontiguousarray(pairs[keep], dtype=np.int64)
 
 
+def _check_grid(cell_list: CellList) -> None:
+    if cell_list.cells_per_side < 3:
+        raise GeometryError(
+            f"cell-list pair search needs >= 3 cells per side, got {cell_list.cells_per_side}"
+        )
+
+
 def candidate_pairs_celllist(
-    positions: np.ndarray, cell_list: CellList, cell_ids: np.ndarray | None = None
+    positions: np.ndarray, cell_list: CellList, sort: CellSort | None = None
 ) -> np.ndarray:
     """All particle pairs sharing a cell or sitting in adjacent cells.
 
@@ -56,14 +75,84 @@ def candidate_pairs_celllist(
     combination of molecules within each cell and its neighbouring 26
     cells"), before the distance test. Requires ``nc >= 3`` so the periodic
     half stencil visits each unordered cell pair exactly once.
+
+    The generator walks the CSR cell sort (``order``/``starts``) with
+    ``np.repeat``-built index arithmetic, so its cost is linear in the number
+    of candidates actually emitted -- unlike the padded-occupancy generator
+    (:func:`candidate_pairs_padded`), whose cost scales with the *square of
+    the fullest cell* across every cell, a pathology on clustered
+    configurations. Pass a precomputed ``sort`` to reuse a snapshot's
+    :meth:`repro.md.celllist.CellList.cell_sort`.
     """
-    if cell_list.cells_per_side < 3:
-        raise GeometryError(
-            f"cell-list pair search needs >= 3 cells per side, got {cell_list.cells_per_side}"
-        )
+    _check_grid(cell_list)
     if len(positions) == 0:
         return np.empty((0, 2), dtype=np.int64)
-    occupancy, counts = cell_list.padded_occupancy(positions)
+    if sort is None:
+        sort = cell_list.cell_sort(positions)
+    order, counts, starts = sort.order, sort.counts, sort.starts
+    n = sort.n
+
+    chunks: list[np.ndarray] = []
+
+    # Intra-cell pairs: each sorted slot pairs with every later slot of its
+    # cell's run, so slot s contributes (run_end - s - 1) pairs.
+    sorted_cells = sort.flat[order]
+    slots = np.arange(n, dtype=np.int64)
+    reps = starts[sorted_cells + 1] - slots - 1
+    total = int(reps.sum())
+    if total:
+        a_slots = np.repeat(slots, reps)
+        seg_start = np.cumsum(reps) - reps
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(seg_start, reps)
+        b_slots = a_slots + 1 + offsets
+        chunks.append(np.column_stack((order[a_slots], order[b_slots])))
+
+    # Inter-cell pairs: for each of the 13 half offsets, the cross product of
+    # each occupied cell's run with its (occupied) neighbour's run.
+    occupied = np.flatnonzero(counts > 0)
+    for offset in HALF_STENCIL:
+        neighbor = cell_list.neighbor_ids(offset)
+        nbr = neighbor[occupied]
+        mask = counts[nbr] > 0
+        cells = occupied[mask]
+        if len(cells) == 0:
+            continue
+        nbr = nbr[mask]
+        count_a = counts[cells]
+        count_b = counts[nbr]
+        per_cell = count_a * count_b
+        total = int(per_cell.sum())
+        cell_idx = np.repeat(np.arange(len(cells), dtype=np.int64), per_cell)
+        seg_start = np.cumsum(per_cell) - per_cell
+        within = np.arange(total, dtype=np.int64) - seg_start[cell_idx]
+        local_b = count_b[cell_idx]
+        local_a = within // local_b
+        a = order[starts[cells][cell_idx] + local_a]
+        b = order[starts[nbr][cell_idx] + within - local_a * local_b]
+        chunks.append(np.column_stack((a, b)))
+
+    if not chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.ascontiguousarray(np.concatenate(chunks, axis=0), dtype=np.int64)
+
+
+def candidate_pairs_padded(
+    positions: np.ndarray, cell_list: CellList, sort: CellSort | None = None
+) -> np.ndarray:
+    """Legacy padded-occupancy candidate generator (correctness oracle).
+
+    Same candidate set as :func:`candidate_pairs_celllist` (up to row order)
+    via an ``(n_cells, max_count)`` padded matrix and broadcasting. Cost is
+    O(n_cells * max_count^2): fine for uniform gases, catastrophic once a few
+    cells concentrate most of the particles. Kept for cross-checking and as
+    the baseline of the clustered-configuration benchmarks.
+    """
+    _check_grid(cell_list)
+    if len(positions) == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if sort is None:
+        sort = cell_list.cell_sort(positions)
+    occupancy, counts = cell_list.padded_occupancy(positions, sort=sort)
     n_cells, max_count = occupancy.shape
 
     chunks: list[np.ndarray] = []
@@ -101,7 +190,10 @@ def candidate_pairs_celllist(
 
 
 def pairs_celllist(
-    positions: np.ndarray, cell_list: CellList, cutoff: float
+    positions: np.ndarray,
+    cell_list: CellList,
+    cutoff: float,
+    sort: CellSort | None = None,
 ) -> np.ndarray:
     """Unordered pairs within ``cutoff`` found through the linked-cell search."""
     if cutoff > cell_list.cell_size + 1e-12:
@@ -109,7 +201,7 @@ def pairs_celllist(
             f"cutoff {cutoff} exceeds cell size {cell_list.cell_size}: "
             "the 26-neighbour stencil would miss pairs"
         )
-    candidates = candidate_pairs_celllist(positions, cell_list)
+    candidates = candidate_pairs_celllist(positions, cell_list, sort=sort)
     if len(candidates) == 0:
         return candidates
     delta = minimum_image(
@@ -131,3 +223,220 @@ def canonical_pairs(pairs: np.ndarray) -> np.ndarray:
     stacked = np.column_stack((lo, hi))
     order = np.lexsort((stacked[:, 1], stacked[:, 0]))
     return stacked[order]
+
+
+# -- Verlet neighbour-list caching ----------------------------------------
+
+
+@dataclass
+class NeighborStats:
+    """Counters of the pair-search layer (surfaced via instrumentation).
+
+    Attributes
+    ----------
+    rebuilds:
+        Full pair searches executed.
+    reuses:
+        Steps served from a cached Verlet list without a search.
+    candidate_pairs:
+        Candidates emitted by the last search (cutoff + skin ball for the
+        Verlet backend; stencil candidates for the cell backend).
+    accepted_pairs:
+        Pairs within the true cut-off at the last force evaluation.
+    total_candidates, total_accepted:
+        Running sums of the above across the run.
+    """
+
+    rebuilds: int = 0
+    reuses: int = 0
+    candidate_pairs: int = 0
+    accepted_pairs: int = 0
+    total_candidates: int = 0
+    total_accepted: int = 0
+
+    def record_build(self, n_candidates: int) -> None:
+        """Account one full pair search producing ``n_candidates``."""
+        self.rebuilds += 1
+        self.candidate_pairs = int(n_candidates)
+
+    def record_reuse(self) -> None:
+        """Account one step served from the cache."""
+        self.reuses += 1
+
+    def record_evaluation(self, n_candidates: int, n_accepted: int) -> None:
+        """Account one force evaluation's candidate/accepted pair counts."""
+        self.candidate_pairs = int(n_candidates)
+        self.accepted_pairs = int(n_accepted)
+        self.total_candidates += int(n_candidates)
+        self.total_accepted += int(n_accepted)
+
+    @property
+    def evaluations(self) -> int:
+        """Force evaluations seen (rebuilds + cache reuses)."""
+        return self.rebuilds + self.reuses
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Fraction of evaluations served without a pair search."""
+        total = self.evaluations
+        return self.reuses / total if total else 0.0
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Accepted / candidate pairs over the run (search selectivity)."""
+        return self.total_accepted / self.total_candidates if self.total_candidates else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Flat summary for reports and machine-readable dumps."""
+        return {
+            "rebuilds": self.rebuilds,
+            "reuses": self.reuses,
+            "reuse_ratio": self.reuse_ratio,
+            "candidate_pairs": self.candidate_pairs,
+            "accepted_pairs": self.accepted_pairs,
+            "acceptance_ratio": self.acceptance_ratio,
+        }
+
+
+class VerletList:
+    """A reusable pair list with a skin radius (Verlet neighbour list).
+
+    The list is built with search radius ``cutoff + skin`` and stays valid as
+    long as no particle has moved farther than ``skin / 2`` from its position
+    at build time: two particles outside ``cutoff + skin`` then cannot have
+    approached within ``cutoff``. The expensive pair search therefore runs
+    once every ~10-20 steps instead of every step.
+
+    Parameters
+    ----------
+    box_length:
+        Periodic box edge.
+    cutoff:
+        True interaction cut-off ``r_c``.
+    skin:
+        Extra search margin (> 0). Larger skins rebuild less often but carry
+        more candidates per evaluation.
+    max_reuse:
+        Hard cap on consecutive reuses before a forced rebuild (0 = no cap);
+        a safety valve against drift in long NVE stretches.
+    builder:
+        ``"kdtree"`` (default) or ``"cells"``: backend used for the builds.
+    cells_per_side:
+        Grid resolution for the ``"cells"`` builder (cell edge must be at
+        least ``cutoff + skin``).
+    stats:
+        Optional shared :class:`NeighborStats` to count into.
+    """
+
+    def __init__(
+        self,
+        box_length: float,
+        cutoff: float,
+        skin: float,
+        max_reuse: int = 0,
+        builder: str = "kdtree",
+        cells_per_side: int | None = None,
+        stats: NeighborStats | None = None,
+    ) -> None:
+        if cutoff <= 0:
+            raise GeometryError(f"cutoff must be positive, got {cutoff}")
+        if skin <= 0:
+            raise GeometryError(f"skin must be positive, got {skin}")
+        if max_reuse < 0:
+            raise GeometryError(f"max_reuse must be non-negative, got {max_reuse}")
+        if 2.0 * (cutoff + skin) > box_length:
+            raise GeometryError(
+                f"search radius {cutoff + skin} too large for box {box_length} "
+                "(needs L >= 2*(r_c + skin); shrink the skin)"
+            )
+        if builder not in ("kdtree", "cells"):
+            raise GeometryError(f"unknown Verlet builder {builder!r}")
+        self.box_length = float(box_length)
+        self.cutoff = float(cutoff)
+        self.skin = float(skin)
+        self.max_reuse = int(max_reuse)
+        self.builder = builder
+        self.stats = stats if stats is not None else NeighborStats()
+        self._cell_list: CellList | None = None
+        if builder == "cells":
+            if cells_per_side is None:
+                raise GeometryError("the 'cells' Verlet builder requires cells_per_side")
+            self._cell_list = CellList(box_length, int(cells_per_side))
+            if self.radius > self._cell_list.cell_size + 1e-12:
+                raise GeometryError(
+                    f"search radius {self.radius} exceeds cell size "
+                    f"{self._cell_list.cell_size}: coarsen the grid or shrink the skin"
+                )
+        self._pairs: np.ndarray | None = None
+        self._reference: np.ndarray | None = None
+        self._reuse_streak = 0
+
+    @property
+    def radius(self) -> float:
+        """Search radius ``cutoff + skin`` of the cached list."""
+        return self.cutoff + self.skin
+
+    @property
+    def is_built(self) -> bool:
+        """Whether a cached list currently exists."""
+        return self._pairs is not None
+
+    def invalidate(self) -> None:
+        """Drop the cached list (next :meth:`candidates` call rebuilds)."""
+        self._pairs = None
+        self._reference = None
+        self._reuse_streak = 0
+
+    def max_displacement_sq(self, positions: np.ndarray) -> float:
+        """Largest squared displacement since the last build (minimum image)."""
+        if self._reference is None or len(positions) != len(self._reference):
+            return np.inf
+        delta = minimum_image(positions - self._reference, self.box_length)
+        return float(np.einsum("ij,ij->i", delta, delta).max(initial=0.0))
+
+    def needs_rebuild(self, positions: np.ndarray) -> bool:
+        """True when the cached list no longer covers ``positions``."""
+        if self._pairs is None:
+            return True
+        if self.max_reuse and self._reuse_streak >= self.max_reuse:
+            return True
+        half_skin = 0.5 * self.skin
+        return self.max_displacement_sq(positions) > half_skin * half_skin
+
+    def build(self, positions: np.ndarray) -> np.ndarray:
+        """Run the full pair search at ``cutoff + skin`` and cache the result."""
+        if self._cell_list is not None:
+            pairs = pairs_celllist(positions, self._cell_list, self.radius)
+        else:
+            pairs = pairs_kdtree(positions, self.box_length, self.radius)
+        self._pairs = pairs
+        self._reference = np.array(positions, copy=True)
+        self._reuse_streak = 0
+        self.stats.record_build(len(pairs))
+        return pairs
+
+    def candidates(self, positions: np.ndarray) -> np.ndarray:
+        """Candidate pairs covering every interaction of ``positions``.
+
+        Rebuilds when stale, otherwise returns the cached list (a superset of
+        the true pair set; callers filter by the actual cut-off).
+        """
+        if self.needs_rebuild(positions):
+            return self.build(positions)
+        self._reuse_streak += 1
+        self.stats.record_reuse()
+        assert self._pairs is not None
+        return self._pairs
+
+    def pairs(self, positions: np.ndarray) -> np.ndarray:
+        """Exact pairs within ``cutoff`` (cached candidates + distance filter)."""
+        candidates = self.candidates(positions)
+        if len(candidates) == 0:
+            return candidates
+        delta = minimum_image(
+            positions[candidates[:, 0]] - positions[candidates[:, 1]], self.box_length
+        )
+        r_sq = np.einsum("ij,ij->i", delta, delta)
+        return np.ascontiguousarray(
+            candidates[r_sq < self.cutoff * self.cutoff], dtype=np.int64
+        )

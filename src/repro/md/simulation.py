@@ -85,6 +85,8 @@ class SerialSimulation:
         cells_per_side: int | None = None,
         system: ParticleSystem | None = None,
         shift_potential: bool = True,
+        skin: float = 0.4,
+        neighbor_max_reuse: int = 20,
     ) -> None:
         self.config = config
         rng = generator(seed)
@@ -96,11 +98,18 @@ class SerialSimulation:
             cells_per_side=cells_per_side,
             attraction=config.attraction,
             attractors=attractor_sites(config, rng),
+            skin=skin,
+            max_reuse=neighbor_max_reuse,
         )
         self.integrator = VelocityVerlet(config.dt)
         self.thermostat = VelocityRescale(config.temperature, config.rescale_interval)
         self.step_count = 0
         self._last_force: ForceResult = self.integrator.initialize(self.system, self.force_field)
+
+    @property
+    def neighbor_stats(self):
+        """Pair-search counters (rebuilds/reuses) of the underlying force field."""
+        return self.force_field.stats
 
     def observe(self) -> StepObservables:
         """Snapshot the current observables."""

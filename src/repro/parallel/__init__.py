@@ -9,7 +9,7 @@ See DESIGN.md, "Substitutions".
 
 from .clock import PEClocks
 from .costmodel import ComputeCostModel, calibrate_tau_pair
-from .instrumentation import StepTiming, TimingLog
+from .instrumentation import NeighborStats, StepTiming, TimingLog
 from .machine import VirtualMachine
 from .message import Message, TrafficLog
 from .network import NetworkModel, preset
@@ -19,6 +19,7 @@ from .topology import Ring, Torus2D, Torus3D
 __all__ = [
     "ComputeCostModel",
     "Message",
+    "NeighborStats",
     "NetworkModel",
     "PEClocks",
     "Ring",

@@ -3,6 +3,10 @@
 ``Tt``  -- execution time of the step (max over PEs: barrier semantics).
 ``Fmax/Fave/Fmin`` -- maximum / average / minimum force-calculation time
 across PEs (Figure 6's four curves).
+
+This module also surfaces :class:`NeighborStats` -- the pair-search layer's
+counters (Verlet-list rebuilds vs reuses, candidate vs accepted pairs) --
+so runners can report the neighbour-caching win alongside the timing series.
 """
 
 from __future__ import annotations
@@ -12,6 +16,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import AnalysisError
+from ..md.neighbors import NeighborStats
+
+__all__ = ["NeighborStats", "StepTiming", "TimingLog"]
 
 
 @dataclass(frozen=True)

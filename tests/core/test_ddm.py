@@ -121,3 +121,48 @@ class TestDecomposedForcePass:
 @pytest.fixture
 def rng():
     return np.random.default_rng(11)
+
+
+class TestCandidateDrivenPass:
+    """The decomposed pass fed a shared (Verlet-style) candidate list."""
+
+    def test_matches_search_driven_pass(self, setup):
+        from repro.md.neighbors import VerletList
+
+        system, cell_list, assignment, potential = setup
+        owner = assignment.cell_owner_map()
+        verlet = VerletList(system.box_length, potential.cutoff, 0.4)
+        candidates = verlet.candidates(system.positions)
+        fresh = decomposed_force_pass(system, cell_list, owner, 9, potential)
+        cached = decomposed_force_pass(
+            system, cell_list, owner, 9, potential, candidate_pairs=candidates
+        )
+        assert np.allclose(cached.forces, fresh.forces, atol=1e-9)
+        assert cached.potential_energy == pytest.approx(
+            fresh.potential_energy, rel=1e-9
+        )
+
+    def test_matches_global_kernel(self, setup):
+        from repro.md.neighbors import pairs_kdtree
+
+        system, cell_list, assignment, potential = setup
+        owner = assignment.cell_owner_map()
+        pairs = pairs_kdtree(system.positions, system.box_length, potential.cutoff)
+        global_result = ForceField(potential).compute(system.copy())
+        cached = decomposed_force_pass(
+            system, cell_list, owner, 9, potential, candidate_pairs=pairs
+        )
+        assert np.allclose(cached.forces, global_result.forces, atol=1e-9)
+        assert cached.potential_energy == pytest.approx(
+            global_result.potential_energy, rel=1e-9
+        )
+
+    def test_empty_candidates(self, setup):
+        system, cell_list, assignment, potential = setup
+        owner = assignment.cell_owner_map()
+        result = decomposed_force_pass(
+            system, cell_list, owner, 9, potential,
+            candidate_pairs=np.empty((0, 2), dtype=np.int64),
+        )
+        assert np.allclose(result.forces, 0.0)
+        assert result.per_pe_pairs.sum() == 0

@@ -143,3 +143,48 @@ class TestNeighborCountSum:
 @pytest.fixture
 def rng():
     return np.random.default_rng(7)
+
+
+class TestCellSort:
+    def test_matches_sorted_particles_and_padded_occupancy(self, gas_positions):
+        pos, box = gas_positions
+        cl = CellList(box, 4)
+        sort = cl.cell_sort(pos)
+        order, starts = cl.sorted_particles(pos, sort=sort)
+        assert order is sort.order and starts is sort.starts
+        occ, counts = cl.padded_occupancy(pos, sort=sort)
+        occ2, counts2 = cl.padded_occupancy(pos)
+        assert np.array_equal(occ, occ2)
+        assert np.array_equal(counts, counts2)
+
+    def test_counts_consistent_with_grid(self, gas_positions):
+        pos, box = gas_positions
+        cl = CellList(box, 4)
+        sort = cl.cell_sort(pos)
+        assert np.array_equal(sort.counts.reshape((4, 4, 4)), cl.counts(pos))
+
+    def test_csr_partition(self, gas_positions):
+        pos, box = gas_positions
+        cl = CellList(box, 4)
+        sort = cl.cell_sort(pos)
+        for c in range(cl.n_cells):
+            members = sort.order[sort.starts[c]: sort.starts[c + 1]]
+            assert np.all(sort.flat[members] == c)
+
+
+class TestStencilCache:
+    def test_neighbor_ids_cached_per_offset(self):
+        cl = CellList(9.0, 3)
+        first = cl.neighbor_ids((1, 0, 0))
+        second = cl.neighbor_ids((1, 0, 0))
+        assert first is second  # computed once, reused
+
+    def test_cached_tables_are_read_only(self):
+        cl = CellList(9.0, 3)
+        nbr = cl.neighbor_ids((0, 1, 0))
+        with pytest.raises(ValueError):
+            nbr[0] = 99
+
+    def test_distinct_offsets_distinct_tables(self):
+        cl = CellList(9.0, 3)
+        assert not np.array_equal(cl.neighbor_ids((1, 0, 0)), cl.neighbor_ids((0, 0, 1)))

@@ -146,3 +146,60 @@ class TestCanonicalPairs:
 @pytest.fixture
 def rng():
     return np.random.default_rng(42)
+
+
+class TestPaddedGeneratorParity:
+    """The CSR sorted-run generator against the legacy padded oracle."""
+
+    def test_uniform_gas(self, rng):
+        from repro.md.neighbors import candidate_pairs_padded
+
+        box = 10.5
+        pos = rng.uniform(0, box, (200, 3))
+        cl = CellList(box, 4)
+        a = canonical_pairs(candidate_pairs_celllist(pos, cl))
+        b = canonical_pairs(candidate_pairs_padded(pos, cl))
+        assert np.array_equal(a, b)
+
+    def test_clustered_gas(self, rng):
+        from repro.md.neighbors import candidate_pairs_padded
+
+        box = 10.5
+        pos = np.mod(rng.normal(box / 2, 0.7, (200, 3)), box)
+        cl = CellList(box, 4)
+        a = canonical_pairs(candidate_pairs_celllist(pos, cl))
+        b = canonical_pairs(candidate_pairs_padded(pos, cl))
+        assert np.array_equal(a, b)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1), st.integers(min_value=1, max_value=150))
+    @settings(max_examples=25, deadline=None)
+    def test_generators_agree_on_random_gases(self, seed, n):
+        from repro.md.neighbors import candidate_pairs_padded
+
+        rng = np.random.default_rng(seed)
+        box = 12.0
+        # Mix of a blob and a uniform background: skewed occupancies.
+        blob = rng.normal(box / 3, 0.5, (n // 2, 3))
+        rest = rng.uniform(0, box, (n - n // 2, 3))
+        pos = np.mod(np.vstack([blob, rest]), box)
+        cl = CellList(box, rng.integers(3, 6))
+        a = canonical_pairs(candidate_pairs_celllist(pos, cl))
+        b = canonical_pairs(candidate_pairs_padded(pos, cl))
+        assert np.array_equal(a, b)
+
+    def test_precomputed_sort_is_honoured(self, rng):
+        box = 9.0
+        pos = rng.uniform(0, box, (90, 3))
+        cl = CellList(box, 3)
+        sort = cl.cell_sort(pos)
+        with_sort = canonical_pairs(candidate_pairs_celllist(pos, cl, sort=sort))
+        without = canonical_pairs(candidate_pairs_celllist(pos, cl))
+        assert np.array_equal(with_sort, without)
+
+    def test_single_particle_and_empty(self):
+        cl = CellList(9.0, 3)
+        from repro.md.neighbors import candidate_pairs_padded
+
+        for pos in (np.empty((0, 3)), np.array([[1.0, 1.0, 1.0]])):
+            assert candidate_pairs_celllist(pos, cl).shape == (0, 2)
+            assert candidate_pairs_padded(pos, cl).shape == (0, 2)

@@ -66,3 +66,25 @@ class TestCommands:
     def test_calibrate(self, capsys):
         assert main(["calibrate", "--particles", "256", "--repeats", "1"]) == 0
         assert "tau_pair" in capsys.readouterr().out
+
+
+class TestBackendFlag:
+    def test_backend_and_skin_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "bench-m2", "--backend", "verlet", "--skin", "0.3"]
+        )
+        assert args.backend == "verlet"
+        assert args.skin == 0.3
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bench-m2", "--backend", "gpu"])
+
+    def test_run_with_verlet_backend(self, capsys):
+        code = main(["run", "bench-m2", "--mode", "dlb", "--steps", "5",
+                     "--record-interval", "1", "--backend", "verlet"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Tt" in captured.out
+        assert "rebuilds" in captured.err

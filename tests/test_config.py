@@ -114,11 +114,21 @@ class TestRunConfig:
             {"steps": 1, "record_interval": 0},
             {"steps": 1, "force_backend": "gpu"},
             {"steps": 1, "timing_mode": "exact"},
+            {"steps": 1, "skin": 0.0},
+            {"steps": 1, "skin": -0.2},
+            {"steps": 1, "neighbor_max_reuse": -1},
         ],
     )
     def test_rejects_invalid(self, kwargs):
         with pytest.raises(ConfigurationError):
             RunConfig(**kwargs)
+
+    def test_verlet_backend_accepted(self):
+        config = RunConfig(steps=1, force_backend="verlet", skin=0.3,
+                           neighbor_max_reuse=0)
+        assert config.force_backend == "verlet"
+        assert config.skin == 0.3
+        assert config.neighbor_max_reuse == 0
 
 
 class TestSimulationConfig:

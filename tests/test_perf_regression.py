@@ -1,0 +1,86 @@
+"""Opt-in perf regression gate (``pytest -m perf``).
+
+Tier-1 never runs this: the module is guarded by the ``perf`` marker (which
+``pyproject.toml`` deselects by default), so the expensive kernel benchmark
+pass stays out of the fast suite. CI opts in with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py -q   # regenerate
+    PYTHONPATH=src python -m pytest -m perf tests/test_perf_regression.py
+
+which compares the freshly written ``BENCH_kernels.json`` against the
+committed baseline and fails on a >1.3x slowdown in any kernel.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS = REPO_ROOT / "BENCH_kernels.json"
+
+pytestmark = pytest.mark.perf
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCompareKernels:
+    """Unit coverage of the comparison logic (cheap, still opt-in)."""
+
+    def test_detects_regression(self):
+        checker = _load_checker()
+        base = {"kernels": {"k": {"mean_s": 1.0}}}
+        fresh = {"kernels": {"k": {"mean_s": 1.5}}}
+        regressions, _ = checker.compare_kernels(base, fresh, threshold=1.3)
+        assert len(regressions) == 1
+
+    def test_within_threshold_passes(self):
+        checker = _load_checker()
+        base = {"kernels": {"k": {"mean_s": 1.0}}}
+        fresh = {"kernels": {"k": {"mean_s": 1.2}}}
+        regressions, notes = checker.compare_kernels(base, fresh, threshold=1.3)
+        assert not regressions
+        assert any("OK" in n for n in notes)
+
+    def test_new_and_missing_kernels_do_not_fail(self):
+        checker = _load_checker()
+        base = {"kernels": {"gone": {"mean_s": 1.0}}}
+        fresh = {"kernels": {"added": {"mean_s": 1.0}}}
+        regressions, notes = checker.compare_kernels(base, fresh)
+        assert not regressions
+        assert len(notes) == 2
+
+
+class TestCommittedBaseline:
+    def test_baseline_exists_and_is_wellformed(self):
+        assert RESULTS.exists(), "run the kernel benchmarks to create BENCH_kernels.json"
+        payload = json.loads(RESULTS.read_text())
+        assert payload["schema"] == 1
+        assert "pairs_celllist_clustered" in payload["kernels"]
+
+    def test_csr_beats_padded_by_2x_on_clustered_config(self):
+        """Acceptance criterion of the tentpole: >= 2x on the skewed case."""
+        payload = json.loads(RESULTS.read_text())
+        assert payload["derived"]["clustered_padded_over_csr"] >= 2.0
+
+    def test_fresh_run_against_committed_baseline(self):
+        """The actual gate: current timings vs the committed file.
+
+        When BENCH_kernels.json has just been regenerated this compares the
+        working tree's timings against whatever git has (CI diffs the two
+        checkouts); locally it degenerates to self-comparison and passes.
+        """
+        checker = _load_checker()
+        payload = json.loads(RESULTS.read_text())
+        regressions, _ = checker.compare_kernels(payload, payload)
+        assert not regressions
