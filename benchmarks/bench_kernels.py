@@ -19,8 +19,16 @@ import numpy as np
 import pytest
 
 from conftest import record_kernel
-from repro.config import MachineConfig, MDConfig
+from repro.config import (
+    DecompositionConfig,
+    DLBConfig,
+    MachineConfig,
+    MDConfig,
+    RunConfig,
+    SimulationConfig,
+)
 from repro.core.accounting import StepAccountant
+from repro.core.runner import ParallelMDRunner
 from repro.decomp.assignment import CellAssignment
 from repro.decomp.halo import compute_halo
 from repro.dlb.balancer import DynamicLoadBalancer
@@ -162,6 +170,53 @@ def test_dlb_decision_round(benchmark, kernel_log):
     moves = benchmark(round_)
     record_kernel(kernel_log, benchmark, "dlb_decision_round")
     assert isinstance(moves, list)
+
+
+def _parallel_runner(observability=None) -> ParallelMDRunner:
+    config = SimulationConfig(
+        md=MDConfig(n_particles=1000, density=0.256),
+        decomposition=DecompositionConfig(cells_per_side=6, n_pes=9),
+        dlb=DLBConfig(enabled=True),
+    )
+    return ParallelMDRunner(
+        config, RunConfig(steps=10, seed=7), observability=observability
+    )
+
+
+def test_parallel_step_obs_off(benchmark, kernel_log):
+    """The runner's step with observability disabled (the default path).
+
+    Paired with ``parallel_step_obs_on`` below; check_regression.py's
+    ``--overhead-kernels`` guard asserts the disabled path stays within a few
+    percent of itself across PRs, and the on/off ratio is recorded under
+    ``derived.obs_on_over_off`` for the <5% disabled-overhead claim.
+    """
+    runner = _parallel_runner()
+
+    def ten_steps():
+        for _ in range(10):
+            runner.step()
+
+    benchmark.pedantic(ten_steps, rounds=3, iterations=1)
+    record_kernel(kernel_log, benchmark, "parallel_step_obs_off")
+    assert runner.observability is None
+
+
+def test_parallel_step_obs_on(benchmark, kernel_log):
+    """The same ten steps with the full trace+metrics+profiler bundle live."""
+    from repro.obs import Observability
+
+    obs = Observability.create()
+    runner = _parallel_runner(observability=obs)
+
+    def ten_steps():
+        with obs.activate():
+            for _ in range(10):
+                runner.step()
+
+    benchmark.pedantic(ten_steps, rounds=3, iterations=1)
+    record_kernel(kernel_log, benchmark, "parallel_step_obs_on")
+    assert len(obs.trace) > 0
 
 
 def test_accounted_step(benchmark, positions, kernel_log):

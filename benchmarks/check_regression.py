@@ -31,6 +31,13 @@ DEFAULT_RESULTS = REPO_ROOT / "BENCH_kernels.json"
 #: Allowed slowdown factor before the check fails.
 DEFAULT_THRESHOLD = 1.3
 
+#: Allowed observability overhead: the disabled path must stay within this
+#: factor of the baseline's disabled path (the "<5% when off" guarantee).
+DEFAULT_OVERHEAD_THRESHOLD = 1.05
+
+#: Kernels covered by the tighter overhead threshold.
+DEFAULT_OVERHEAD_KERNELS = ("parallel_step_obs_off",)
+
 
 def compare_kernels(
     baseline: dict, fresh: dict, threshold: float = DEFAULT_THRESHOLD
@@ -68,6 +75,41 @@ def compare_kernels(
     return regressions, notes
 
 
+def check_overhead(
+    baseline: dict,
+    fresh: dict,
+    kernels: tuple[str, ...] = DEFAULT_OVERHEAD_KERNELS,
+    threshold: float = DEFAULT_OVERHEAD_THRESHOLD,
+) -> tuple[list[str], list[str]]:
+    """Tighter guard on the observability-off hot path.
+
+    The nullable-observer contract says tracing *disabled* must cost under
+    ~5%: compare the named kernels against the baseline at ``threshold``
+    instead of the looser general threshold. Kernels missing on either side
+    are a note, not a failure (baselines predating the benchmark must pass).
+    """
+    base_kernels = baseline.get("kernels", {})
+    fresh_kernels = fresh.get("kernels", {})
+    failures: list[str] = []
+    notes: list[str] = []
+    for name in kernels:
+        if name not in base_kernels or name not in fresh_kernels:
+            notes.append(f"OVERHEAD {name}: not present on both sides, skipped")
+            continue
+        old = float(base_kernels[name]["mean_s"])
+        new = float(fresh_kernels[name]["mean_s"])
+        if old <= 0:
+            notes.append(f"OVERHEAD {name}: non-positive baseline mean, skipped")
+            continue
+        ratio = new / old
+        line = f"{name}: {old * 1e3:.3f} ms -> {new * 1e3:.3f} ms ({ratio:.2f}x)"
+        if ratio > threshold:
+            failures.append(f"OVERHEAD SLOWER {line} (limit {threshold:.2f}x)")
+        else:
+            notes.append(f"OVERHEAD OK     {line}")
+    return failures, notes
+
+
 def load(path: Path) -> dict:
     """Read one BENCH_kernels.json payload."""
     with open(path) as handle:
@@ -95,20 +137,41 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_THRESHOLD,
         help=f"allowed slowdown factor (default {DEFAULT_THRESHOLD})",
     )
+    parser.add_argument(
+        "--overhead-kernels",
+        nargs="*",
+        default=list(DEFAULT_OVERHEAD_KERNELS),
+        help="kernels held to the tighter observability-overhead threshold "
+        f"(default: {' '.join(DEFAULT_OVERHEAD_KERNELS)})",
+    )
+    parser.add_argument(
+        "--overhead-threshold",
+        type=float,
+        default=DEFAULT_OVERHEAD_THRESHOLD,
+        help="allowed slowdown of the overhead kernels "
+        f"(default {DEFAULT_OVERHEAD_THRESHOLD})",
+    )
     args = parser.parse_args(argv)
 
     if not args.fresh.exists():
         print(f"fresh results {args.fresh} not found: run the kernel benchmarks first")
         return 2
-    regressions, notes = compare_kernels(
-        load(args.baseline), load(args.fresh), args.threshold
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    regressions, notes = compare_kernels(baseline, fresh, args.threshold)
+    overhead_failures, overhead_notes = check_overhead(
+        baseline,
+        fresh,
+        kernels=tuple(args.overhead_kernels),
+        threshold=args.overhead_threshold,
     )
-    for line in notes:
+    for line in notes + overhead_notes:
         print(line)
-    for line in regressions:
+    failures = regressions + overhead_failures
+    for line in failures:
         print(line)
-    if regressions:
-        print(f"\n{len(regressions)} kernel(s) regressed beyond {args.threshold}x")
+    if failures:
+        print(f"\n{len(failures)} kernel check(s) failed")
         return 1
     print("\nno kernel regressions")
     return 0

@@ -64,12 +64,17 @@ def kernel_log():
         "machine": platform.machine(),
         "kernels": entries,
     }
+    derived: dict[str, float] = {}
     csr = entries.get("pairs_celllist_clustered")
     padded = entries.get("pairs_celllist_clustered_padded")
     if csr and padded and csr["mean_s"] > 0:
-        payload["derived"] = {
-            "clustered_padded_over_csr": padded["mean_s"] / csr["mean_s"]
-        }
+        derived["clustered_padded_over_csr"] = padded["mean_s"] / csr["mean_s"]
+    obs_off = entries.get("parallel_step_obs_off")
+    obs_on = entries.get("parallel_step_obs_on")
+    if obs_off and obs_on and obs_off["mean_s"] > 0:
+        derived["obs_on_over_off"] = obs_on["mean_s"] / obs_off["mean_s"]
+    if derived:
+        payload["derived"] = derived
     KERNEL_RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 

@@ -25,8 +25,9 @@ import numpy as np
 from .config import RunConfig
 from .core.runner import ParallelMDRunner
 from .experiments.fig10 import run_boundary_experiment
+from .obs import MetricsRegistry, Observability, Profiler, TraceRecorder
 from .parallel.costmodel import calibrate_tau_pair
-from .reporting import comparison_report, format_table, series_preview
+from .reporting import comparison_report, format_table, phase_breakdown, series_preview
 from .theory.bounds import upper_bound
 from .workloads.presets import PRESETS, get_preset
 
@@ -40,13 +41,30 @@ def _cmd_presets(_: argparse.Namespace) -> int:
     return 0
 
 
+def _build_observability(args: argparse.Namespace) -> Observability | None:
+    """Assemble the ``run`` command's observability bundle from its flags."""
+    want_trace = getattr(args, "trace", None) is not None
+    want_metrics = getattr(args, "metrics", None) is not None
+    want_profile = bool(getattr(args, "profile", False))
+    if not (want_trace or want_metrics or want_profile):
+        return None
+    recorder = TraceRecorder() if want_trace else None
+    registry = MetricsRegistry() if want_metrics else None
+    profiler = Profiler(trace=recorder, registry=registry)
+    return Observability(trace=recorder, metrics=registry, profiler=profiler)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     preset = get_preset(args.preset)
     steps = args.steps if args.steps is not None else preset.steps
     results = {}
     modes = {"ddm": False, "dlb": True}
     selected = modes if args.mode == "both" else {args.mode: modes[args.mode]}
-    for label, dlb_enabled in selected.items():
+    obs = _build_observability(args)
+    if obs is not None and obs.trace is not None:
+        for pid, label in enumerate(selected):
+            obs.trace.add_process(pid, f"{label} (simulated clock)", sort_index=pid)
+    for trace_pid, (label, dlb_enabled) in enumerate(selected.items()):
         print(f"running {label} ({steps} steps) ...", file=sys.stderr)
         runner = ParallelMDRunner(
             preset.simulation_config(dlb_enabled=dlb_enabled),
@@ -57,8 +75,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 force_backend=args.backend,
                 skin=args.skin,
             ),
+            observability=obs,
+            trace_pid=trace_pid,
         )
-        results[label] = runner.run()
+        if obs is not None:
+            with obs.activate():
+                results[label] = runner.run()
+        else:
+            results[label] = runner.run()
         stats = runner.neighbor_stats
         if args.backend == "verlet":
             print(
@@ -76,6 +100,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
         for key, value in result.summary().items():
             print(f"  {key}: {value:.6g}")
+    for label, result in results.items():
+        print()
+        print(phase_breakdown(result.timing,
+                              title=f"{label}: per-phase step-time breakdown"))
+    if obs is not None:
+        if obs.trace is not None:
+            obs.trace.write(args.trace)
+            print(f"wrote {len(obs.trace)} trace events to {args.trace}",
+                  file=sys.stderr)
+        if obs.metrics is not None:
+            obs.metrics.write(args.metrics)
+            print(f"wrote {len(obs.metrics)} metrics to {args.metrics}",
+                  file=sys.stderr)
+        if args.profile and obs.profiler is not None:
+            print()
+            print(obs.profiler.table())
     return 0
 
 
@@ -156,6 +196,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.4,
         help="Verlet-list skin radius (verlet backend only)",
+    )
+    run.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON timeline (Perfetto-loadable)",
+    )
+    run.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write the metrics registry (.prom text, or JSON lines for "
+        ".json/.jsonl paths)",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the host kernel wall-clock profile after the run",
     )
     run.set_defaults(func=_cmd_run)
 

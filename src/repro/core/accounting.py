@@ -16,8 +16,9 @@ from ..decomp.assignment import CellAssignment
 from ..decomp.halo import compute_halo
 from ..dlb.protocol import Move
 from ..md.celllist import CellList
+from ..obs.profiler import scope
 from ..parallel.costmodel import ComputeCostModel
-from ..parallel.instrumentation import StepTiming
+from ..parallel.instrumentation import StepComponents, StepTiming
 from ..parallel.message import TrafficLog
 from ..parallel.network import NetworkModel
 
@@ -38,6 +39,9 @@ class StepAccountant:
         self.cost_model = ComputeCostModel(machine, cell_list)
         self.traffic = TrafficLog(n_pes)
         self._pending_migration = np.zeros(n_pes, dtype=np.float64)
+        #: Per-PE phase breakdown of the most recent :meth:`account_step`
+        #: (consumed by the trace recorder and the per-phase report).
+        self.last_components: StepComponents | None = None
 
     def charge_moves(self, moves: list[Move], counts_grid: np.ndarray,
                      assignment: CellAssignment) -> None:
@@ -75,27 +79,48 @@ class StepAccountant:
         ``force_times_override`` substitutes measured wall-clock force times
         for the cost model's (the runner's ``"measured"`` mode).
         """
-        owner = assignment.cell_owner_map()
-        work = self.cost_model.per_pe_work(counts_grid, owner, self.n_pes)
-        force_times = (
-            np.asarray(force_times_override, dtype=np.float64)
-            if force_times_override is not None
-            else work.force_times
-        )
-        other_times = work.integrate_times + work.cell_times
+        with scope("accounting.account_step"):
+            owner = assignment.cell_owner_map()
+            work = self.cost_model.per_pe_work(counts_grid, owner, self.n_pes)
+            force_times = (
+                np.asarray(force_times_override, dtype=np.float64)
+                if force_times_override is not None
+                else work.force_times
+            )
+            other_times = work.integrate_times + work.cell_times
 
-        counts_flat = counts_grid.reshape(-1)
-        halo = compute_halo(owner, self.cell_list, counts_flat, self.n_pes)
-        comm_times = np.array(
-            [
-                self.network.particles_time(halo.messages[p], halo.ghost_particles[p])
-                for p in range(self.n_pes)
-            ]
-        )
-        comm_times += self._pending_migration
-        self._pending_migration[...] = 0.0
+            counts_flat = counts_grid.reshape(-1)
+            halo = compute_halo(owner, self.cell_list, counts_flat, self.n_pes)
+            comm_times = np.array(
+                [
+                    self.network.particles_time(halo.messages[p], halo.ghost_particles[p])
+                    for p in range(self.n_pes)
+                ]
+            )
+            # Log the halo exchange per tag. Each PE's receive has a matching
+            # send among its neighbours, so charging the send side to the
+            # receiving PE keeps machine-wide totals exact while staying O(P).
+            bytes_per_particle = self.machine.bytes_per_particle
+            for p in range(self.n_pes):
+                if halo.messages[p]:
+                    self.traffic.record_bulk(
+                        p, p,
+                        int(halo.ghost_particles[p]) * bytes_per_particle,
+                        count=int(halo.messages[p]),
+                        tag="halo",
+                    )
+            comm_times += self._pending_migration
+            self._pending_migration[...] = 0.0
 
-        dlb_time = self.machine.dlb_overhead if dlb_enabled else 0.0
-        timing = StepTiming.from_components(step, force_times, comm_times, other_times, dlb_time)
-        totals = force_times + comm_times + other_times + dlb_time
-        return timing, totals
+            dlb_time = self.machine.dlb_overhead if dlb_enabled else 0.0
+            timing = StepTiming.from_components(
+                step, force_times, comm_times, other_times, dlb_time
+            )
+            totals = force_times + comm_times + other_times + dlb_time
+            self.last_components = StepComponents(
+                force_times=force_times,
+                comm_times=comm_times,
+                other_times=other_times,
+                dlb_time=dlb_time,
+            )
+            return timing, totals

@@ -21,6 +21,7 @@ from ..md.neighbors import pairs_kdtree
 from ..md.pbc import minimum_image_inplace
 from ..md.potential import LennardJones
 from ..md.system import ParticleSystem
+from ..obs.profiler import profiled
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,7 @@ def ghost_cell_mask(cell_owner: np.ndarray, cell_list: CellList, pe: int) -> np.
     return ghost
 
 
+@profiled("ddm.decomposed_force_pass")
 def decomposed_force_pass(
     system: ParticleSystem,
     cell_list: CellList,

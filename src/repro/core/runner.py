@@ -28,6 +28,14 @@ from ..md.potential import LennardJones
 from ..md.simulation import attractor_sites, build_system
 from ..md.system import ParticleSystem
 from ..md.thermostat import VelocityRescale
+from ..obs import (
+    Observability,
+    collect_balancer,
+    collect_neighbor_stats,
+    collect_timing,
+    collect_traffic,
+)
+from ..parallel.instrumentation import StepTiming
 from ..rng import generator
 from ..theory.concentration import measure_concentration
 from .accounting import StepAccountant
@@ -35,14 +43,114 @@ from .ddm import decomposed_force_pass
 from .results import RunResult, StepRecord
 
 
-class ParallelMDRunner:
-    """A parallel MD simulation (real physics + simulated machine)."""
+#: Span names of the per-PE phase timeline, in within-step order.
+_PHASE_SPANS = ("dlb", "force", "halo-comm", "integrate")
+
+
+class _ObservedRunner:
+    """Shared observability hooks of the two runners.
+
+    Everything here is a no-op unless an :class:`~repro.obs.Observability`
+    bundle was supplied: the disabled path is a single ``None`` check per
+    step, with no allocation.
+    """
+
+    observability: Observability | None
+    trace_pid: int
+    sim_time: float
+    accountant: StepAccountant
+
+    def _init_observability(
+        self, observability: Observability | None, trace_pid: int, dlb_enabled: bool
+    ) -> None:
+        self.observability = observability
+        self.trace_pid = int(trace_pid)
+        #: Simulated-clock position (sum of barrier times so far).
+        self.sim_time = 0.0
+        self._mode_label = "dlb" if dlb_enabled else "ddm"
+
+    def _observe_step(self, timing: StepTiming, moves: list) -> None:
+        """Emit one step's trace spans, migration instants and step metrics.
+
+        Called with the step's start position still in ``self.sim_time``;
+        the caller advances the simulated clock by ``timing.tt`` afterwards.
+        """
+        obs = self.observability
+        if obs is None:
+            return
+        trace = obs.trace
+        if trace is not None:
+            components = self.accountant.last_components
+            base = self.sim_time
+            pid = self.trace_pid
+            step_args = {"step": timing.step}
+            for move in moves:
+                trace.migration(base, move.cell, move.src, move.dst, pid=pid)
+            for pe in range(components.n_pes):
+                cursor = base
+                durations = (
+                    components.dlb_time,
+                    float(components.force_times[pe]),
+                    float(components.comm_times[pe]),
+                    float(components.other_times[pe]),
+                )
+                for name, duration in zip(_PHASE_SPANS, durations):
+                    if duration > 0.0:
+                        trace.span(
+                            name, cursor, duration, pe=pe, pid=pid,
+                            category="phase", args=step_args,
+                        )
+                    cursor += duration
+        registry = obs.metrics
+        if registry is not None:
+            mode = self._mode_label
+            registry.counter("repro_steps_total", "simulated steps executed").inc(
+                1, mode=mode
+            )
+            if moves:
+                registry.counter(
+                    "repro_cell_migrations_total", "cells moved by the balancer"
+                ).inc(len(moves), mode=mode)
+
+    def collect_metrics(self, result: RunResult | None = None) -> None:
+        """Snapshot the run's stats objects into the metrics registry.
+
+        Call once at the end of a run; feeds the pair-search counters (when
+        the runner has them), the traffic log, the balancer stats and the
+        timing series, all labelled with the runner's mode.
+        """
+        obs = self.observability
+        if obs is None or obs.metrics is None:
+            return
+        registry = obs.metrics
+        mode = self._mode_label
+        stats = getattr(self, "neighbor_stats", None)
+        if stats is not None:
+            collect_neighbor_stats(registry, stats, mode=mode)
+        collect_traffic(registry, self.accountant.traffic, mode=mode)
+        balancer = getattr(self, "balancer", None)
+        if balancer is not None:
+            collect_balancer(registry, balancer.stats, mode=mode)
+        if result is not None and len(result.timing):
+            collect_timing(registry, result.timing, mode=mode)
+
+
+class ParallelMDRunner(_ObservedRunner):
+    """A parallel MD simulation (real physics + simulated machine).
+
+    ``observability`` (nullable, default off) attaches the trace recorder /
+    metrics registry bundle; ``trace_pid`` selects which trace process the
+    per-PE tracks land under, so one recorder can hold a DDM and a DLB-DDM
+    run side by side.
+    """
 
     def __init__(
         self,
         config: SimulationConfig,
         run_config: RunConfig,
         system: ParticleSystem | None = None,
+        observability: Observability | None = None,
+        trace_pid: int = 0,
     ) -> None:
         if config.decomposition.shape != "pillar":
             raise ConfigurationError(
@@ -87,6 +195,7 @@ class ParallelMDRunner:
         self._last_times = np.zeros(dec.n_pes, dtype=np.float64)
         self._last_counts = self.cell_list.counts(self.system.positions)
         self.step_count = 0
+        self._init_observability(observability, trace_pid, config.dlb.enabled)
 
     @property
     def dlb_enabled(self) -> bool:
@@ -135,6 +244,9 @@ class ParallelMDRunner:
         timing, totals = self.accountant.account_step(
             self.step_count, counts, self.assignment, self.dlb_enabled, override
         )
+        if self.observability is not None:
+            self._observe_step(timing, moves)
+        self.sim_time += timing.tt
         self._last_times = totals
         self._last_counts = counts
 
@@ -156,10 +268,11 @@ class ParallelMDRunner:
             record = self.step()
             if self.step_count % self.run_config.record_interval == 0:
                 result.append(record)
+        self.collect_metrics(result)
         return result
 
 
-class DrivenLoadRunner:
+class DrivenLoadRunner(_ObservedRunner):
     """Load-balance dynamics driven by an external configuration sequence.
 
     No forces are integrated: each supplied configuration is binned into
@@ -178,6 +291,8 @@ class DrivenLoadRunner:
         self,
         config: SimulationConfig,
         rounds_per_config: int = 1,
+        observability: Observability | None = None,
+        trace_pid: int = 0,
     ) -> None:
         if config.decomposition.shape != "pillar":
             raise ConfigurationError("DrivenLoadRunner needs the pillar decomposition")
@@ -197,6 +312,7 @@ class DrivenLoadRunner:
         self._last_times = np.zeros(dec.n_pes, dtype=np.float64)
         self._last_counts: np.ndarray | None = None
         self.step_count = 0
+        self._init_observability(observability, trace_pid, config.dlb.enabled)
 
     @property
     def dlb_enabled(self) -> bool:
@@ -211,6 +327,7 @@ class DrivenLoadRunner:
             n_moves = 0
             timing = None
             for _ in range(self.rounds_per_config):
+                moves: list = []
                 if (
                     self.balancer is not None
                     and self.step_count > 0
@@ -224,6 +341,9 @@ class DrivenLoadRunner:
                 timing, totals = self.accountant.account_step(
                     self.step_count, counts, self.assignment, self.dlb_enabled
                 )
+                if self.observability is not None:
+                    self._observe_step(timing, moves)
+                self.sim_time += timing.tt
                 self._last_times = totals
                 self._last_counts = counts
             concentration = measure_concentration(counts, self.assignment)
@@ -236,4 +356,5 @@ class DrivenLoadRunner:
                     n_moves=n_moves,
                 )
             )
+        self.collect_metrics(result)
         return result

@@ -9,6 +9,7 @@ import numpy as np
 from ..config import DLBConfig
 from ..decomp.assignment import CellAssignment
 from ..errors import ConfigurationError
+from ..obs.profiler import scope
 from ..parallel.topology import Torus2D
 from .protocol import Case, Move, decide_move
 
@@ -22,6 +23,21 @@ class BalancerStats:
     returns: int = 0
     idle_steps: int = 0
     moves_per_step: list[int] = field(default_factory=list)
+
+    @property
+    def moves_total(self) -> int:
+        """Total cells moved (lends + returns)."""
+        return self.lends + self.returns
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat summary for reports and the metrics exporter."""
+        return {
+            "steps": self.steps,
+            "lends": self.lends,
+            "returns": self.returns,
+            "idle_steps": self.idle_steps,
+            "moves_total": self.moves_total,
+        }
 
 
 class DynamicLoadBalancer:
@@ -64,24 +80,27 @@ class DynamicLoadBalancer:
             raise ConfigurationError(
                 f"times shape {times.shape} != ({self.assignment.n_pes},)"
             )
-        moves: list[Move] = []
-        committed: dict[int, set[int]] = {}
-        for pe in range(self.assignment.n_pes):
-            neighborhood = self.topology.neighborhood(pe)
-            local = times[neighborhood]
-            fastest = neighborhood[int(np.argmin(local))]
-            if fastest == pe:
-                continue
-            if not self._wants_rebalance(float(times[pe]), float(times[fastest])):
-                continue
-            exclude = committed.setdefault(pe, set())
-            for _ in range(self.config.max_sends_per_step):
-                move = decide_move(self.assignment, self.topology, pe, fastest, exclude)
-                if move is None:
-                    break
-                exclude.add(move.cell)
-                moves.append(move)
-        return moves
+        with scope("dlb.decide"):
+            moves: list[Move] = []
+            committed: dict[int, set[int]] = {}
+            for pe in range(self.assignment.n_pes):
+                neighborhood = self.topology.neighborhood(pe)
+                local = times[neighborhood]
+                fastest = neighborhood[int(np.argmin(local))]
+                if fastest == pe:
+                    continue
+                if not self._wants_rebalance(float(times[pe]), float(times[fastest])):
+                    continue
+                exclude = committed.setdefault(pe, set())
+                for _ in range(self.config.max_sends_per_step):
+                    move = decide_move(
+                        self.assignment, self.topology, pe, fastest, exclude
+                    )
+                    if move is None:
+                        break
+                    exclude.add(move.cell)
+                    moves.append(move)
+            return moves
 
     def apply(self, moves: list[Move]) -> None:
         """Execute decided moves and update counters."""

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.profiler import scope
 from .celllist import CellList
 from .neighbors import NeighborStats, VerletList, pairs_celllist, pairs_kdtree
 from .pbc import minimum_image, minimum_image_inplace
@@ -211,9 +212,10 @@ class ForceField:
     def compute(self, system: ParticleSystem) -> ForceResult:
         """Evaluate forces, writing them into ``system.forces`` as well."""
         pairs = self._candidate_pairs(system)
-        result = forces_from_pairs(
-            system.positions, pairs, system.box_length, self.potential, system.n
-        )
+        with scope("force.accumulate"):
+            result = forces_from_pairs(
+                system.positions, pairs, system.box_length, self.potential, system.n
+            )
         self.stats.record_evaluation(len(pairs), result.n_pairs)
         forces = result.forces
         potential_energy = result.potential_energy

@@ -29,6 +29,7 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 from ..errors import GeometryError
+from ..obs.profiler import scope
 from .celllist import HALF_STENCIL, CellList, CellSort
 from .pbc import minimum_image
 
@@ -47,16 +48,17 @@ def pairs_kdtree(positions: np.ndarray, box_length: float, cutoff: float) -> np.
         )
     if len(positions) == 0:
         return np.empty((0, 2), dtype=np.int64)
-    tree = cKDTree(positions, boxsize=box_length)
-    pairs = tree.query_pairs(cutoff, output_type="ndarray")
-    if len(pairs) == 0:
-        return np.empty((0, 2), dtype=np.int64)
-    # query_pairs uses a closed ball; drop pairs at exactly the cut-off so both
-    # backends implement the same open interval r < r_c.
-    delta = minimum_image(positions[pairs[:, 0]] - positions[pairs[:, 1]], box_length)
-    r_sq = np.einsum("ij,ij->i", delta, delta)
-    keep = r_sq < cutoff * cutoff
-    return np.ascontiguousarray(pairs[keep], dtype=np.int64)
+    with scope("pairs.kdtree"):
+        tree = cKDTree(positions, boxsize=box_length)
+        pairs = tree.query_pairs(cutoff, output_type="ndarray")
+        if len(pairs) == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        # query_pairs uses a closed ball; drop pairs at exactly the cut-off so
+        # both backends implement the same open interval r < r_c.
+        delta = minimum_image(positions[pairs[:, 0]] - positions[pairs[:, 1]], box_length)
+        r_sq = np.einsum("ij,ij->i", delta, delta)
+        keep = r_sq < cutoff * cutoff
+        return np.ascontiguousarray(pairs[keep], dtype=np.int64)
 
 
 def _check_grid(cell_list: CellList) -> None:
@@ -87,53 +89,54 @@ def candidate_pairs_celllist(
     _check_grid(cell_list)
     if len(positions) == 0:
         return np.empty((0, 2), dtype=np.int64)
-    if sort is None:
-        sort = cell_list.cell_sort(positions)
-    order, counts, starts = sort.order, sort.counts, sort.starts
-    n = sort.n
+    with scope("pairs.csr_candidates"):
+        if sort is None:
+            sort = cell_list.cell_sort(positions)
+        order, counts, starts = sort.order, sort.counts, sort.starts
+        n = sort.n
 
-    chunks: list[np.ndarray] = []
+        chunks: list[np.ndarray] = []
 
-    # Intra-cell pairs: each sorted slot pairs with every later slot of its
-    # cell's run, so slot s contributes (run_end - s - 1) pairs.
-    sorted_cells = sort.flat[order]
-    slots = np.arange(n, dtype=np.int64)
-    reps = starts[sorted_cells + 1] - slots - 1
-    total = int(reps.sum())
-    if total:
-        a_slots = np.repeat(slots, reps)
-        seg_start = np.cumsum(reps) - reps
-        offsets = np.arange(total, dtype=np.int64) - np.repeat(seg_start, reps)
-        b_slots = a_slots + 1 + offsets
-        chunks.append(np.column_stack((order[a_slots], order[b_slots])))
+        # Intra-cell pairs: each sorted slot pairs with every later slot of its
+        # cell's run, so slot s contributes (run_end - s - 1) pairs.
+        sorted_cells = sort.flat[order]
+        slots = np.arange(n, dtype=np.int64)
+        reps = starts[sorted_cells + 1] - slots - 1
+        total = int(reps.sum())
+        if total:
+            a_slots = np.repeat(slots, reps)
+            seg_start = np.cumsum(reps) - reps
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(seg_start, reps)
+            b_slots = a_slots + 1 + offsets
+            chunks.append(np.column_stack((order[a_slots], order[b_slots])))
 
-    # Inter-cell pairs: for each of the 13 half offsets, the cross product of
-    # each occupied cell's run with its (occupied) neighbour's run.
-    occupied = np.flatnonzero(counts > 0)
-    for offset in HALF_STENCIL:
-        neighbor = cell_list.neighbor_ids(offset)
-        nbr = neighbor[occupied]
-        mask = counts[nbr] > 0
-        cells = occupied[mask]
-        if len(cells) == 0:
-            continue
-        nbr = nbr[mask]
-        count_a = counts[cells]
-        count_b = counts[nbr]
-        per_cell = count_a * count_b
-        total = int(per_cell.sum())
-        cell_idx = np.repeat(np.arange(len(cells), dtype=np.int64), per_cell)
-        seg_start = np.cumsum(per_cell) - per_cell
-        within = np.arange(total, dtype=np.int64) - seg_start[cell_idx]
-        local_b = count_b[cell_idx]
-        local_a = within // local_b
-        a = order[starts[cells][cell_idx] + local_a]
-        b = order[starts[nbr][cell_idx] + within - local_a * local_b]
-        chunks.append(np.column_stack((a, b)))
+        # Inter-cell pairs: for each of the 13 half offsets, the cross product
+        # of each occupied cell's run with its (occupied) neighbour's run.
+        occupied = np.flatnonzero(counts > 0)
+        for offset in HALF_STENCIL:
+            neighbor = cell_list.neighbor_ids(offset)
+            nbr = neighbor[occupied]
+            mask = counts[nbr] > 0
+            cells = occupied[mask]
+            if len(cells) == 0:
+                continue
+            nbr = nbr[mask]
+            count_a = counts[cells]
+            count_b = counts[nbr]
+            per_cell = count_a * count_b
+            total = int(per_cell.sum())
+            cell_idx = np.repeat(np.arange(len(cells), dtype=np.int64), per_cell)
+            seg_start = np.cumsum(per_cell) - per_cell
+            within = np.arange(total, dtype=np.int64) - seg_start[cell_idx]
+            local_b = count_b[cell_idx]
+            local_a = within // local_b
+            a = order[starts[cells][cell_idx] + local_a]
+            b = order[starts[nbr][cell_idx] + within - local_a * local_b]
+            chunks.append(np.column_stack((a, b)))
 
-    if not chunks:
-        return np.empty((0, 2), dtype=np.int64)
-    return np.ascontiguousarray(np.concatenate(chunks, axis=0), dtype=np.int64)
+        if not chunks:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.ascontiguousarray(np.concatenate(chunks, axis=0), dtype=np.int64)
 
 
 def candidate_pairs_padded(
@@ -405,15 +408,16 @@ class VerletList:
 
     def build(self, positions: np.ndarray) -> np.ndarray:
         """Run the full pair search at ``cutoff + skin`` and cache the result."""
-        if self._cell_list is not None:
-            pairs = pairs_celllist(positions, self._cell_list, self.radius)
-        else:
-            pairs = pairs_kdtree(positions, self.box_length, self.radius)
-        self._pairs = pairs
-        self._reference = np.array(positions, copy=True)
-        self._reuse_streak = 0
-        self.stats.record_build(len(pairs))
-        return pairs
+        with scope("pairs.verlet_build"):
+            if self._cell_list is not None:
+                pairs = pairs_celllist(positions, self._cell_list, self.radius)
+            else:
+                pairs = pairs_kdtree(positions, self.box_length, self.radius)
+            self._pairs = pairs
+            self._reference = np.array(positions, copy=True)
+            self._reuse_streak = 0
+            self.stats.record_build(len(pairs))
+            return pairs
 
     def candidates(self, positions: np.ndarray) -> np.ndarray:
         """Candidate pairs covering every interaction of ``positions``.

@@ -1,0 +1,107 @@
+"""Unified observability layer: traces, metrics and profiling.
+
+Three cooperating pieces (see DESIGN.md § Observability):
+
+``repro.obs.trace``
+    Chrome trace-event recording -- one simulated-clock track per virtual
+    PE (force / halo-comm / DLB / integrate spans, cell-migration instants)
+    plus a host wall-clock track; loadable in Perfetto / ``chrome://tracing``.
+``repro.obs.metrics``
+    Counter/Gauge/Histogram registry with Prometheus-text and JSON-lines
+    exporters, fed by the pair-search, traffic, balancer and timing stats.
+``repro.obs.profiler``
+    Low-overhead scoped wall-clock timers wired into the host-side hot
+    paths; feeds both the registry and the trace's host track.
+
+:class:`Observability` bundles the three behind one nullable handle: the
+runners accept ``observability=None`` (the default) and skip every hook, so
+the un-instrumented path stays allocation-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_balancer,
+    collect_neighbor_stats,
+    collect_timing,
+    collect_traffic,
+)
+from .profiler import Profiler, profiled, scope
+from .trace import TraceRecorder, validate_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Profiler",
+    "TraceRecorder",
+    "collect_balancer",
+    "collect_neighbor_stats",
+    "collect_timing",
+    "collect_traffic",
+    "profiled",
+    "scope",
+    "validate_trace",
+]
+
+
+@dataclass
+class Observability:
+    """The nullable bundle the runners are instrumented against.
+
+    Any member may be ``None``; a runner handed the bundle only exercises
+    the members that exist. Construct via :meth:`create` to get the three
+    wired together (profiler scopes land on the trace's host track and in
+    the registry's histograms).
+    """
+
+    trace: TraceRecorder | None = None
+    metrics: MetricsRegistry | None = None
+    profiler: Profiler | None = None
+
+    @classmethod
+    def create(
+        cls,
+        trace: bool = True,
+        metrics: bool = True,
+        profiler: bool = True,
+    ) -> "Observability":
+        """Build a bundle with the requested members, cross-wired."""
+        recorder = TraceRecorder() if trace else None
+        registry = MetricsRegistry() if metrics else None
+        prof = Profiler(trace=recorder, registry=registry) if profiler else None
+        return cls(trace=recorder, metrics=registry, profiler=prof)
+
+    @contextmanager
+    def activate(self) -> Iterator["Observability"]:
+        """Install this bundle's profiler as the global scope target.
+
+        The hot-path ``scope("...")`` hooks only record into the *active*
+        profiler; wrap the instrumented run in this context so host kernel
+        timings land here, and the previous profiler (usually none) comes
+        back afterwards.
+        """
+        from . import profiler as _profiler_module
+
+        if self.profiler is None:
+            yield self
+            return
+        previous = _profiler_module.active()
+        _profiler_module.enable(self.profiler)
+        try:
+            yield self
+        finally:
+            if previous is None:
+                _profiler_module.disable()
+            else:
+                _profiler_module.enable(previous)

@@ -1,0 +1,460 @@
+"""Counter/Gauge/Histogram registry with Prometheus-text and JSON-lines export.
+
+One :class:`MetricsRegistry` collects everything a run produces -- the
+pair-search counters (:class:`repro.md.neighbors.NeighborStats`), the traffic
+log's per-tag bytes/messages, the balancer's activity, and the per-step
+timing series -- and serialises it as either Prometheus text exposition
+format (``.prom``) or JSON lines (``.jsonl``), so the same numbers feed
+dashboards and ad-hoc analysis alike.
+
+Metrics are labelled: ``counter.inc(3, mode="dlb")`` keeps one value per
+label set, which is how a single registry holds the DDM and DLB-DDM sides of
+a comparison run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from ..dlb.balancer import BalancerStats
+    from ..md.neighbors import NeighborStats
+    from ..parallel.instrumentation import TimingLog
+    from ..parallel.message import TrafficLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TIME_BUCKETS",
+    "collect_balancer",
+    "collect_neighbor_stats",
+    "collect_timing",
+    "collect_traffic",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets for (simulated or host) seconds: log-spaced
+#: from microseconds to tens of seconds.
+TIME_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise ConfigurationError(f"invalid label name {key!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: LabelKey, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Metric:
+    """Common machinery of all metric types."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        """``(sample_name, label_string, value)`` triples for the exporter."""
+        raise NotImplementedError
+
+    def to_records(self) -> list[dict]:
+        """JSON-serialisable records (one per label set) for JSONL export."""
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing count, one value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be non-negative) to the labelled value."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (got {amount})"
+            )
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of one label set (0 if never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        return [
+            (self.name, _format_labels(key), value)
+            for key, value in sorted(self._values.items())
+        ]
+
+    def to_records(self) -> list[dict]:
+        return [
+            {"name": self.name, "type": self.kind, "labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(_Metric):
+    """A point-in-time value, one per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Record the labelled value (overwrites)."""
+        self._values[_label_key(labels)] = float(value)
+
+    def value(self, **labels: str) -> float:
+        """Current value of one label set (NaN if never set)."""
+        return self._values.get(_label_key(labels), math.nan)
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        return [
+            (self.name, _format_labels(key), value)
+            for key, value in sorted(self._values.items())
+        ]
+
+    def to_records(self) -> list[dict]:
+        return [
+            {"name": self.name, "type": self.kind, "labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are the finite upper bounds, ascending; an implicit ``+Inf``
+    bucket always exists.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help: str = "", buckets: tuple[float, ...] = TIME_BUCKETS
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(f"histogram {name} needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name} buckets must be strictly ascending: {bounds}"
+            )
+        self.buckets = bounds
+        self._states: dict[LabelKey, _HistogramState] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """File one observation into the labelled histogram."""
+        key = _label_key(labels)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _HistogramState(len(self.buckets))
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                state.bucket_counts[index] += 1
+                break
+        state.total += float(value)
+        state.count += 1
+
+    def count(self, **labels: str) -> int:
+        """Number of observations of one label set."""
+        state = self._states.get(_label_key(labels))
+        return state.count if state is not None else 0
+
+    def sum(self, **labels: str) -> float:
+        """Sum of observations of one label set."""
+        state = self._states.get(_label_key(labels))
+        return state.total if state is not None else 0.0
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        out: list[tuple[str, str, float]] = []
+        for key, state in sorted(self._states.items()):
+            cumulative = 0
+            for bound, in_bucket in zip(self.buckets, state.bucket_counts):
+                cumulative += in_bucket
+                out.append(
+                    (f"{self.name}_bucket", _format_labels(key, f'le="{bound:g}"'),
+                     float(cumulative))
+                )
+            out.append(
+                (f"{self.name}_bucket", _format_labels(key, 'le="+Inf"'),
+                 float(state.count))
+            )
+            out.append((f"{self.name}_sum", _format_labels(key), state.total))
+            out.append((f"{self.name}_count", _format_labels(key), float(state.count)))
+        return out
+
+    def to_records(self) -> list[dict]:
+        return [
+            {
+                "name": self.name,
+                "type": self.kind,
+                "labels": dict(key),
+                "buckets": {
+                    f"{bound:g}": count
+                    for bound, count in zip(self.buckets, state.bucket_counts)
+                },
+                "sum": state.total,
+                "count": state.count,
+            }
+            for key, state in sorted(self._states.items())
+        ]
+
+
+class MetricsRegistry:
+    """Registry of named metrics with get-or-create accessors and exporters."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls: type, name: str, help: str, **kwargs) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(Gauge, name, help)  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[float, ...] = TIME_BUCKETS
+    ) -> Histogram:
+        """Get or create a histogram (buckets only apply on first creation)."""
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram, name, help, buckets=buckets
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def metrics(self) -> list[_Metric]:
+        """All registered metrics in registration order."""
+        return list(self._metrics.values())
+
+    # -- exporters ---------------------------------------------------------
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format (the ``.prom`` file content)."""
+        lines: list[str] = []
+        for metric in self._metrics.values():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for sample_name, label_str, value in metric.samples():
+                lines.append(f"{sample_name}{label_str} {value:g}")
+        return "\n".join(lines) + "\n"
+
+    def to_jsonl(self) -> str:
+        """One JSON record per metric/label-set, newline-delimited."""
+        lines = [
+            json.dumps(record, sort_keys=True)
+            for metric in self._metrics.values()
+            for record in metric.to_records()
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: str | Path, format: str | None = None) -> Path:
+        """Write the registry to ``path``.
+
+        ``format`` is ``"prom"`` or ``"jsonl"``; when ``None`` it is inferred
+        from the suffix (``.jsonl``/``.json`` -> JSONL, anything else ->
+        Prometheus text).
+        """
+        path = Path(path)
+        if format is None:
+            format = "jsonl" if path.suffix in (".jsonl", ".json") else "prom"
+        if format == "prom":
+            path.write_text(self.to_prometheus_text())
+        elif format == "jsonl":
+            path.write_text(self.to_jsonl())
+        else:
+            raise ConfigurationError(f"unknown metrics format {format!r}")
+        return path
+
+
+# -- collectors ------------------------------------------------------------
+#
+# Each collector snapshots one of the repo's existing stats objects into the
+# registry at the end of a run. Cumulative sources are folded in as deltas
+# against the counter's current value, so re-collecting (a second run() on
+# the same runner, or an explicit collect after an automatic one) is
+# idempotent rather than double-counting.
+
+
+def _set_total(counter: Counter, total: float, **labels: str) -> None:
+    """Advance ``counter`` to ``total`` (no-op if it is already there)."""
+    delta = total - counter.value(**labels)
+    if delta > 0:
+        counter.inc(delta, **labels)
+
+
+def collect_neighbor_stats(
+    registry: MetricsRegistry, stats: "NeighborStats", **labels: str
+) -> None:
+    """File pair-search counters (Verlet rebuilds/reuses, selectivity)."""
+    _set_total(
+        registry.counter("repro_neighbor_rebuilds_total", "full pair searches executed"),
+        stats.rebuilds, **labels,
+    )
+    _set_total(
+        registry.counter(
+            "repro_neighbor_reuses_total",
+            "force evaluations served from the Verlet cache",
+        ),
+        stats.reuses, **labels,
+    )
+    _set_total(
+        registry.counter(
+            "repro_neighbor_candidate_pairs_total", "candidate pairs emitted by searches"
+        ),
+        stats.total_candidates, **labels,
+    )
+    _set_total(
+        registry.counter(
+            "repro_neighbor_accepted_pairs_total", "pairs within the true cut-off"
+        ),
+        stats.total_accepted, **labels,
+    )
+    registry.gauge(
+        "repro_neighbor_reuse_ratio", "fraction of evaluations without a search"
+    ).set(stats.reuse_ratio, **labels)
+    registry.gauge(
+        "repro_neighbor_acceptance_ratio", "accepted / candidate pairs"
+    ).set(stats.acceptance_ratio, **labels)
+
+
+def collect_traffic(
+    registry: MetricsRegistry, traffic: "TrafficLog", **labels: str
+) -> None:
+    """File the traffic log's per-tag bytes/messages and machine totals."""
+    summary = traffic.summary()
+    bytes_counter = registry.counter(
+        "repro_traffic_bytes_total", "bytes sent on the simulated network, by tag"
+    )
+    messages_counter = registry.counter(
+        "repro_traffic_messages_total", "messages sent on the simulated network, by tag"
+    )
+    for tag, tag_stats in summary["by_tag"].items():
+        _set_total(bytes_counter, tag_stats["bytes"], tag=tag, **labels)
+        _set_total(messages_counter, tag_stats["messages"], tag=tag, **labels)
+    _set_total(
+        registry.counter("repro_traffic_total_bytes", "total bytes sent machine-wide"),
+        summary["total_bytes"], **labels,
+    )
+    _set_total(
+        registry.counter(
+            "repro_traffic_total_messages", "total messages sent machine-wide"
+        ),
+        summary["total_messages"], **labels,
+    )
+    registry.gauge(
+        "repro_traffic_max_pe_bytes_sent", "bytes sent by the busiest PE"
+    ).set(summary["max_pe_bytes_sent"], **labels)
+
+
+def collect_balancer(
+    registry: MetricsRegistry, stats: "BalancerStats", **labels: str
+) -> None:
+    """File the balancer's cumulative activity counters."""
+    _set_total(
+        registry.counter("repro_dlb_rounds_total", "redistribution rounds executed"),
+        stats.steps, **labels,
+    )
+    _set_total(
+        registry.counter("repro_dlb_lends_total", "cells lent to a neighbour (Case 1)"),
+        stats.lends, **labels,
+    )
+    _set_total(
+        registry.counter(
+            "repro_dlb_returns_total", "borrowed cells returned (Cases 2-3)"
+        ),
+        stats.returns, **labels,
+    )
+    _set_total(
+        registry.counter("repro_dlb_idle_rounds_total", "rounds that moved nothing"),
+        stats.idle_steps, **labels,
+    )
+    if stats.moves_per_step:
+        registry.gauge(
+            "repro_dlb_moves_per_round_max", "largest single-round move count"
+        ).set(max(stats.moves_per_step), **labels)
+
+
+def collect_timing(
+    registry: MetricsRegistry, log: "TimingLog", **labels: str
+) -> None:
+    """File the per-step timing series: Tt summary and imbalance."""
+    if not len(log):
+        return
+    tt = log.tt
+    spread = log.spread
+    registry.gauge("repro_step_time_mean_seconds", "mean Tt over the run").set(
+        float(tt.mean()), **labels
+    )
+    registry.gauge("repro_step_time_max_seconds", "max Tt over the run").set(
+        float(tt.max()), **labels
+    )
+    registry.gauge(
+        "repro_step_imbalance_last_seconds", "final-step Fmax - Fmin"
+    ).set(float(spread[-1]), **labels)
+    histogram = registry.histogram(
+        "repro_step_imbalance_seconds", "per-step Fmax - Fmin distribution"
+    )
+    # The log is append-only: observing from the current count onward keeps
+    # re-collection idempotent.
+    for value in spread[histogram.count(**labels):]:
+        histogram.observe(float(value), **labels)

@@ -1,0 +1,214 @@
+"""Chrome trace-event recording for the virtual machine and the host.
+
+:class:`TraceRecorder` accumulates events in the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+(the JSON that ``chrome://tracing`` and Perfetto load). Two kinds of tracks
+coexist in one file:
+
+* **Simulated-clock tracks** -- one thread per virtual PE under a
+  per-run process id. The runners emit one ``force`` / ``halo-comm`` /
+  ``dlb`` / ``integrate`` span per PE per step on the virtual machine's
+  clock, plus an instant event for every cell migration (with the cell id
+  and the src/dst PEs), so the balancer's behaviour is visible *when it
+  happens*, not just in aggregate.
+* **A host wall-clock track** (:data:`TraceRecorder.HOST_PID`) -- fed by
+  :class:`repro.obs.profiler.Profiler` scopes around the real kernels
+  (pair search, decomposed force pass, ...), so host-side performance can
+  be read next to the simulated timeline.
+
+Timestamps are in microseconds, as the format requires; simulated seconds
+are scaled by :data:`SECONDS_TO_US`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import AnalysisError, ConfigurationError
+
+__all__ = [
+    "REQUIRED_EVENT_KEYS",
+    "SECONDS_TO_US",
+    "TraceRecorder",
+    "validate_trace",
+]
+
+#: Scale from (simulated or host) seconds to trace-event microseconds.
+SECONDS_TO_US = 1e6
+
+#: Keys every emitted trace event must carry (schema contract, also checked
+#: by :func:`validate_trace` and the CI smoke run).
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+class TraceRecorder:
+    """Accumulates Chrome trace events for one or more simulated runs.
+
+    Parameters
+    ----------
+    time_scale:
+        Multiplier from recorded seconds to trace timestamps (microseconds
+        by default; only tests should need to change it).
+    """
+
+    #: Process id of the host wall-clock profiling track.
+    HOST_PID = 1000
+
+    def __init__(self, time_scale: float = SECONDS_TO_US) -> None:
+        if time_scale <= 0:
+            raise ConfigurationError(f"time_scale must be positive, got {time_scale}")
+        self.time_scale = float(time_scale)
+        self._events: list[dict[str, Any]] = []
+        self._known_tracks: set[tuple[int, int]] = set()
+        self._known_processes: set[int] = set()
+
+    # -- track metadata ----------------------------------------------------
+
+    def add_process(self, pid: int, name: str, sort_index: int | None = None) -> None:
+        """Name a process (one per run/mode; shows as a group in the viewer)."""
+        self._known_processes.add(pid)
+        self._events.append(
+            {"name": "process_name", "ph": "M", "ts": 0, "pid": pid, "tid": 0,
+             "args": {"name": name}}
+        )
+        if sort_index is not None:
+            self._events.append(
+                {"name": "process_sort_index", "ph": "M", "ts": 0, "pid": pid,
+                 "tid": 0, "args": {"sort_index": sort_index}}
+            )
+
+    def add_thread(self, pid: int, tid: int, name: str) -> None:
+        """Name one track (thread) inside a process."""
+        self._known_tracks.add((pid, tid))
+        self._events.append(
+            {"name": "thread_name", "ph": "M", "ts": 0, "pid": pid, "tid": tid,
+             "args": {"name": name}}
+        )
+
+    def _ensure_track(self, pid: int, tid: int) -> None:
+        if pid not in self._known_processes:
+            if pid == self.HOST_PID:
+                self.add_process(pid, "host (wall clock)", sort_index=pid)
+            else:
+                self.add_process(pid, f"simulated machine {pid}", sort_index=pid)
+        if (pid, tid) not in self._known_tracks:
+            name = "profiler" if pid == self.HOST_PID else f"PE {tid}"
+            self.add_thread(pid, tid, name)
+
+    # -- event emission ----------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        pe: int = 0,
+        pid: int = 0,
+        category: str = "sim",
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """One complete ('X') span on a PE track of the simulated clock."""
+        if duration_s < 0:
+            raise ConfigurationError(f"duration must be non-negative, got {duration_s}")
+        self._ensure_track(pid, pe)
+        event: dict[str, Any] = {
+            "name": name,
+            "cat": category,
+            "ph": "X",
+            "ts": start_s * self.time_scale,
+            "dur": duration_s * self.time_scale,
+            "pid": pid,
+            "tid": pe,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def instant(
+        self,
+        name: str,
+        ts_s: float,
+        pe: int = 0,
+        pid: int = 0,
+        category: str = "event",
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """One instant ('i') event on a PE track (thread scope)."""
+        self._ensure_track(pid, pe)
+        event: dict[str, Any] = {
+            "name": name,
+            "cat": category,
+            "ph": "i",
+            "s": "t",
+            "ts": ts_s * self.time_scale,
+            "pid": pid,
+            "tid": pe,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def migration(self, ts_s: float, cell: int, src: int, dst: int, pid: int = 0) -> None:
+        """Record one cell migration as instants on both endpoint tracks."""
+        args = {"cell": int(cell), "src": int(src), "dst": int(dst)}
+        self.instant(f"migrate cell {cell} → PE {dst}", ts_s, pe=src, pid=pid,
+                     category="dlb", args=args)
+        self.instant(f"receive cell {cell} ← PE {src}", ts_s, pe=dst, pid=pid,
+                     category="dlb", args=args)
+
+    def host_span(
+        self,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """A wall-clock span on the host profiling track."""
+        self.span(name, start_s, duration_s, pe=0, pid=self.HOST_PID,
+                  category="host", args=args)
+
+    # -- export ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        """The accumulated events (live list; treat as read-only)."""
+        return self._events
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-object form of the trace (``traceEvents`` container)."""
+        return {
+            "traceEvents": self._events,
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs.trace"},
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Serialise the trace to ``path``; returns the path written."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict()) + "\n")
+        return path
+
+
+def validate_trace(payload: dict[str, Any]) -> None:
+    """Check a loaded trace payload against the schema contract.
+
+    Raises :class:`repro.errors.AnalysisError` on the first violation: a
+    missing ``traceEvents`` list, an event without the required keys, or a
+    complete event without a duration.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise AnalysisError("trace payload has no 'traceEvents' list")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise AnalysisError("'traceEvents' is not a list")
+    for index, event in enumerate(events):
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in event:
+                raise AnalysisError(f"event {index} is missing required key {key!r}")
+        if event["ph"] == "X" and "dur" not in event:
+            raise AnalysisError(f"complete event {index} has no 'dur'")

@@ -18,7 +18,28 @@ import numpy as np
 from ..errors import AnalysisError
 from ..md.neighbors import NeighborStats
 
-__all__ = ["NeighborStats", "StepTiming", "TimingLog"]
+__all__ = ["NeighborStats", "StepComponents", "StepTiming", "TimingLog"]
+
+
+@dataclass(frozen=True)
+class StepComponents:
+    """Per-PE phase breakdown of one accounted step.
+
+    The :class:`~repro.core.accounting.StepAccountant` keeps its latest
+    breakdown so observers (the trace recorder's per-PE phase spans, the
+    per-phase report) can see *where* each PE's time went, not just the
+    aggregates of :class:`StepTiming`.
+    """
+
+    force_times: np.ndarray
+    comm_times: np.ndarray
+    other_times: np.ndarray
+    dlb_time: float = 0.0
+
+    @property
+    def n_pes(self) -> int:
+        """Number of PEs in the breakdown."""
+        return len(self.force_times)
 
 
 @dataclass(frozen=True)
@@ -65,13 +86,24 @@ class StepTiming:
 
 @dataclass
 class TimingLog:
-    """Append-only log of :class:`StepTiming` with array views for analysis."""
+    """Append-only log of :class:`StepTiming` with array views for analysis.
+
+    Column arrays are cached and invalidated on append, so repeated property
+    access (the boundary detector scans ``spread`` once per sweep candidate)
+    costs one build per appended batch instead of one per read. Cached arrays
+    are shared: treat them as read-only.
+    """
 
     records: list[StepTiming] = field(default_factory=list)
+    _columns: dict[str, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def append(self, record: StepTiming) -> None:
-        """Add one step record."""
+        """Add one step record (invalidates the cached column arrays)."""
         self.records.append(record)
+        if self._columns:
+            self._columns.clear()
 
     def __len__(self) -> int:
         return len(self.records)
@@ -79,14 +111,22 @@ class TimingLog:
     def _column(self, name: str) -> np.ndarray:
         if not self.records:
             raise AnalysisError("timing log is empty")
-        return np.array([getattr(r, name) for r in self.records], dtype=np.float64)
+        cached = self._columns.get(name)
+        if cached is None:
+            cached = np.array([getattr(r, name) for r in self.records], dtype=np.float64)
+            self._columns[name] = cached
+        return cached
 
     @property
     def steps(self) -> np.ndarray:
         """Step indices of the records."""
         if not self.records:
             raise AnalysisError("timing log is empty")
-        return np.array([r.step for r in self.records], dtype=np.int64)
+        cached = self._columns.get("steps")
+        if cached is None:
+            cached = np.array([r.step for r in self.records], dtype=np.int64)
+            self._columns["steps"] = cached
+        return cached
 
     @property
     def tt(self) -> np.ndarray:
@@ -109,6 +149,20 @@ class TimingLog:
         return self._column("fmin")
 
     @property
+    def comm_max(self) -> np.ndarray:
+        """Per-step maximum communication time across PEs."""
+        return self._column("comm_max")
+
+    @property
+    def dlb_time(self) -> np.ndarray:
+        """Per-step DLB protocol overhead."""
+        return self._column("dlb_time")
+
+    @property
     def spread(self) -> np.ndarray:
         """Per-step ``Fmax - Fmin`` series."""
-        return self.fmax - self.fmin
+        cached = self._columns.get("spread")
+        if cached is None:
+            cached = self.fmax - self.fmin
+            self._columns["spread"] = cached
+        return cached

@@ -26,18 +26,37 @@ class Message:
 
 
 @dataclass
+class TagTraffic:
+    """Per-tag aggregate: bytes carried and messages sent.
+
+    The seed only tracked bytes per tag, which made a tag's *message count*
+    unrecoverable (latency-dominated phases like the DLB bookkeeping
+    broadcasts are invisible in byte counts). Both now accumulate together.
+    """
+
+    bytes: int = 0
+    messages: int = 0
+
+    def add(self, n_bytes: int, count: int) -> None:
+        """Fold ``count`` messages totalling ``n_bytes`` in."""
+        self.bytes += int(n_bytes)
+        self.messages += int(count)
+
+
+@dataclass
 class TrafficLog:
     """Aggregate traffic counters, per PE and per tag.
 
     Records are cheap scalars, not message objects, so logging every step of
-    a long run stays O(P) in memory.
+    a long run stays O(P) in memory. ``by_tag`` maps each tag to a
+    :class:`TagTraffic` (bytes *and* message counts).
     """
 
     n_pes: int
     bytes_sent: np.ndarray = field(init=False)
     bytes_received: np.ndarray = field(init=False)
     messages_sent: np.ndarray = field(init=False)
-    by_tag: dict[str, int] = field(default_factory=dict)
+    by_tag: dict[str, TagTraffic] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.n_pes <= 0:
@@ -45,6 +64,12 @@ class TrafficLog:
         self.bytes_sent = np.zeros(self.n_pes, dtype=np.int64)
         self.bytes_received = np.zeros(self.n_pes, dtype=np.int64)
         self.messages_sent = np.zeros(self.n_pes, dtype=np.int64)
+
+    def _tag(self, tag: str) -> TagTraffic:
+        stats = self.by_tag.get(tag)
+        if stats is None:
+            stats = self.by_tag[tag] = TagTraffic()
+        return stats
 
     def record(self, message: Message) -> None:
         """Account one message."""
@@ -57,7 +82,7 @@ class TrafficLog:
         self.bytes_received[message.dst] += message.n_bytes
         self.messages_sent[message.src] += 1
         if message.tag:
-            self.by_tag[message.tag] = self.by_tag.get(message.tag, 0) + message.n_bytes
+            self._tag(message.tag).add(message.n_bytes, 1)
 
     def record_bulk(self, src: int, dst: int, n_bytes: int, count: int = 1, tag: str = "") -> None:
         """Account ``count`` messages totalling ``n_bytes`` without objects."""
@@ -67,9 +92,26 @@ class TrafficLog:
         self.bytes_received[dst] += n_bytes
         self.messages_sent[src] += count
         if tag:
-            self.by_tag[tag] = self.by_tag.get(tag, 0) + n_bytes
+            self._tag(tag).add(n_bytes, count)
 
     @property
     def total_bytes(self) -> int:
         """Total bytes sent machine-wide."""
         return int(self.bytes_sent.sum())
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages sent machine-wide."""
+        return int(self.messages_sent.sum())
+
+    def summary(self) -> dict:
+        """Flat summary for the metrics exporter and reports."""
+        return {
+            "total_bytes": self.total_bytes,
+            "total_messages": self.total_messages,
+            "max_pe_bytes_sent": int(self.bytes_sent.max()),
+            "by_tag": {
+                tag: {"bytes": stats.bytes, "messages": stats.messages}
+                for tag, stats in sorted(self.by_tag.items())
+            },
+        }

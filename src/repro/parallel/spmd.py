@@ -11,19 +11,32 @@ start of superstep ``k+1`` (BSP semantics, which is how the DLB protocol's
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..errors import ConfigurationError, ProtocolError
+from ..obs.profiler import scope
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from ..obs.trace import TraceRecorder
 
 
 class SPMDExecutor:
-    """Bulk-synchronous executor over ``n_ranks`` virtual ranks."""
+    """Bulk-synchronous executor over ``n_ranks`` virtual ranks.
 
-    def __init__(self, n_ranks: int) -> None:
+    ``trace`` (nullable) records every superstep as a wall-clock span on the
+    host track, with the superstep index and the number of messages posted;
+    the default ``None`` path records nothing and allocates nothing.
+    """
+
+    def __init__(self, n_ranks: int, trace: "TraceRecorder | None" = None) -> None:
         if n_ranks <= 0:
             raise ConfigurationError(f"n_ranks must be positive, got {n_ranks}")
         self.n_ranks = int(n_ranks)
+        self.trace = trace
+        self.superstep_count = 0
+        self._epoch = time.perf_counter()
         self._inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.n_ranks)]
         self._outboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.n_ranks)]
 
@@ -44,10 +57,22 @@ class SPMDExecutor:
         Returns the per-rank results in rank order. Messages posted by the
         bodies become visible in the *next* superstep's inboxes (BSP).
         """
-        results = [body(rank, self) for rank in range(self.n_ranks)]
-        self._inboxes = self._outboxes
-        self._outboxes = [[] for _ in range(self.n_ranks)]
-        return results
+        with scope("spmd.superstep"):
+            start = time.perf_counter()
+            results = [body(rank, self) for rank in range(self.n_ranks)]
+            posted = sum(len(box) for box in self._outboxes)
+            self._inboxes = self._outboxes
+            self._outboxes = [[] for _ in range(self.n_ranks)]
+            if self.trace is not None:
+                now = time.perf_counter()
+                self.trace.host_span(
+                    "spmd.superstep",
+                    start - self._epoch,
+                    now - start,
+                    args={"superstep": self.superstep_count, "messages": posted},
+                )
+            self.superstep_count += 1
+            return results
 
     def allgather(self, values: list[Any]) -> list[list[Any]]:
         """Simulated allgather: every rank sees every value (convenience)."""

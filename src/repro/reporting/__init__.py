@@ -1,6 +1,7 @@
 """Reporting helpers: ASCII tables, CSV series, experiment summaries."""
 
 from .loadmap import imbalance_summary, load_map
+from .phases import phase_breakdown, phase_shares
 from .report import comparison_report, series_preview
 from .series import write_csv
 from .tables import format_table
@@ -10,6 +11,8 @@ __all__ = [
     "format_table",
     "imbalance_summary",
     "load_map",
+    "phase_breakdown",
+    "phase_shares",
     "series_preview",
     "write_csv",
 ]

@@ -111,6 +111,17 @@ PRESETS: dict[str, Preset] = {
         n_attractors=5,
     ),
     # --- tiny presets for tests and CI-speed benchmarks -------------------
+    "quickstart": Preset(
+        name="quickstart",
+        description="Tiny demo/CI smoke run: m=2, N=1000, 9 PEs, seconds to finish",
+        n_particles=1000,
+        n_pes=9,
+        cells_per_side=6,
+        density=0.256,
+        steps=120,
+        attraction=0.6,
+        n_attractors=5,
+    ),
     "bench-m2": Preset(
         name="bench-m2",
         description="Benchmark-sized m=2 run: N=1000, 9 PEs",

@@ -83,8 +83,8 @@ class TestChargeMoves:
         cell = int(assignment.movable_at_home(4)[0])
         move = Move(cell=cell, src=4, dst=assignment.pe_flat(0, 1), kind=Case.SEND_OWN)
         accountant.charge_moves([move], counts, assignment)
-        assert accountant.traffic.by_tag["migration"] > 0
-        assert accountant.traffic.by_tag["dlb-bookkeeping"] > 0
+        assert accountant.traffic.by_tag["migration"].bytes > 0
+        assert accountant.traffic.by_tag["dlb-bookkeeping"].bytes > 0
 
 
 class TestMeasuredOverride:

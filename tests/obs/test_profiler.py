@@ -1,0 +1,118 @@
+"""Scoped wall-clock profiler."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import (
+    Profiler,
+    _NULL_SCOPE,
+    active,
+    disable,
+    enable,
+    profiled,
+    scope,
+)
+from repro.obs.trace import TraceRecorder
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_profiler():
+    disable()
+    yield
+    disable()
+
+
+class TestProfiler:
+    def test_timer_accumulates_stats(self):
+        profiler = Profiler()
+        with profiler.timer("work"):
+            pass
+        with profiler.timer("work"):
+            pass
+        stat = profiler.stats["work"]
+        assert stat.count == 2
+        assert stat.total >= stat.max >= stat.min >= 0.0
+        assert stat.mean == pytest.approx(stat.total / 2)
+
+    def test_as_dict_sorted_by_total(self):
+        profiler = Profiler()
+        profiler.record("fast", 0.001)
+        profiler.record("slow", 1.0)
+        assert list(profiler.as_dict()) == ["slow", "fast"]
+        assert profiler.as_dict()["slow"]["count"] == 1
+
+    def test_record_feeds_registry_histogram(self):
+        registry = MetricsRegistry()
+        profiler = Profiler(registry=registry)
+        profiler.record("kernel", 0.002)
+        hist = registry.histogram("repro_host_kernel_seconds")
+        assert hist.count(kernel="kernel") == 1
+        assert hist.sum(kernel="kernel") == pytest.approx(0.002)
+
+    def test_record_emits_host_trace_span(self):
+        trace = TraceRecorder()
+        profiler = Profiler(trace=trace)
+        profiler.record("kernel", 0.5, start=profiler.epoch + 1.0)
+        spans = [e for e in trace.events if e["ph"] == "X"]
+        assert len(spans) == 1
+        assert spans[0]["pid"] == TraceRecorder.HOST_PID
+        assert spans[0]["ts"] == pytest.approx(1.0e6)
+        assert spans[0]["dur"] == pytest.approx(0.5e6)
+
+    def test_table_lists_scopes(self):
+        profiler = Profiler()
+        profiler.record("kernel", 0.1)
+        assert "kernel" in profiler.table()
+
+
+class TestGlobalScope:
+    def test_scope_is_null_when_disabled(self):
+        assert active() is None
+        assert scope("anything") is _NULL_SCOPE
+
+    def test_enable_routes_scopes(self):
+        profiler = enable()
+        with scope("work"):
+            pass
+        assert profiler.stats["work"].count == 1
+        disable()
+        with scope("work"):
+            pass
+        assert profiler.stats["work"].count == 1  # unchanged after disable
+
+    def test_profiled_decorator_follows_enable(self):
+        @profiled("decorated")
+        def task():
+            return 42
+
+        assert task() == 42  # disabled: still runs, records nothing
+        profiler = enable()
+        assert task() == 42
+        assert profiler.stats["decorated"].count == 1
+
+
+class TestObservabilityBundle:
+    def test_create_cross_wires(self):
+        obs = Observability.create()
+        assert obs.profiler.trace is obs.trace
+        assert obs.profiler.registry is obs.metrics
+
+    def test_activate_installs_and_restores(self):
+        obs = Observability.create(trace=False, metrics=False)
+        assert active() is None
+        with obs.activate():
+            assert active() is obs.profiler
+        assert active() is None
+
+    def test_activate_restores_previous(self):
+        outer = enable()
+        obs = Observability.create(trace=False, metrics=False)
+        with obs.activate():
+            assert active() is obs.profiler
+        assert active() is outer
+
+    def test_activate_without_profiler_is_noop(self):
+        obs = Observability(profiler=None)
+        with obs.activate():
+            assert active() is None

@@ -1,0 +1,82 @@
+"""Chrome trace-event recorder."""
+
+import json
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.obs.trace import (
+    REQUIRED_EVENT_KEYS,
+    SECONDS_TO_US,
+    TraceRecorder,
+    validate_trace,
+)
+
+
+class TestTraceRecorder:
+    def test_span_event_shape(self):
+        trace = TraceRecorder()
+        trace.span("force", start_s=1.0, duration_s=0.5, pe=2)
+        events = [e for e in trace.events if e["ph"] == "X"]
+        assert len(events) == 1
+        (event,) = events
+        assert event["name"] == "force"
+        assert event["ts"] == pytest.approx(1.0 * SECONDS_TO_US)
+        assert event["dur"] == pytest.approx(0.5 * SECONDS_TO_US)
+        assert event["tid"] == 2
+        for key in REQUIRED_EVENT_KEYS:
+            assert key in event
+
+    def test_tracks_get_metadata_names(self):
+        trace = TraceRecorder()
+        trace.span("force", start_s=0.0, duration_s=1.0, pe=3, pid=1)
+        names = {
+            (e["pid"], e["args"]["name"])
+            for e in trace.events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert (1, "PE 3") in names
+
+    def test_migration_emits_two_instants(self):
+        trace = TraceRecorder()
+        trace.migration(ts_s=2.0, cell=17, src=0, dst=4)
+        instants = [e for e in trace.events if e["ph"] == "i"]
+        assert len(instants) == 2
+        assert {e["tid"] for e in instants} == {0, 4}
+        for event in instants:
+            assert event["args"] == {"cell": 17, "src": 0, "dst": 4}
+
+    def test_host_span_lands_on_host_track(self):
+        trace = TraceRecorder()
+        trace.host_span("pairs.kdtree", start_s=0.0, duration_s=0.001)
+        spans = [e for e in trace.events if e["ph"] == "X"]
+        assert spans[0]["pid"] == TraceRecorder.HOST_PID
+
+    def test_write_and_validate_roundtrip(self, tmp_path):
+        trace = TraceRecorder()
+        trace.span("force", start_s=0.0, duration_s=1.0, pe=0)
+        trace.migration(ts_s=1.0, cell=3, src=0, dst=1)
+        path = tmp_path / "trace.json"
+        trace.write(path)
+        payload = json.loads(path.read_text())
+        validate_trace(payload)
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_validate_rejects_bad_payloads(self):
+        with pytest.raises(AnalysisError):
+            validate_trace({})
+        with pytest.raises(AnalysisError):
+            validate_trace({"traceEvents": [{"name": "x", "ph": "X"}]})
+        # a complete span without dur is invalid
+        with pytest.raises(AnalysisError):
+            validate_trace(
+                {"traceEvents": [
+                    {"name": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 0}
+                ]}
+            )
+
+    def test_len_counts_events(self):
+        trace = TraceRecorder()
+        assert len(trace) == 0
+        trace.instant("tick", ts_s=0.0, pe=0)
+        assert len(trace) >= 1

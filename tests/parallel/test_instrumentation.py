@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import AnalysisError
-from repro.parallel.instrumentation import StepTiming, TimingLog
+from repro.parallel.instrumentation import StepComponents, StepTiming, TimingLog
 
 
 class TestStepTiming:
@@ -19,6 +19,15 @@ class TestStepTiming:
         assert timing.fave == pytest.approx(2.0)
         assert timing.tt == pytest.approx(3.0 + 0.1 + 0.2 + 0.05)
         assert timing.spread == pytest.approx(2.0)
+
+    def test_from_components_records_comm_and_dlb(self):
+        force = np.array([1.0, 1.0])
+        comm = np.array([0.3, 0.7])
+        other = np.zeros(2)
+        timing = StepTiming.from_components(0, force, comm, other, dlb_time=0.2)
+        assert timing.comm_max == pytest.approx(0.7)
+        assert timing.dlb_time == pytest.approx(0.2)
+        assert timing.tt == pytest.approx(1.0 + 0.7 + 0.2)
 
     def test_tt_tracks_slowest_pe(self):
         # Barrier semantics: one slow PE sets the step time.
@@ -40,7 +49,39 @@ class TestTimingLog:
         assert np.all(log.spread == 1.0)
 
     def test_empty_log_raises(self):
-        with pytest.raises(AnalysisError):
-            TimingLog().tt
-        with pytest.raises(AnalysisError):
-            TimingLog().steps
+        for column in ("tt", "steps", "fmax", "fave", "fmin", "comm_max",
+                       "dlb_time", "spread"):
+            with pytest.raises(AnalysisError):
+                getattr(TimingLog(), column)
+
+    def test_comm_and_dlb_columns(self):
+        log = TimingLog()
+        for step in range(3):
+            log.append(StepTiming(step=step, tt=1.0, fmax=0.5, fave=0.4,
+                                  fmin=0.3, comm_max=0.1 * step,
+                                  dlb_time=0.01 * step))
+        assert np.allclose(log.comm_max, [0.0, 0.1, 0.2])
+        assert np.allclose(log.dlb_time, [0.0, 0.01, 0.02])
+
+    def test_column_cache_invalidated_on_append(self):
+        log = TimingLog()
+        log.append(StepTiming(step=0, tt=1.0, fmax=1.0, fave=1.0, fmin=1.0))
+        first = log.tt
+        assert log.tt is first  # cached between reads
+        log.append(StepTiming(step=1, tt=2.0, fmax=1.0, fave=1.0, fmin=1.0))
+        refreshed = log.tt
+        assert refreshed is not first
+        assert np.array_equal(refreshed, [1.0, 2.0])
+        assert np.array_equal(log.steps, [0, 1])
+
+
+class TestStepComponents:
+    def test_n_pes(self):
+        components = StepComponents(
+            force_times=np.ones(4),
+            comm_times=np.zeros(4),
+            other_times=np.zeros(4),
+            dlb_time=0.1,
+        )
+        assert components.n_pes == 4
+        assert components.dlb_time == 0.1

@@ -28,7 +28,7 @@ class TestVirtualMachine:
         assert duration == pytest.approx(2e-5 + 1e-6)
         assert vm.clocks.times[0] == pytest.approx(duration)
         assert vm.traffic.bytes_received[0] == 1000
-        assert vm.traffic.by_tag["halo"] == 1000
+        assert vm.traffic.by_tag["halo"].bytes == 1000
 
     def test_barrier(self):
         vm = VirtualMachine(2)

@@ -25,7 +25,8 @@ class TestTrafficLog:
         assert log.bytes_sent[1] == 100
         assert log.bytes_received[2] == 100
         assert log.messages_sent[1] == 1
-        assert log.by_tag["halo"] == 100
+        assert log.by_tag["halo"].bytes == 100
+        assert log.by_tag["halo"].messages == 1
 
     def test_record_rejects_out_of_range_endpoints(self):
         log = TrafficLog(2)
@@ -37,7 +38,8 @@ class TestTrafficLog:
         log.record_bulk(0, 3, n_bytes=400, count=4, tag="migration")
         assert log.bytes_sent[0] == 400
         assert log.messages_sent[0] == 4
-        assert log.by_tag["migration"] == 400
+        assert log.by_tag["migration"].bytes == 400
+        assert log.by_tag["migration"].messages == 4
 
     def test_total_bytes(self):
         log = TrafficLog(3)
@@ -53,3 +55,17 @@ class TestTrafficLog:
     def test_rejects_bad_size(self):
         with pytest.raises(ConfigurationError):
             TrafficLog(0)
+
+    def test_summary(self):
+        log = TrafficLog(3)
+        log.record_bulk(0, 1, n_bytes=100, count=2, tag="halo")
+        log.record_bulk(1, 2, n_bytes=50, count=1, tag="migration")
+        log.record_bulk(0, 2, n_bytes=25, count=1, tag="halo")
+        summary = log.summary()
+        assert summary["total_bytes"] == 175
+        assert summary["total_messages"] == 4
+        assert summary["max_pe_bytes_sent"] == 125
+        assert summary["by_tag"] == {
+            "halo": {"bytes": 125, "messages": 3},
+            "migration": {"bytes": 50, "messages": 1},
+        }

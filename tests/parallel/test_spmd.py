@@ -57,3 +57,23 @@ class TestValidation:
     def test_allgather_rejects_wrong_length(self):
         with pytest.raises(ProtocolError):
             SPMDExecutor(3).allgather([1, 2])
+
+
+class TestSuperstepObservability:
+    def test_superstep_counter_increments(self):
+        ex = SPMDExecutor(2)
+        ex.superstep(lambda rank, _: None)
+        ex.superstep(lambda rank, _: None)
+        assert ex.superstep_count == 2
+
+    def test_superstep_emits_host_trace_span(self):
+        from repro.obs.trace import TraceRecorder
+
+        trace = TraceRecorder()
+        ex = SPMDExecutor(3, trace=trace)
+        ex.superstep(lambda rank, e: e.send(rank, (rank + 1) % 3, "m"))
+        spans = [e for e in trace.events if e["ph"] == "X"]
+        assert len(spans) == 1
+        assert spans[0]["name"] == "spmd.superstep"
+        assert spans[0]["pid"] == TraceRecorder.HOST_PID
+        assert spans[0]["args"] == {"superstep": 0, "messages": 3}

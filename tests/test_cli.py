@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -88,3 +90,46 @@ class TestBackendFlag:
         captured = capsys.readouterr()
         assert "Tt" in captured.out
         assert "rebuilds" in captured.err
+
+
+class TestObservabilityFlags:
+    def test_trace_metrics_profile_parse(self):
+        args = build_parser().parse_args(
+            ["run", "quickstart", "--trace", "t.json", "--metrics", "m.prom",
+             "--profile"]
+        )
+        assert args.trace == "t.json"
+        assert args.metrics == "m.prom"
+        assert args.profile
+
+    def test_run_writes_trace_and_metrics(self, tmp_path, capsys):
+        from repro.obs import validate_trace
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        code = main([
+            "run", "quickstart", "--steps", "6", "--record-interval", "2",
+            "--trace", str(trace_path), "--metrics", str(metrics_path),
+            "--profile",
+        ])
+        assert code == 0
+        payload = json.loads(trace_path.read_text())
+        validate_trace(payload)
+        events = payload["traceEvents"]
+        # both modes: ddm tracks under pid 0, dlb under pid 1
+        assert {e["pid"] for e in events if e["ph"] == "X"} >= {0, 1}
+        assert {e["name"] for e in events if e["ph"] == "X"} >= {"force", "halo-comm"}
+        text = metrics_path.read_text()
+        assert 'repro_steps_total{mode="ddm"} 6' in text
+        assert 'repro_steps_total{mode="dlb"} 6' in text
+        assert "repro_traffic_bytes_total" in text
+        captured = capsys.readouterr()
+        assert "per-phase step-time breakdown" in captured.out
+        assert "host kernel profile" in captured.out
+
+    def test_run_without_flags_has_no_observability_cost(self, capsys):
+        # the plain path still prints the phase table from the timing log
+        code = main(["run", "quickstart", "--mode", "ddm", "--steps", "3",
+                     "--record-interval", "1"])
+        assert code == 0
+        assert "per-phase step-time breakdown" in capsys.readouterr().out
