@@ -1,0 +1,110 @@
+"""The campaign engine: parallel scaling and adaptive-search efficiency.
+
+Two claims are measured and recorded into ``BENCH_campaign.json``:
+
+* **Scaling** -- the same campaign drained serially and through a 4-worker
+  process pool must produce byte-identical per-run payloads (same spec hash
+  => same payload), and on a machine with >= 4 cores the pool must be at
+  least 2x faster.  On smaller hosts the speedup is recorded but not
+  asserted (``cpu_count`` lands in the JSON so ``check_regression.py`` can
+  apply the same gate).
+* **Search efficiency** -- for each pillar cross-section m in {2, 3, 4},
+  bisection must localise the DLB effective-range boundary at the *same*
+  grid level as the exhaustive scan while evaluating at most half as many
+  probes.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    RunSpec,
+    RunStore,
+    bisect_boundary,
+    exhaustive_boundary_scan,
+    run_campaign,
+)
+
+#: Search discretisation (shared by both strategies, so results align).
+SEARCH_STEPS = 60
+SEARCH_STRIDE = 4
+SEARCH_HOLD = 20
+
+
+def scaling_campaign() -> CampaignSpec:
+    """Twelve independent boundary runs -- enough to keep 4 workers busy."""
+    runs = tuple(
+        RunSpec(m=2, n_pes=9, density=0.256, n_steps=60, seed=500 + i)
+        for i in range(12)
+    )
+    return CampaignSpec(name="bench-scaling", runs=runs)
+
+
+def test_campaign_parallel_scaling(campaign_log):
+    campaign = scaling_campaign()
+
+    with RunStore() as serial_store:
+        serial = run_campaign(campaign, serial_store, workers=1)
+        serial_payloads = {
+            h: serial_store.get(h).payload_json for h in campaign.hashes()
+        }
+    with RunStore() as pool_store:
+        pooled = run_campaign(campaign, pool_store, workers=4)
+        pooled_payloads = {
+            h: pool_store.get(h).payload_json for h in campaign.hashes()
+        }
+
+    assert serial.completed == pooled.completed == len(campaign)
+    assert serial.failed == pooled.failed == 0
+    # Same spec hash => same payload, byte for byte, regardless of the
+    # execution path.
+    assert serial_payloads == pooled_payloads
+
+    cpu_count = os.cpu_count() or 1
+    speedup = serial.wall_s / pooled.wall_s if pooled.wall_s > 0 else 0.0
+    print(f"\ncampaign scaling: serial {serial.wall_s:.2f}s, "
+          f"4 workers {pooled.wall_s:.2f}s ({speedup:.2f}x, "
+          f"{cpu_count} cores)")
+    campaign_log["serial"] = {"wall_s": serial.wall_s, "runs": len(campaign)}
+    campaign_log["workers4"] = {"wall_s": pooled.wall_s, "runs": len(campaign)}
+    if cpu_count >= 4:
+        assert speedup >= 2.0, (
+            f"4-worker campaign only {speedup:.2f}x faster than serial "
+            f"on {cpu_count} cores"
+        )
+    else:
+        print(f"  (speedup assertion skipped: only {cpu_count} cores)")
+
+
+@pytest.mark.parametrize("m", [2, 3, 4])
+def test_bisection_halves_the_search(benchmark, m, campaign_log):
+    kwargs = dict(
+        n_steps=SEARCH_STEPS, stride=SEARCH_STRIDE, seed=3,
+        probe_hold=SEARCH_HOLD,
+    )
+
+    bisect = benchmark.pedantic(
+        lambda: bisect_boundary(m, 9, 0.256, **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    exhaustive = exhaustive_boundary_scan(m, 9, 0.256, **kwargs)
+
+    print(f"\nboundary search m={m}: bisection {bisect.n_probes} probes, "
+          f"exhaustive {exhaustive.n_probes} "
+          f"(boundary level {bisect.boundary_index})")
+    campaign_log[f"search_m{m}"] = {
+        "bisect_probes": bisect.n_probes,
+        "exhaustive_probes": exhaustive.n_probes,
+        "boundary_index": bisect.boundary_index,
+    }
+
+    # Identical probes (same seeds, same grid) => identical localisation.
+    assert bisect.boundary_index == exhaustive.boundary_index
+    assert bisect.found == exhaustive.found
+    # The efficiency claim: at most half the runs of the exhaustive sweep.
+    assert bisect.n_probes <= exhaustive.n_probes // 2, (
+        f"bisection used {bisect.n_probes} of {exhaustive.n_probes} probes"
+    )

@@ -4,15 +4,48 @@ For each pillar cross-section m, regenerates the four density points
 (rho = 0.128 ... 0.512), fits the experimental boundary k * f(m, n), and
 asserts the paper's core finding: every experimental point lies BELOW the
 theoretical upper bound f(m, n).
+
+The panels execute through the campaign engine (`repro.campaign`): each
+(m, density, repetition) cell is a content-hash-keyed run drained through a
+RunStore, and the panel is aggregated from the stored payloads.  Campaign
+grids use the same per-point seeds as the serial `run_fig10` driver, so the
+numbers are identical -- only the execution path changes.
 """
 
 import numpy as np
 import pytest
 
-from repro.experiments.fig10 import run_fig10
+from repro.campaign import (
+    CampaignSpec,
+    RunStore,
+    campaign_report,
+    group_experiment,
+    run_campaign,
+)
 from repro.reporting import write_csv
 from repro.theory.bounds import upper_bound
+from repro.theory.fitting import fit_boundary_scale
 from repro.units import PAPER_RHO_SWEEP
+
+
+def run_panel_campaign(m: int, n_pes: int, reps: int, steps: int):
+    """One Figure 10 panel as a campaign: run, then aggregate from the store."""
+    spec = CampaignSpec.boundary_grid(
+        f"bench-fig10-m{m}",
+        m_values=(m,),
+        pe_counts=(n_pes,),
+        densities=PAPER_RHO_SWEEP,
+        n_repetitions=reps,
+        n_steps=steps,
+    )
+    with RunStore() as store:
+        summary = run_campaign(spec, store)
+        report = campaign_report(store, spec.name)
+    assert summary.failed == 0, summary.failures
+    experiments = [group_experiment(group) for group in report.boundary_groups]
+    mean_points = [e.mean_point for e in experiments if e.mean_point is not None]
+    fit = fit_boundary_scale(mean_points, m) if mean_points else None
+    return experiments, fit
 
 
 @pytest.mark.parametrize("m", [2, 3, 4])
@@ -22,22 +55,15 @@ def test_fig10_panel(benchmark, m, out_dir, scale):
     else:
         n_pes, reps, steps = 9, 3, 100
 
-    result = benchmark.pedantic(
-        lambda: run_fig10(
-            m_values=(m,),
-            densities=PAPER_RHO_SWEEP,
-            n_pes=n_pes,
-            n_repetitions=reps,
-            n_steps=steps,
-        ),
+    experiments, fit = benchmark.pedantic(
+        lambda: run_panel_campaign(m, n_pes, reps, steps),
         rounds=1,
         iterations=1,
     )
-    panel = result.panels[m]
 
     print(f"\nFigure 10 panel m={m} (P={n_pes}, {reps} repetitions/point):")
     rows = {"density": [], "n": [], "c0_ratio": [], "theory": []}
-    for experiment in panel.experiments:
+    for experiment in experiments:
         if experiment.mean_point is None:
             print(f"  rho={experiment.geometry.density}: no divergence "
                   f"({experiment.n_failed} runs)")
@@ -51,21 +77,21 @@ def test_fig10_panel(benchmark, m, out_dir, scale):
         rows["n"].append(p.n)
         rows["c0_ratio"].append(p.c0_ratio)
         rows["theory"].append(theory)
-    if panel.fit:
-        print(f"  fitted experimental boundary: E(n) = {panel.fit.ratio:.2f} * f({m}, n)")
+    if fit:
+        print(f"  fitted experimental boundary: E(n) = {fit.ratio:.2f} * f({m}, n)")
     if rows["density"]:
         write_csv(out_dir / f"fig10_m{m}.csv", rows)
 
     # Paper finding 1: boundary points exist for at least half the densities.
-    detected = [e for e in panel.experiments if e.mean_point is not None]
+    detected = [e for e in experiments if e.mean_point is not None]
     assert len(detected) >= 2, "too few boundary points detected"
     # Paper finding 2: every experimental point lies below the bound.
     for experiment in detected:
         p = experiment.mean_point
         assert p.c0_ratio < upper_bound(m, p.n)
     # Paper finding 3: the fitted E/T ratio is a genuine fraction of the bound.
-    assert panel.fit is not None
-    assert 0.0 < panel.fit.ratio < 1.0
+    assert fit is not None
+    assert 0.0 < fit.ratio < 1.0
 
 
 def test_theoretical_bounds_ordering(benchmark):

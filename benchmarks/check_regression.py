@@ -27,6 +27,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_RESULTS = REPO_ROOT / "BENCH_kernels.json"
+DEFAULT_CAMPAIGN_RESULTS = REPO_ROOT / "BENCH_campaign.json"
 
 #: Allowed slowdown factor before the check fails.
 DEFAULT_THRESHOLD = 1.3
@@ -110,6 +111,77 @@ def check_overhead(
     return failures, notes
 
 
+#: Allowed slowdown of the serial campaign drain before the check fails.
+DEFAULT_CAMPAIGN_THRESHOLD = 1.5
+
+#: Cores needed before the parallel-speedup gate applies.
+CAMPAIGN_SPEEDUP_MIN_CORES = 4
+
+#: Required 4-worker speedup on hosts with enough cores.
+CAMPAIGN_SPEEDUP_THRESHOLD = 2.0
+
+
+def check_campaign(
+    baseline: dict | None,
+    fresh: dict,
+    threshold: float = DEFAULT_CAMPAIGN_THRESHOLD,
+) -> tuple[list[str], list[str]]:
+    """Guard the campaign engine's invariants recorded in BENCH_campaign.json.
+
+    Always enforced on the fresh payload:
+
+    * bisection localises each boundary in at most half the exhaustive
+      scan's probes (the engine's core efficiency claim);
+    * on hosts with >= 4 cores (per the *recorded* ``cpu_count``), the
+      4-worker drain is >= 2x faster than serial.
+
+    With a baseline, the serial wall-clock additionally must not grow
+    beyond ``threshold`` x the baseline.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    entries = fresh.get("campaign", {})
+
+    for name in sorted(entries):
+        if not name.startswith("search_m"):
+            continue
+        entry = entries[name]
+        bisect = int(entry["bisect_probes"])
+        exhaustive = int(entry["exhaustive_probes"])
+        line = f"{name}: bisection {bisect} vs exhaustive {exhaustive} probes"
+        if bisect <= exhaustive // 2:
+            notes.append(f"SEARCH OK       {line}")
+        else:
+            failures.append(f"SEARCH SLOWER   {line} (limit {exhaustive // 2})")
+
+    cpu_count = int(fresh.get("cpu_count", 1))
+    speedup = fresh.get("derived", {}).get("speedup_4workers")
+    if speedup is not None:
+        line = f"4-worker speedup {speedup:.2f}x on {cpu_count} recorded cores"
+        if cpu_count < CAMPAIGN_SPEEDUP_MIN_CORES:
+            notes.append(f"SPEEDUP SKIP    {line} (needs >= "
+                         f"{CAMPAIGN_SPEEDUP_MIN_CORES} cores)")
+        elif speedup >= CAMPAIGN_SPEEDUP_THRESHOLD:
+            notes.append(f"SPEEDUP OK      {line}")
+        else:
+            failures.append(f"SPEEDUP LOW     {line} "
+                            f"(limit {CAMPAIGN_SPEEDUP_THRESHOLD:.1f}x)")
+
+    if baseline is not None:
+        old = baseline.get("campaign", {}).get("serial", {}).get("wall_s")
+        new = entries.get("serial", {}).get("wall_s")
+        if old and new and old > 0:
+            ratio = float(new) / float(old)
+            line = f"serial drain: {old:.2f} s -> {new:.2f} s ({ratio:.2f}x)"
+            if ratio > threshold:
+                failures.append(f"CAMPAIGN SLOWER {line} (limit {threshold:.2f}x)")
+            else:
+                notes.append(f"CAMPAIGN OK     {line}")
+        else:
+            notes.append("CAMPAIGN SKIP   serial wall-clock missing on one side")
+    return failures, notes
+
+
 def load(path: Path) -> dict:
     """Read one BENCH_kernels.json payload."""
     with open(path) as handle:
@@ -151,6 +223,26 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed slowdown of the overhead kernels "
         f"(default {DEFAULT_OVERHEAD_THRESHOLD})",
     )
+    parser.add_argument(
+        "--campaign-baseline",
+        type=Path,
+        default=None,
+        help="committed baseline BENCH_campaign.json to compare against",
+    )
+    parser.add_argument(
+        "--campaign-fresh",
+        type=Path,
+        default=DEFAULT_CAMPAIGN_RESULTS,
+        help="freshly generated campaign results "
+        f"(default {DEFAULT_CAMPAIGN_RESULTS})",
+    )
+    parser.add_argument(
+        "--campaign-threshold",
+        type=float,
+        default=DEFAULT_CAMPAIGN_THRESHOLD,
+        help="allowed slowdown of the serial campaign drain "
+        f"(default {DEFAULT_CAMPAIGN_THRESHOLD})",
+    )
     args = parser.parse_args(argv)
 
     if not args.fresh.exists():
@@ -165,9 +257,26 @@ def main(argv: list[str] | None = None) -> int:
         kernels=tuple(args.overhead_kernels),
         threshold=args.overhead_threshold,
     )
-    for line in notes + overhead_notes:
+    campaign_failures: list[str] = []
+    campaign_notes: list[str] = []
+    if args.campaign_fresh.exists():
+        campaign_baseline = (
+            load(args.campaign_baseline)
+            if args.campaign_baseline is not None and args.campaign_baseline.exists()
+            else None
+        )
+        campaign_failures, campaign_notes = check_campaign(
+            campaign_baseline, load(args.campaign_fresh),
+            threshold=args.campaign_threshold,
+        )
+    else:
+        campaign_notes = [
+            f"CAMPAIGN SKIP   {args.campaign_fresh} not found "
+            "(run benchmarks/bench_campaign.py to generate it)"
+        ]
+    for line in notes + overhead_notes + campaign_notes:
         print(line)
-    failures = regressions + overhead_failures
+    failures = regressions + overhead_failures + campaign_failures
     for line in failures:
         print(line)
     if failures:

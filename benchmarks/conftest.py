@@ -24,6 +24,9 @@ OUT_DIR = Path(__file__).parent / "out"
 #: Machine-readable kernel timings tracked across PRs (repo root).
 KERNEL_RESULTS_PATH = Path(__file__).parent.parent / "BENCH_kernels.json"
 
+#: Machine-readable campaign-engine timings tracked across PRs (repo root).
+CAMPAIGN_RESULTS_PATH = Path(__file__).parent.parent / "BENCH_campaign.json"
+
 
 def bench_scale() -> str:
     """Benchmark scale from the environment (quick by default)."""
@@ -76,6 +79,36 @@ def kernel_log():
     if derived:
         payload["derived"] = derived
     KERNEL_RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="session")
+def campaign_log():
+    """Collector for campaign-engine benchmarks, flushed to BENCH_campaign.json.
+
+    ``benchmarks/bench_campaign.py`` files serial/parallel wall-clock and
+    search probe counts here; at session end they land in a machine-readable
+    file at the repo root so ``benchmarks/check_regression.py`` can compare
+    the campaign engine's trajectory across PRs.
+    """
+    entries: dict[str, dict] = {}
+    yield entries
+    if not entries:
+        return
+    payload = {
+        "schema": 1,
+        "scale": bench_scale(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "campaign": entries,
+    }
+    serial = entries.get("serial", {}).get("wall_s")
+    pool = entries.get("workers4", {}).get("wall_s")
+    if serial and pool and pool > 0:
+        payload["derived"] = {"speedup_4workers": serial / pool}
+    CAMPAIGN_RESULTS_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def record_kernel(kernel_log: dict, benchmark, name: str) -> None:

@@ -1,0 +1,65 @@
+"""repro.campaign: parallel, resumable experiment campaigns.
+
+The paper's evaluation is not one run but a *campaign*: a grid of
+(m x P x density x seed) repetitions behind each figure and table.  This
+package turns that grid into a first-class object --
+
+* :mod:`~repro.campaign.spec` declares campaigns; every run is keyed by a
+  deterministic content hash of its resolved configuration;
+* :mod:`~repro.campaign.store` persists results in SQLite with exactly-once
+  semantics, so interrupted campaigns resume with zero recomputation;
+* :mod:`~repro.campaign.executor` drains a campaign through a process pool
+  with retries, per-run timeouts and graceful cancellation;
+* :mod:`~repro.campaign.search` localises the DLB effective-range boundary
+  by bisection in ``O(log G)`` probes instead of an ``O(G)`` sweep;
+* :mod:`~repro.campaign.report` aggregates stored payloads back into the
+  paper's tables.
+"""
+
+from .executor import CampaignSummary, execute_run, run_campaign
+from .report import (
+    BoundaryGroup,
+    CampaignReport,
+    campaign_report,
+    group_experiment,
+    render_report,
+)
+from .search import (
+    SearchResult,
+    bisect_boundary,
+    evaluate_probe,
+    exhaustive_boundary_scan,
+    probe_spec,
+)
+from .spec import (
+    BUILTIN_CAMPAIGNS,
+    CampaignSpec,
+    RunSpec,
+    campaign_names,
+    get_campaign,
+)
+from .store import RunStore, StoredRun, canonical_payload
+
+__all__ = [
+    "BUILTIN_CAMPAIGNS",
+    "BoundaryGroup",
+    "CampaignReport",
+    "CampaignSpec",
+    "CampaignSummary",
+    "RunSpec",
+    "RunStore",
+    "SearchResult",
+    "StoredRun",
+    "bisect_boundary",
+    "campaign_names",
+    "campaign_report",
+    "canonical_payload",
+    "evaluate_probe",
+    "execute_run",
+    "exhaustive_boundary_scan",
+    "get_campaign",
+    "group_experiment",
+    "probe_spec",
+    "render_report",
+    "run_campaign",
+]

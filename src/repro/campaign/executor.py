@@ -1,0 +1,457 @@
+"""Campaign scheduler: process-pool execution with retry, timeout and resume.
+
+:func:`run_campaign` drains a :class:`~repro.campaign.spec.CampaignSpec`
+through a :class:`~repro.campaign.store.RunStore`:
+
+* runs whose content hash is already ``done`` in the store are served as
+  cache hits (never re-executed);
+* the rest execute on a ``ProcessPoolExecutor`` (``workers > 1``) or inline
+  (``workers <= 1`` -- the serial path shares the exact same run functions,
+  so payloads are byte-identical either way);
+* transient failures retry with exponential backoff up to ``retries`` times;
+* a per-run ``timeout`` is enforced with ``SIGALRM`` inside the executing
+  process (Unix), so a hung run fails instead of wedging the campaign;
+* ``KeyboardInterrupt`` (or an injected ``stop_after``) cancels gracefully:
+  pending work is dropped, in-flight rows are demoted to ``pending``, and a
+  later invocation resumes with zero recomputation of completed runs.
+
+Progress is reported through an optional callback and, when a
+:class:`~repro.obs.MetricsRegistry` is supplied, through the
+``repro_campaign_*`` counter/histogram families.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+import traceback
+from collections.abc import Callable
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import RunConfig
+from ..errors import CampaignError
+from ..experiments.fig10 import run_boundary_repetition
+from ..theory.boundary import moving_average
+from ..theory.bounds import upper_bound
+from .spec import CampaignSpec, RunSpec
+from .store import RunStore
+
+#: progress callback signature: (event, run_hash, spec) with event in
+#: {"cached", "start", "done", "failed", "retry", "cancelled"}.
+ProgressCallback = Callable[[str, str, RunSpec], None]
+
+
+# -- run functions (execute in the worker process) --------------------------
+
+
+def _execute_boundary(spec: RunSpec) -> dict:
+    outcome = run_boundary_repetition(
+        spec.m,
+        spec.n_pes,
+        spec.density,
+        schedule_seed=spec.seed,
+        n_steps=spec.n_steps,
+        rounds_per_config=spec.rounds_per_config,
+        detector_kwargs={"factor": spec.detector_factor, "sustain": spec.detector_sustain},
+    )
+    payload = {
+        "kind": "boundary",
+        "m": spec.m,
+        "n_pes": spec.n_pes,
+        "density": spec.density,
+        "seed": spec.seed,
+        "diverged": outcome.diverged,
+        "step": None,
+        "n": None,
+        "c0_ratio": None,
+        "theory": None,
+        "et_ratio": None,
+    }
+    if outcome.point is not None:
+        theory = float(upper_bound(spec.m, outcome.point.n))
+        payload.update(
+            step=int(outcome.point.step),
+            n=float(outcome.point.n),
+            c0_ratio=float(outcome.point.c0_ratio),
+            theory=theory,
+            et_ratio=float(outcome.point.c0_ratio / theory) if theory > 0 else None,
+        )
+    return payload
+
+
+def _probe_configurations(schedule, index: int, hold: int):
+    """The probe's driven sequence: schedule prefix, then hold the level."""
+    last = None
+    for i, configuration in enumerate(schedule.configurations()):
+        if i > index:
+            break
+        last = configuration
+        yield configuration
+    for _ in range(hold):
+        yield last
+
+
+def _execute_probe(spec: RunSpec) -> dict:
+    from ..core.runner import DrivenLoadRunner
+    from ..experiments.common import droplets_for, geometry_for, simulation_config_for
+    from ..experiments.fig10 import auto_rounds
+    from ..workloads.concentration import ConcentrationSchedule
+
+    geometry = geometry_for(spec.m, spec.n_pes, spec.density)
+    config = simulation_config_for(geometry, dlb_enabled=True)
+    rounds = spec.rounds_per_config
+    if rounds is None:
+        rounds = auto_rounds(geometry)
+    schedule = ConcentrationSchedule(
+        n_particles=geometry.n_particles,
+        box_length=geometry.box_length,
+        n_steps=spec.n_steps,
+        n_droplets=droplets_for(geometry),
+        seed=spec.seed,
+    )
+    index, hold = int(spec.probe_index), int(spec.probe_hold)
+    result = DrivenLoadRunner(config, rounds_per_config=rounds).run(
+        _probe_configurations(schedule, index, hold)
+    )
+    # Divergence oracle: after holding the level, is the (smoothed) spread
+    # still pinned above the balanced-prefix baseline?  Thresholds mirror
+    # the boundary detector's (factor 2.5 over the baseline median, 5%
+    # over the baseline peak).
+    smooth = moving_average(result.spread, 5)
+    n_prefix = index + 1
+    n_base = min(max(3, int(0.2 * n_prefix)), n_prefix)
+    baseline = float(np.median(smooth[:n_base]))
+    threshold = max(
+        2.5 * baseline, baseline + 1e-12, float(np.max(smooth[:n_base])) * 1.05
+    )
+    tail = smooth[-max(1, hold // 2):]
+    trajectory = result.trajectory
+    return {
+        "kind": "probe",
+        "m": spec.m,
+        "n_pes": spec.n_pes,
+        "density": spec.density,
+        "seed": spec.seed,
+        "index": index,
+        "diverged": bool(np.median(tail) > threshold),
+        "n": float(trajectory.n[-1]),
+        "c0_ratio": float(trajectory.c0_ratio[-1]),
+    }
+
+
+def _execute_preset(spec: RunSpec) -> dict:
+    from ..core.runner import ParallelMDRunner
+    from ..workloads.presets import get_preset
+
+    preset = get_preset(spec.preset)
+    runner = ParallelMDRunner(
+        preset.simulation_config(dlb_enabled=spec.mode == "dlb"),
+        RunConfig(
+            steps=spec.n_steps,
+            seed=spec.seed,
+            record_interval=max(1, spec.n_steps // 50),
+            force_backend=spec.backend,
+        ),
+    )
+    result = runner.run()
+    payload = {
+        "kind": "preset",
+        "preset": spec.preset,
+        "mode": spec.mode,
+        "backend": spec.backend,
+        "seed": spec.seed,
+    }
+    payload.update({key: float(value) for key, value in result.summary().items()})
+    return payload
+
+
+_KIND_EXECUTORS: dict[str, Callable[[RunSpec], dict]] = {
+    "boundary": _execute_boundary,
+    "probe": _execute_probe,
+    "preset": _execute_preset,
+}
+
+
+def execute_run(spec: RunSpec) -> dict:
+    """Execute one run synchronously and return its JSON payload."""
+    try:
+        run = _KIND_EXECUTORS[spec.kind]
+    except KeyError:
+        raise CampaignError(f"no executor for run kind {spec.kind!r}") from None
+    return run(spec)
+
+
+def _raise_timeout(signum, frame):  # pragma: no cover - exercised via alarm
+    raise CampaignError("run exceeded its time budget")
+
+
+def _execute_with_timeout(spec: RunSpec, timeout: float | None) -> dict:
+    """Execute a run under a ``SIGALRM`` deadline (no-op without one)."""
+    if timeout is None or not hasattr(signal, "SIGALRM"):
+        return execute_run(spec)
+    previous = signal.signal(signal.SIGALRM, _raise_timeout)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return execute_run(spec)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _pool_worker(spec_dict: dict, timeout: float | None) -> dict:
+    """Top-level (picklable) worker entry: never raises across the pool."""
+    spec = RunSpec.from_dict(spec_dict)
+    started = time.perf_counter()
+    try:
+        payload = _execute_with_timeout(spec, timeout)
+        return {"ok": True, "payload": payload,
+                "duration_s": time.perf_counter() - started}
+    except Exception:
+        return {"ok": False, "error": traceback.format_exc(),
+                "duration_s": time.perf_counter() - started}
+
+
+# -- the scheduler ----------------------------------------------------------
+
+
+@dataclass
+class CampaignSummary:
+    """What one :func:`run_campaign` invocation did.
+
+    ``completed`` counts runs newly executed to success *this* invocation;
+    ``cached`` counts runs served from the store without execution.  A fully
+    resumed campaign therefore reports ``completed == 0`` and
+    ``cached == len(campaign)``.
+    """
+
+    campaign: str
+    total: int = 0
+    completed: int = 0
+    failed: int = 0
+    cached: int = 0
+    cancelled: int = 0
+    interrupted: bool = False
+    wall_s: float = 0.0
+    retries: int = 0
+    failures: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def done(self) -> int:
+        """Runs with a payload available after this invocation."""
+        return self.completed + self.cached
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the CLI's ``--json`` output)."""
+        return {
+            "campaign": self.campaign,
+            "total": self.total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cached": self.cached,
+            "cancelled": self.cancelled,
+            "interrupted": self.interrupted,
+            "retries": self.retries,
+            "wall_s": self.wall_s,
+        }
+
+
+class _MetricsHook:
+    """Optional metrics fan-out (all methods no-ops without a registry)."""
+
+    def __init__(self, registry, campaign: str) -> None:
+        self.registry = registry
+        self.campaign = campaign
+
+    def count(self, status: str, amount: int = 1) -> None:
+        if self.registry is None or amount <= 0:
+            return
+        self.registry.counter(
+            "repro_campaign_runs_total", "campaign runs by outcome"
+        ).inc(amount, campaign=self.campaign, status=status)
+
+    def duration(self, seconds: float) -> None:
+        if self.registry is None:
+            return
+        self.registry.histogram(
+            "repro_campaign_run_duration_seconds", "wall-clock per campaign run"
+        ).observe(float(seconds), campaign=self.campaign)
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    store: RunStore,
+    workers: int = 1,
+    timeout: float | None = None,
+    retries: int = 1,
+    backoff: float = 0.5,
+    progress: ProgressCallback | None = None,
+    metrics=None,
+    stop_after: int | None = None,
+) -> CampaignSummary:
+    """Execute a campaign through the store; returns the invocation summary.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``<= 1`` runs inline in this process.
+    timeout:
+        Per-run wall-clock budget in seconds (None = unbounded).
+    retries:
+        Extra attempts per run after its first failure.
+    backoff:
+        Base of the exponential retry delay (``backoff * 2**attempt`` s).
+    progress:
+        Optional ``(event, run_hash, spec)`` callback.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`.
+    stop_after:
+        Stop scheduling after this many *newly completed* runs (the
+        interruption hook the resume tests and the CI smoke job use).
+    """
+    if retries < 0:
+        raise CampaignError(f"retries must be non-negative, got {retries}")
+    started = time.perf_counter()
+    summary = CampaignSummary(campaign=campaign.name, total=len(campaign))
+    hook = _MetricsHook(metrics, campaign.name)
+
+    def report(event: str, run_hash: str, spec: RunSpec) -> None:
+        if progress is not None:
+            progress(event, run_hash, spec)
+
+    # Partition into cache hits and work, preserving campaign order.
+    work: list[tuple[str, RunSpec]] = []
+    for spec in campaign.runs:
+        run_hash = store.register(spec, campaign.name)
+        stored = store.get(run_hash)
+        if stored is not None and stored.status == "done":
+            summary.cached += 1
+            hook.count("cached")
+            report("cached", run_hash, spec)
+        else:
+            work.append((run_hash, spec))
+
+    def record_success(run_hash: str, spec: RunSpec, payload: dict, duration: float):
+        store.complete(run_hash, payload, duration)
+        summary.completed += 1
+        hook.count("completed")
+        hook.duration(duration)
+        report("done", run_hash, spec)
+
+    def record_failure(run_hash: str, spec: RunSpec, error: str, duration):
+        store.fail(run_hash, error, duration)
+        summary.failed += 1
+        summary.failures[run_hash] = error
+        hook.count("failed")
+        report("failed", run_hash, spec)
+
+    def reached_stop() -> bool:
+        return stop_after is not None and summary.completed >= stop_after
+
+    try:
+        if workers <= 1:
+            for run_hash, spec in work:
+                if reached_stop():
+                    summary.cancelled += 1
+                    report("cancelled", run_hash, spec)
+                    continue
+                attempt = 0
+                store.start(run_hash)
+                report("start", run_hash, spec)
+                while True:
+                    outcome = _pool_worker(spec.to_dict(), timeout)
+                    if outcome["ok"]:
+                        record_success(run_hash, spec, outcome["payload"],
+                                       outcome["duration_s"])
+                        break
+                    if attempt < retries:
+                        attempt += 1
+                        summary.retries += 1
+                        store.start(run_hash)
+                        report("retry", run_hash, spec)
+                        if backoff > 0:
+                            time.sleep(backoff * 2 ** (attempt - 1))
+                        continue
+                    record_failure(run_hash, spec, outcome["error"],
+                                   outcome["duration_s"])
+                    break
+        else:
+            _run_pool(campaign, store, work, workers, timeout, retries, backoff,
+                      summary, hook, report, reached_stop,
+                      record_success, record_failure)
+    except KeyboardInterrupt:
+        summary.interrupted = True
+    finally:
+        # Any rows still marked running (cancelled futures, interrupts)
+        # become pending again so a resume re-executes exactly those.
+        store.reset_running()
+        summary.wall_s = time.perf_counter() - started
+    if stop_after is not None and summary.cancelled:
+        summary.interrupted = True
+    return summary
+
+
+def _run_pool(campaign, store, work, workers, timeout, retries, backoff,
+              summary, hook, report, reached_stop,
+              record_success, record_failure) -> None:
+    """The parallel drain loop (extracted for readability)."""
+    pending: dict = {}
+    retry_at: list[tuple[float, str, RunSpec, int]] = []
+    queue = list(work)
+    attempts: dict[str, int] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        try:
+            while queue or pending or retry_at:
+                if reached_stop():
+                    summary.cancelled += len(queue) + len(pending) + len(retry_at)
+                    for run_hash, spec in queue:
+                        report("cancelled", run_hash, spec)
+                    queue.clear()
+                    retry_at.clear()
+                    for future in pending:
+                        future.cancel()
+                    break
+                now = time.monotonic()
+                due = [entry for entry in retry_at if entry[0] <= now]
+                retry_at[:] = [entry for entry in retry_at if entry[0] > now]
+                for _, run_hash, spec, attempt in due:
+                    queue.append((run_hash, spec))
+                    attempts[run_hash] = attempt
+                while queue and len(pending) < workers:
+                    run_hash, spec = queue.pop(0)
+                    store.start(run_hash)
+                    report("start", run_hash, spec)
+                    future = pool.submit(_pool_worker, spec.to_dict(), timeout)
+                    pending[future] = (run_hash, spec)
+                if not pending:
+                    if retry_at:
+                        time.sleep(min(0.05, max(0.0, retry_at[0][0] - now)))
+                    continue
+                finished, _ = wait(pending, timeout=0.1, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    run_hash, spec = pending.pop(future)
+                    outcome = future.result()
+                    if outcome["ok"]:
+                        record_success(run_hash, spec, outcome["payload"],
+                                       outcome["duration_s"])
+                        continue
+                    attempt = attempts.get(run_hash, 0)
+                    if attempt < retries:
+                        attempts[run_hash] = attempt + 1
+                        summary.retries += 1
+                        report("retry", run_hash, spec)
+                        delay = backoff * 2 ** attempt if backoff > 0 else 0.0
+                        retry_at.append(
+                            (time.monotonic() + delay, run_hash, spec, attempt + 1)
+                        )
+                    else:
+                        record_failure(run_hash, spec, outcome["error"],
+                                       outcome["duration_s"])
+        except KeyboardInterrupt:
+            for future in pending:
+                future.cancel()
+            summary.cancelled += len(queue) + len(pending) + len(retry_at)
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise

@@ -1,0 +1,258 @@
+"""Persistent run store: cross-invocation caching and exactly-once execution.
+
+One SQLite file per campaign directory holds every run the engine has ever
+seen, keyed by the spec's content hash.  A run moves through the statuses
+
+    pending -> running -> done | failed
+
+and a ``done`` run is *never* re-executed: re-submitting the same campaign
+(or a different campaign sharing grid points) serves the stored payload as a
+cache hit.  ``running`` rows are an in-flight marker only -- on (re)open they
+are demoted back to ``pending``, which is what makes an interrupted campaign
+resumable with zero recomputation of its completed runs.
+
+Payloads are stored as canonical JSON (sorted keys, compact separators), so
+"same spec hash => same payload" is checkable byte-for-byte across serial
+and parallel executions.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import CampaignError
+from .spec import RunSpec
+
+#: Store schema version (bump on layout change).
+STORE_SCHEMA = 1
+
+#: Database filename inside a campaign directory.
+DB_NAME = "campaign.sqlite"
+
+_STATUSES = ("pending", "running", "done", "failed")
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE IF NOT EXISTS runs (
+    hash TEXT PRIMARY KEY,
+    campaign TEXT NOT NULL,
+    spec_json TEXT NOT NULL,
+    status TEXT NOT NULL,
+    payload_json TEXT,
+    error TEXT,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    duration_s REAL,
+    created_at REAL NOT NULL,
+    updated_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS runs_by_campaign ON runs (campaign, status);
+"""
+
+
+def canonical_payload(payload: dict) -> str:
+    """The canonical JSON form payloads are stored (and compared) in."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One row of the run store."""
+
+    hash: str
+    campaign: str
+    spec: dict
+    status: str
+    payload: dict | None
+    error: str | None
+    attempts: int
+    duration_s: float | None
+
+    @property
+    def payload_json(self) -> str | None:
+        """Canonical JSON of the payload (byte-comparable across stores)."""
+        return canonical_payload(self.payload) if self.payload is not None else None
+
+    def run_spec(self) -> RunSpec:
+        """The stored spec, rebuilt as a :class:`RunSpec`."""
+        return RunSpec.from_dict(self.spec)
+
+
+class RunStore:
+    """SQLite-backed store of campaign runs.
+
+    ``path`` is a campaign directory (created on demand); ``None`` opens an
+    in-memory store for ephemeral executions (the CLI ``sweep`` alias).  The
+    store is written only by the scheduling process -- workers return results
+    over the pool, they never touch the database.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        if path is None:
+            self.directory = None
+            self._db = sqlite3.connect(":memory:")
+        else:
+            self.directory = Path(path)
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._db = sqlite3.connect(self.directory / DB_NAME)
+        self._db.executescript(_SCHEMA_SQL)
+        row = self._db.execute(
+            "SELECT value FROM meta WHERE key = 'schema'"
+        ).fetchone()
+        if row is None:
+            self._db.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema', ?)",
+                (str(STORE_SCHEMA),),
+            )
+            self._db.commit()
+        elif int(row[0]) != STORE_SCHEMA:
+            raise CampaignError(
+                f"run store schema {row[0]} != supported {STORE_SCHEMA} "
+                f"(delete {self.directory} to rebuild)"
+            )
+        # Any 'running' rows are stale markers from an interrupted process.
+        self.reset_running()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._db.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- row access --------------------------------------------------------
+
+    def get(self, run_hash: str) -> StoredRun | None:
+        """The stored run under ``run_hash``, or None."""
+        row = self._db.execute(
+            "SELECT hash, campaign, spec_json, status, payload_json, error, "
+            "attempts, duration_s FROM runs WHERE hash = ?",
+            (run_hash,),
+        ).fetchone()
+        return self._to_stored(row) if row is not None else None
+
+    def runs(self, campaign: str | None = None) -> list[StoredRun]:
+        """All stored runs (optionally restricted to one campaign)."""
+        if campaign is None:
+            rows = self._db.execute(
+                "SELECT hash, campaign, spec_json, status, payload_json, error, "
+                "attempts, duration_s FROM runs ORDER BY rowid"
+            ).fetchall()
+        else:
+            rows = self._db.execute(
+                "SELECT hash, campaign, spec_json, status, payload_json, error, "
+                "attempts, duration_s FROM runs WHERE campaign = ? "
+                "ORDER BY rowid",
+                (campaign,),
+            ).fetchall()
+        return [self._to_stored(row) for row in rows]
+
+    @staticmethod
+    def _to_stored(row: tuple) -> StoredRun:
+        (run_hash, campaign, spec_json, status, payload_json, error,
+         attempts, duration_s) = row
+        return StoredRun(
+            hash=run_hash,
+            campaign=campaign,
+            spec=json.loads(spec_json),
+            status=status,
+            payload=json.loads(payload_json) if payload_json else None,
+            error=error,
+            attempts=int(attempts),
+            duration_s=duration_s,
+        )
+
+    # -- state transitions -------------------------------------------------
+
+    def register(self, spec: RunSpec, campaign: str, run_hash: str | None = None) -> str:
+        """Ensure a row exists for ``spec``; returns its hash.
+
+        Existing rows keep their status and payload (exactly-once: a ``done``
+        run stays done no matter how many campaigns resubmit it).
+        """
+        run_hash = run_hash if run_hash is not None else spec.spec_hash()
+        now = time.time()
+        self._db.execute(
+            "INSERT INTO runs (hash, campaign, spec_json, status, attempts, "
+            "created_at, updated_at) VALUES (?, ?, ?, 'pending', 0, ?, ?) "
+            "ON CONFLICT(hash) DO NOTHING",
+            (run_hash, campaign, canonical_payload(spec.to_dict()), now, now),
+        )
+        self._db.commit()
+        return run_hash
+
+    def start(self, run_hash: str) -> None:
+        """Mark a run as in flight and count the attempt."""
+        self._set_status(run_hash, "running", attempt=True)
+
+    def complete(self, run_hash: str, payload: dict, duration_s: float) -> None:
+        """Record a successful payload (clears any previous error)."""
+        self._db.execute(
+            "UPDATE runs SET status = 'done', payload_json = ?, error = NULL, "
+            "duration_s = ?, updated_at = ? WHERE hash = ?",
+            (canonical_payload(payload), float(duration_s), time.time(), run_hash),
+        )
+        self._db.commit()
+
+    def fail(self, run_hash: str, error: str, duration_s: float | None = None) -> None:
+        """Record a failure with its traceback text."""
+        self._db.execute(
+            "UPDATE runs SET status = 'failed', error = ?, duration_s = ?, "
+            "updated_at = ? WHERE hash = ?",
+            (error, duration_s, time.time(), run_hash),
+        )
+        self._db.commit()
+
+    def reset_running(self) -> int:
+        """Demote stale ``running`` rows to ``pending``; returns the count."""
+        cursor = self._db.execute(
+            "UPDATE runs SET status = 'pending', updated_at = ? "
+            "WHERE status = 'running'",
+            (time.time(),),
+        )
+        self._db.commit()
+        return cursor.rowcount
+
+    def _set_status(self, run_hash: str, status: str, attempt: bool = False) -> None:
+        if status not in _STATUSES:
+            raise CampaignError(f"unknown status {status!r}")
+        bump = ", attempts = attempts + 1" if attempt else ""
+        cursor = self._db.execute(
+            f"UPDATE runs SET status = ?{bump}, updated_at = ? WHERE hash = ?",
+            (status, time.time(), run_hash),
+        )
+        if cursor.rowcount == 0:
+            raise CampaignError(f"run {run_hash} is not registered")
+        self._db.commit()
+
+    # -- summaries ---------------------------------------------------------
+
+    def status_counts(self, campaign: str | None = None) -> dict[str, int]:
+        """Row counts per status (all statuses present, zero-filled)."""
+        if campaign is None:
+            rows = self._db.execute(
+                "SELECT status, COUNT(*) FROM runs GROUP BY status"
+            ).fetchall()
+        else:
+            rows = self._db.execute(
+                "SELECT status, COUNT(*) FROM runs WHERE campaign = ? GROUP BY status",
+                (campaign,),
+            ).fetchall()
+        counts = {status: 0 for status in _STATUSES}
+        counts.update({status: int(count) for status, count in rows})
+        return counts
+
+    def campaigns(self) -> list[str]:
+        """Distinct campaign names present in the store."""
+        rows = self._db.execute(
+            "SELECT DISTINCT campaign FROM runs ORDER BY campaign"
+        ).fetchall()
+        return [row[0] for row in rows]

@@ -7,7 +7,13 @@ Commands
 ``run``
     Run a preset as DDM and/or DLB-DDM and print the comparison.
 ``sweep``
-    Run one effective-range boundary experiment (Figure 10 style).
+    Run one effective-range boundary experiment (Figure 10 style).  A thin
+    alias over the campaign engine: repetitions execute as campaign runs
+    (optionally in parallel and against a persistent store).
+``campaign``
+    Drive named experiment campaigns: ``run``/``resume`` a grid through the
+    persistent run store, ``status`` and ``report`` what is stored, ``list``
+    the built-ins, ``search`` the DLB boundary by bisection.
 ``bounds``
     Print the theoretical upper bounds f(m, n) over a range of n.
 ``calibrate``
@@ -17,14 +23,24 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
 import numpy as np
 
+from .campaign import (
+    CampaignSpec,
+    RunStore,
+    bisect_boundary,
+    campaign_names,
+    campaign_report,
+    get_campaign,
+    render_report,
+    run_campaign,
+)
 from .config import RunConfig
 from .core.runner import ParallelMDRunner
-from .experiments.fig10 import run_boundary_experiment
 from .obs import MetricsRegistry, Observability, Profiler, TraceRecorder
 from .parallel.costmodel import calibrate_tau_pair
 from .reporting import comparison_report, format_table, phase_breakdown, series_preview
@@ -119,40 +135,246 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_campaign(args: argparse.Namespace) -> CampaignSpec:
+    """The one-point boundary campaign behind ``repro sweep``.
+
+    Seeds match the pre-campaign serial driver exactly (raw ``--seed``, no
+    density/PE offsets), so the sweep's numbers are unchanged by the engine.
+    ``--replay-seed`` instead runs exactly one repetition with the given
+    schedule seed -- the value ``campaign report`` prints per repetition.
+    """
+    from .campaign import RunSpec
+
+    name = f"sweep-m{args.m}-p{args.pes}-rho{args.density}"
+    if args.replay_seed is not None:
+        run = RunSpec(
+            m=args.m, n_pes=args.pes, density=args.density,
+            n_steps=args.steps, seed=args.replay_seed,
+        )
+        return CampaignSpec(
+            name=name, runs=(run,),
+            description="single-repetition replay from a stored seed",
+        )
+    return CampaignSpec.boundary_grid(
+        name,
+        m_values=(args.m,),
+        pe_counts=(args.pes,),
+        densities=(args.density,),
+        n_repetitions=args.reps,
+        n_steps=args.steps,
+        seed=args.seed,
+        density_seed_offset=False,
+        description="ad-hoc sweep via the campaign engine",
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    campaign = _sweep_campaign(args)
     print(
         f"boundary experiment: m={args.m}, P={args.pes}, rho={args.density}, "
-        f"{args.reps} repetitions",
+        f"{len(campaign)} repetitions",
         file=sys.stderr,
     )
-    experiment = run_boundary_experiment(
-        args.m, args.pes, args.density, n_repetitions=args.reps, n_steps=args.steps
-    )
-    if experiment.mean_point is None:
-        print("no divergence detected: DLB balanced the whole sweep "
-              f"({experiment.n_failed} runs)")
+    with RunStore(args.dir) as store:
+        summary = run_campaign(campaign, store, workers=args.workers)
+        report = campaign_report(store, campaign.name)
+    (group,) = report.boundary_groups or (None,)
+    if args.json:
+        payload = {
+            "m": args.m,
+            "pes": args.pes,
+            "density": args.density,
+            "summary": summary.to_dict(),
+            "repetitions": [dict(rep) for rep in group.repetitions] if group else [],
+        }
+        if group is not None:
+            for key in ("n", "c0_ratio", "et_ratio"):
+                stats = group.mean_std(key)
+                payload[key] = (
+                    {"mean": stats[0], "std": stats[1]} if stats else None
+                )
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
-    point = experiment.mean_point
-    theory = float(upper_bound(args.m, point.n))
+    if group is None or not group.points:
+        n_runs = group.n_failed if group else len(campaign)
+        print("no divergence detected: DLB balanced the whole sweep "
+              f"({n_runs} runs)")
+        return 0
+    rep_rows = [
+        (
+            index,
+            rep["seed"],
+            "yes" if rep["diverged"] else "no",
+            f"{rep['n']:.3f}" if rep["diverged"] else "-",
+            f"{rep['c0_ratio']:.4f}" if rep["diverged"] else "-",
+            f"{rep['et_ratio']:.3f}" if rep.get("et_ratio") else "-",
+        )
+        for index, rep in enumerate(group.repetitions)
+    ]
+    print(format_table(
+        ["rep", "seed", "diverged", "n", "C0/C (E)", "E/T"],
+        rep_rows,
+        title="per-repetition boundary points",
+    ))
+    n_stats = group.mean_std("n")
+    c_stats = group.mean_std("c0_ratio")
+    theory = float(upper_bound(args.m, n_stats[0]))
     rows = [
-        ("detected boundary points", f"{len(experiment.points)}/{args.reps}"),
-        ("mean boundary step", point.step),
-        ("concentration factor n", f"{point.n:.3f}"),
-        ("C0/C at boundary (E)", f"{point.c0_ratio:.4f}"),
+        ("detected boundary points",
+         f"{len(group.points)}/{len(group.repetitions)}"),
+        ("concentration factor n", f"{n_stats[0]:.3f} ± {n_stats[1]:.3f}"),
+        ("C0/C at boundary (E)", f"{c_stats[0]:.4f} ± {c_stats[1]:.4f}"),
         ("theoretical bound f(m,n) (T)", f"{theory:.4f}"),
-        ("ratio E/T", f"{point.c0_ratio / theory:.3f}"),
+        ("ratio E/T", f"{c_stats[0] / theory:.3f}"),
     ]
     print(format_table(["quantity", "value"], rows))
     return 0
 
 
-def _cmd_bounds(args: argparse.Namespace) -> int:
+def _progress_printer(total: int):
+    """A progress callback printing one stderr line per scheduling event."""
+    state = {"done": 0}
+
+    def progress(event: str, run_hash: str, spec) -> None:
+        if event in ("done", "failed", "cached"):
+            state["done"] += 1
+        if event == "start":
+            return
+        print(
+            f"  [{state['done']}/{total}] {event:9s} {run_hash} "
+            f"({spec.kind} m={spec.m} P={spec.n_pes} rho={spec.density} "
+            f"seed={spec.seed})",
+            file=sys.stderr,
+        )
+
+    return progress
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    verb = args.verb
+    if verb == "list":
+        rows = []
+        for name in campaign_names():
+            spec = get_campaign(name)
+            rows.append((name, len(spec), spec.description))
+        print(format_table(["name", "runs", "description"], rows,
+                           title="built-in campaigns"))
+        return 0
+
+    if verb in ("run", "resume"):
+        campaign = get_campaign(args.name)
+        with RunStore(args.dir) as store:
+            summary = run_campaign(
+                campaign,
+                store,
+                workers=args.workers,
+                timeout=args.timeout,
+                retries=args.retries,
+                stop_after=args.max_runs,
+                progress=None if args.json else _progress_printer(len(campaign)),
+            )
+            if args.json:
+                print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+            else:
+                print(
+                    f"campaign {campaign.name!r}: {summary.completed} completed, "
+                    f"{summary.cached} cached, {summary.failed} failed, "
+                    f"{summary.cancelled} cancelled in {summary.wall_s:.1f}s"
+                )
+        return 1 if summary.failed else 0
+
+    if verb == "status":
+        with RunStore(args.dir) as store:
+            names = [args.name] if args.name else store.campaigns()
+            counts = {name: store.status_counts(name) for name in names}
+        if args.json:
+            print(json.dumps(counts, indent=2, sort_keys=True))
+        else:
+            rows = [
+                (name, c["done"], c["pending"], c["failed"], sum(c.values()))
+                for name, c in counts.items()
+            ]
+            print(format_table(["campaign", "done", "pending", "failed", "total"],
+                               rows, title="run store status"))
+        return 0
+
+    if verb == "report":
+        with RunStore(args.dir) as store:
+            report = campaign_report(store, args.name)
+        if args.json:
+            print(json.dumps(
+                {
+                    "campaign": report.campaign,
+                    "counts": report.counts,
+                    "boundary": [
+                        {
+                            "m": g.m,
+                            "n_pes": g.n_pes,
+                            "density": g.density,
+                            "seeds": list(g.seeds),
+                            "repetitions": [dict(rep) for rep in g.repetitions],
+                        }
+                        for g in report.boundary_groups
+                    ],
+                    "presets": [dict(row) for row in report.preset_rows],
+                },
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(render_report(report))
+        return 0
+
+    if verb == "search":
+        with RunStore(args.dir) as store:
+            result = bisect_boundary(
+                args.m, args.pes, args.density,
+                n_steps=args.steps, stride=args.stride, seed=args.seed,
+                store=store,
+            )
+        if args.json:
+            payload = {
+                "m": result.m,
+                "pes": result.n_pes,
+                "density": result.density,
+                "boundary_index": result.boundary_index,
+                "point": list(result.point) if result.point else None,
+                "n_probes": result.n_probes,
+                "grid_size": len(result.grid),
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        elif result.found:
+            n, c0 = result.point
+            print(
+                f"boundary at schedule level {result.boundary_index} "
+                f"(n={n:.3f}, C0/C={c0:.4f}) in {result.n_probes} probes "
+                f"(exhaustive scan: {len(result.grid)})"
+            )
+        else:
+            print(f"no boundary found on the grid ({result.n_probes} probes)")
+        return 0
+
+    raise AssertionError(f"unhandled campaign verb {verb!r}")  # pragma: no cover
+
+
+def _bounds_grid(args: argparse.Namespace) -> tuple[np.ndarray, dict[int, list[float]]]:
     n = np.linspace(args.n_min, args.n_max, args.points)
+    curves = {m: [float(upper_bound(m, value)) for value in n] for m in (2, 3, 4)}
+    return n, curves
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    n, curves = _bounds_grid(args)
+    if args.json:
+        print(json.dumps(
+            {"n": [float(v) for v in n]}
+            | {f"f{m}": values for m, values in curves.items()},
+            indent=2, sort_keys=True,
+        ))
+        return 0
     rows = []
-    for value in n:
+    for i, value in enumerate(n):
         rows.append(
-            (f"{value:.2f}",)
-            + tuple(f"{float(upper_bound(m, value)):.4f}" for m in (2, 3, 4))
+            (f"{value:.2f}",) + tuple(f"{curves[m][i]:.4f}" for m in (2, 3, 4))
         )
     print(format_table(["n", "f(2,n)", "f(3,n)", "f(4,n)"], rows,
                        title="Theoretical upper bounds (Equations 9-11)"))
@@ -217,18 +439,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(func=_cmd_run)
 
-    sweep = sub.add_parser("sweep", help="run one effective-range experiment")
+    sweep = sub.add_parser(
+        "sweep",
+        help="run one effective-range experiment (campaign-engine alias)",
+    )
     sweep.add_argument("--m", type=int, default=3)
     sweep.add_argument("--pes", type=int, default=9)
     sweep.add_argument("--density", type=float, default=0.256)
     sweep.add_argument("--reps", type=int, default=4)
     sweep.add_argument("--steps", type=int, default=110)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--replay-seed", type=int, default=None,
+        help="replay exactly one repetition with this schedule seed "
+        "(the per-repetition seed `campaign report` prints)",
+    )
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="process-pool size (1 = run inline)")
+    sweep.add_argument("--dir", default=None,
+                       help="persistent run-store directory (default: in-memory)")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of tables")
     sweep.set_defaults(func=_cmd_sweep)
+
+    campaign = sub.add_parser(
+        "campaign", help="run, resume and report experiment campaigns"
+    )
+    campaign_sub = campaign.add_subparsers(dest="verb", required=True)
+
+    def _store_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dir", default=".campaigns",
+                       help="run-store directory (default: .campaigns)")
+        p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of tables")
+
+    campaign_sub.add_parser("list", help="list built-in campaigns").set_defaults(
+        func=_cmd_campaign
+    )
+    for verb, help_text in (
+        ("run", "execute a campaign (cached runs are skipped)"),
+        ("resume", "synonym of run: continue an interrupted campaign"),
+    ):
+        p = campaign_sub.add_parser(verb, help=help_text)
+        p.add_argument("name", help="campaign name (see `repro campaign list`)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="process-pool size (1 = run inline)")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-run wall-clock budget in seconds")
+        p.add_argument("--retries", type=int, default=1,
+                       help="extra attempts per failing run")
+        p.add_argument("--max-runs", type=int, default=None,
+                       help="stop after this many new completions (CI smoke)")
+        _store_args(p)
+        p.set_defaults(func=_cmd_campaign)
+    status = campaign_sub.add_parser("status", help="run-store status counts")
+    status.add_argument("name", nargs="?", default=None)
+    _store_args(status)
+    status.set_defaults(func=_cmd_campaign)
+    report = campaign_sub.add_parser("report", help="aggregate stored payloads")
+    report.add_argument("name")
+    _store_args(report)
+    report.set_defaults(func=_cmd_campaign)
+    search = campaign_sub.add_parser(
+        "search", help="bisect the DLB effective-range boundary"
+    )
+    search.add_argument("--m", type=int, default=3)
+    search.add_argument("--pes", type=int, default=9)
+    search.add_argument("--density", type=float, default=0.256)
+    search.add_argument("--steps", type=int, default=100)
+    search.add_argument("--stride", type=int, default=4)
+    search.add_argument("--seed", type=int, default=0)
+    _store_args(search)
+    search.set_defaults(func=_cmd_campaign)
 
     bounds = sub.add_parser("bounds", help="print the theoretical bounds f(m, n)")
     bounds.add_argument("--n-min", type=float, default=1.0)
     bounds.add_argument("--n-max", type=float, default=4.0)
     bounds.add_argument("--points", type=int, default=13)
+    bounds.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of a table")
     bounds.set_defaults(func=_cmd_bounds)
 
     calibrate = sub.add_parser(

@@ -43,3 +43,8 @@ class SimulationError(ReproError):
 class AnalysisError(ReproError):
     """Raised by the theory/analysis layer (e.g. boundary detection on a
     series that never diverges, fitting with no data points)."""
+
+
+class CampaignError(ReproError):
+    """Raised by the campaign engine (unknown campaign name, malformed run
+    spec, store schema mismatch, or a run exceeding its time budget)."""

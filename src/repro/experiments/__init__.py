@@ -9,7 +9,15 @@ from .common import ExperimentGeometry, geometry_for
 from .fig5 import Fig5Result, run_fig5
 from .fig6 import Fig6Result, fig6_from_fig5, run_fig6
 from .fig9 import Fig9Result, run_fig9
-from .fig10 import BoundaryExperiment, Fig10Result, run_boundary_experiment, run_fig10
+from .fig10 import (
+    BoundaryExperiment,
+    Fig10Result,
+    RepetitionOutcome,
+    experiment_from_outcomes,
+    run_boundary_experiment,
+    run_boundary_repetition,
+    run_fig10,
+)
 from .table1 import Table1Result, run_table1
 
 __all__ = [
@@ -19,10 +27,13 @@ __all__ = [
     "Fig6Result",
     "Fig9Result",
     "Fig10Result",
+    "RepetitionOutcome",
     "Table1Result",
+    "experiment_from_outcomes",
     "fig6_from_fig5",
     "geometry_for",
     "run_boundary_experiment",
+    "run_boundary_repetition",
     "run_fig5",
     "run_fig6",
     "run_fig9",

@@ -17,13 +17,31 @@ import numpy as np
 
 from ..core.runner import DrivenLoadRunner
 from ..errors import AnalysisError
-from ..rng import spawn
+from ..rng import repetition_seeds
 from ..theory.boundary import BoundaryPoint, boundary_point
 from ..theory.bounds import upper_bound
 from ..theory.fitting import ETComparison, average_points, fit_boundary_scale
 from ..units import PAPER_RHO_SWEEP
 from ..workloads.concentration import ConcentrationSchedule
 from .common import ExperimentGeometry, droplets_for, geometry_for, simulation_config_for
+
+
+@dataclass(frozen=True)
+class RepetitionOutcome:
+    """One repetition of a boundary experiment, keyed by its schedule seed.
+
+    ``point`` is None when the repetition's spread never diverged.  The seed
+    alone reproduces the run: it is the :class:`ConcentrationSchedule` seed,
+    and every other input is determined by the (m, P, density) geometry.
+    """
+
+    seed: int
+    point: BoundaryPoint | None
+
+    @property
+    def diverged(self) -> bool:
+        """Whether this repetition produced a boundary point."""
+        return self.point is not None
 
 
 @dataclass(frozen=True)
@@ -40,12 +58,16 @@ class BoundaryExperiment:
         The averaged point the paper plots, or None if no run diverged.
     n_failed:
         Repetitions whose spread never diverged within the sweep.
+    repetitions:
+        Per-repetition outcomes (seed + optional point), in run order --
+        includes the non-diverged repetitions that ``points`` omits.
     """
 
     geometry: ExperimentGeometry
     points: list[BoundaryPoint]
     mean_point: BoundaryPoint | None
     n_failed: int
+    repetitions: tuple[RepetitionOutcome, ...] = ()
 
     def error_range(self) -> tuple[float, float]:
         """Std of (n, C0/C) across repetitions -- Figure 10's error bars."""
@@ -68,6 +90,59 @@ def auto_rounds(geometry: ExperimentGeometry) -> int:
     return max(2, round(cells_per_pe / 20))
 
 
+def run_boundary_repetition(
+    m: int,
+    n_pes: int,
+    density: float,
+    schedule_seed: int,
+    n_steps: int = 130,
+    rounds_per_config: int | None = None,
+    detector_kwargs: dict | None = None,
+) -> RepetitionOutcome:
+    """One concentration sweep: the unit of work a campaign schedules.
+
+    ``schedule_seed`` fully determines the run (geometry is derived from the
+    arguments); the same seed always reproduces the same outcome.
+    """
+    geometry = geometry_for(m, n_pes, density)
+    config = simulation_config_for(geometry, dlb_enabled=True)
+    # A conservative detector (sustained exceedance well above baseline)
+    # avoids flagging the first noise bump as the boundary; the paper's own
+    # criterion ("begins to increase") is equally about a sustained rise.
+    detector_kwargs = {"factor": 2.5, "sustain": 15, **(detector_kwargs or {})}
+    if rounds_per_config is None:
+        rounds_per_config = auto_rounds(geometry)
+    schedule = ConcentrationSchedule(
+        n_particles=geometry.n_particles,
+        box_length=geometry.box_length,
+        n_steps=n_steps,
+        n_droplets=droplets_for(geometry),
+        seed=int(schedule_seed),
+    )
+    result = DrivenLoadRunner(config, rounds_per_config=rounds_per_config).run(schedule)
+    try:
+        point = boundary_point(
+            result.spread, result.trajectory, steps=result.steps, **detector_kwargs
+        )
+    except AnalysisError:
+        point = None
+    return RepetitionOutcome(seed=int(schedule_seed), point=point)
+
+
+def experiment_from_outcomes(
+    geometry: ExperimentGeometry, outcomes: list[RepetitionOutcome]
+) -> BoundaryExperiment:
+    """Aggregate per-repetition outcomes into one experiment point."""
+    points = [o.point for o in outcomes if o.point is not None]
+    return BoundaryExperiment(
+        geometry=geometry,
+        points=points,
+        mean_point=average_points([points])[0] if points else None,
+        n_failed=sum(1 for o in outcomes if o.point is None),
+        repetitions=tuple(outcomes),
+    )
+
+
 def run_boundary_experiment(
     m: int,
     n_pes: int,
@@ -80,38 +155,21 @@ def run_boundary_experiment(
 ) -> BoundaryExperiment:
     """Repeatedly sweep concentration and detect DLB's breakdown point."""
     geometry = geometry_for(m, n_pes, density)
-    config = simulation_config_for(geometry, dlb_enabled=True)
-    # A conservative detector (sustained exceedance well above baseline)
-    # avoids flagging the first noise bump as the boundary; the paper's own
-    # criterion ("begins to increase") is equally about a sustained rise.
-    detector_kwargs = {"factor": 2.5, "sustain": 15, **(detector_kwargs or {})}
-    if rounds_per_config is None:
-        rounds_per_config = auto_rounds(geometry)
-    points: list[BoundaryPoint] = []
-    n_failed = 0
     # One independent RNG stream per repetition (the paper's five initial
     # configurations, each executed twice, are ten independent runs here).
-    for child in spawn(seed, n_repetitions):
-        schedule = ConcentrationSchedule(
-            n_particles=geometry.n_particles,
-            box_length=geometry.box_length,
+    outcomes = [
+        run_boundary_repetition(
+            m,
+            n_pes,
+            density,
+            schedule_seed=schedule_seed,
             n_steps=n_steps,
-            n_droplets=droplets_for(geometry),
-            seed=int(child.integers(2**31)),
+            rounds_per_config=rounds_per_config,
+            detector_kwargs=detector_kwargs,
         )
-        result = DrivenLoadRunner(config, rounds_per_config=rounds_per_config).run(schedule)
-        try:
-            points.append(
-                boundary_point(
-                    result.spread, result.trajectory, steps=result.steps, **detector_kwargs
-                )
-            )
-        except AnalysisError:
-            n_failed += 1
-    mean_point = average_points([points])[0] if points else None
-    return BoundaryExperiment(
-        geometry=geometry, points=points, mean_point=mean_point, n_failed=n_failed
-    )
+        for schedule_seed in repetition_seeds(seed, n_repetitions)
+    ]
+    return experiment_from_outcomes(geometry, outcomes)
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,18 @@ def spawn(seed: int | None, n: int) -> list[np.random.Generator]:
     return [np.random.default_rng(s) for s in root.spawn(n)]
 
 
+def repetition_seeds(seed: int | None, n: int) -> list[int]:
+    """``n`` independent integer seeds derived from a root ``seed``.
+
+    These are the seeds :func:`spawn`'s children would draw as their first
+    ``integers(2**31)`` sample, so a driver that loops over spawned
+    generators and one that loops over these integers produce identical
+    streams -- which is what lets a campaign store record a single integer
+    per repetition and still replay the exact run.
+    """
+    return [int(child.integers(2**31)) for child in spawn(seed, n)]
+
+
 def stream(seed: int | None = None) -> Iterator[np.random.Generator]:
     """Yield an unbounded stream of independent generators from ``seed``."""
     root = np.random.SeedSequence(DEFAULT_SEED if seed is None else seed)

@@ -1,0 +1,124 @@
+"""Campaign and run specifications: validation, hashing, built-ins."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, RunSpec, campaign_names, get_campaign
+from repro.errors import CampaignError
+from repro.rng import repetition_seeds
+
+
+class TestRunSpecValidation:
+    def test_defaults_are_valid(self):
+        assert RunSpec().kind == "boundary"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(CampaignError):
+            RunSpec(kind="nope")
+
+    def test_rejects_non_positive_steps(self):
+        with pytest.raises(CampaignError):
+            RunSpec(n_steps=0)
+
+    def test_probe_needs_index(self):
+        with pytest.raises(CampaignError):
+            RunSpec(kind="probe")
+
+    def test_probe_index_must_fit_schedule(self):
+        with pytest.raises(CampaignError):
+            RunSpec(kind="probe", probe_index=50, n_steps=50)
+
+    def test_probe_hold_must_be_positive(self):
+        with pytest.raises(CampaignError):
+            RunSpec(kind="probe", probe_index=3, probe_hold=0)
+
+    def test_preset_needs_name(self):
+        with pytest.raises(CampaignError):
+            RunSpec(kind="preset")
+
+    def test_preset_mode_restricted(self):
+        with pytest.raises(CampaignError):
+            RunSpec(kind="preset", preset="bench-m2", mode="hybrid")
+
+
+class TestSpecHash:
+    def test_deterministic(self):
+        assert RunSpec().spec_hash() == RunSpec().spec_hash()
+
+    def test_sensitive_to_every_physical_knob(self):
+        base = RunSpec()
+        variants = [
+            RunSpec(m=2),
+            RunSpec(n_pes=16),
+            RunSpec(density=0.384),
+            RunSpec(n_steps=120),
+            RunSpec(seed=1),
+            RunSpec(detector_factor=3.0),
+            RunSpec(detector_sustain=10),
+            RunSpec(rounds_per_config=4),
+        ]
+        hashes = {spec.spec_hash() for spec in variants}
+        assert base.spec_hash() not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_repetition_index_is_not_hashed(self):
+        # Two repetitions with identical parameters+seed are the same run.
+        assert RunSpec(repetition=0).spec_hash() == RunSpec(repetition=5).spec_hash()
+
+    def test_hash_covers_resolved_config(self):
+        content = RunSpec().content()
+        assert "config" in content
+        assert "n_particles" in content["config"]["md"]
+
+    def test_roundtrips_through_dict(self):
+        spec = RunSpec(kind="probe", probe_index=7, seed=42)
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.spec_hash() == spec.spec_hash()
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = RunSpec().to_dict() | {"future_field": 1}
+        assert RunSpec.from_dict(data) == RunSpec()
+
+
+class TestCampaignSpec:
+    def test_needs_runs(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec(name="empty", runs=())
+
+    def test_boundary_grid_expands_full_product(self):
+        spec = CampaignSpec.boundary_grid(
+            "grid", m_values=(2, 3), pe_counts=(9,), densities=(0.256, 0.384),
+            n_repetitions=2, n_steps=50,
+        )
+        assert len(spec) == 2 * 1 * 2 * 2
+
+    def test_boundary_grid_seeds_match_serial_driver(self):
+        # The campaign's per-repetition seeds are exactly the serial
+        # driver's stream: seed + 1000*density, then spawned children.
+        spec = CampaignSpec.boundary_grid(
+            "grid", m_values=(2,), pe_counts=(9,), densities=(0.256,),
+            n_repetitions=3, n_steps=50, seed=0,
+        )
+        assert [r.seed for r in spec.runs] == repetition_seeds(256, 3)
+
+    def test_preset_grid(self):
+        spec = CampaignSpec.preset_grid(
+            "p", presets=("bench-m2",), modes=("ddm", "dlb"),
+        )
+        assert len(spec) == 2
+        assert {r.mode for r in spec.runs} == {"ddm", "dlb"}
+
+
+class TestBuiltins:
+    def test_every_builtin_materialises(self):
+        for name in campaign_names():
+            spec = get_campaign(name)
+            assert len(spec) > 0
+            assert len(set(spec.hashes())) == len(spec), name
+
+    def test_smoke_is_six_runs(self):
+        assert len(get_campaign("smoke")) == 6
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CampaignError):
+            get_campaign("fig99")

@@ -20,9 +20,19 @@ class TestParser:
             ["sweep", "--m", "2", "--pes", "9"],
             ["bounds", "--n-min", "1", "--n-max", "2"],
             ["calibrate", "--particles", "256"],
+            ["campaign", "list"],
+            ["campaign", "run", "smoke", "--workers", "2", "--max-runs", "1"],
+            ["campaign", "resume", "smoke", "--dir", "d"],
+            ["campaign", "status"],
+            ["campaign", "report", "smoke", "--json"],
+            ["campaign", "search", "--m", "2", "--stride", "5"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
+
+    def test_campaign_requires_a_verb(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
 
 
 class TestCommands:
@@ -65,9 +75,97 @@ class TestCommands:
         out = capsys.readouterr().out
         assert ("E/T" in out) or ("no divergence" in out)
 
+    def test_sweep_reports_every_repetition(self, capsys):
+        code = main(["sweep", "--m", "2", "--pes", "9", "--reps", "2",
+                     "--steps", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-repetition boundary points" in out
+        assert "seed" in out
+        assert "±" in out  # the spread, not just the mean
+
+    def test_sweep_json(self, capsys):
+        code = main(["sweep", "--m", "2", "--pes", "9", "--reps", "2",
+                     "--steps", "50", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["m"] == 2
+        assert len(payload["repetitions"]) == 2
+        seeds = {rep["seed"] for rep in payload["repetitions"]}
+        assert len(seeds) == 2  # independent per-repetition seeds
+        assert payload["summary"]["completed"] == 2
+
+    def test_sweep_replay_seed_reproduces_repetition(self, capsys):
+        # Run two repetitions, take the second one's reported seed ...
+        assert main(["sweep", "--m", "2", "--pes", "9", "--reps", "2",
+                     "--steps", "50", "--json"]) == 0
+        reference = json.loads(capsys.readouterr().out)["repetitions"][1]
+        # ... and replay exactly that run from the seed alone.
+        assert main(["sweep", "--m", "2", "--pes", "9", "--steps", "50",
+                     "--replay-seed", str(reference["seed"]), "--json"]) == 0
+        replayed = json.loads(capsys.readouterr().out)
+        assert len(replayed["repetitions"]) == 1
+        assert replayed["repetitions"][0] == reference
+
+    def test_bounds_json(self, capsys):
+        code = main(["bounds", "--n-min", "1", "--n-max", "2", "--points", "3",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n"] == [1.0, 1.5, 2.0]
+        assert payload["f2"][0] == 1.0
+        assert set(payload) == {"n", "f2", "f3", "f4"}
+
     def test_calibrate(self, capsys):
         assert main(["calibrate", "--particles", "256", "--repeats", "1"]) == 0
         assert "tau_pair" in capsys.readouterr().out
+
+
+class TestCampaignCommand:
+    def test_list_names_builtins(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "fig10-quick" in out
+
+    def test_run_status_resume_report_cycle(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        # Interrupt after 2 completions ...
+        assert main(["campaign", "run", "smoke", "--dir", store_dir,
+                     "--max-runs", "2", "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["completed"] == 2 and first["interrupted"]
+        # ... status shows the partial store ...
+        assert main(["campaign", "status", "--dir", store_dir, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["smoke"]["done"] == 2
+        assert status["smoke"]["pending"] == 4
+        # ... resume completes the remainder without recomputation ...
+        assert main(["campaign", "resume", "smoke", "--dir", store_dir,
+                     "--json"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["cached"] == 2 and resumed["completed"] == 4
+        # ... and the report carries every repetition with its seed.
+        assert main(["campaign", "report", "smoke", "--dir", store_dir,
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"]["done"] == 6
+        reps = [rep for g in report["boundary"] for rep in g["repetitions"]]
+        assert len(reps) == 6
+        assert all("seed" in rep for rep in reps)
+
+    def test_report_human_readable(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["campaign", "run", "smoke", "--dir", store_dir,
+                     "--max-runs", "1"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "smoke", "--dir", store_dir]) == 0
+        assert "seed replays the run" in capsys.readouterr().out
+
+    def test_unknown_campaign_raises(self, tmp_path):
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError):
+            main(["campaign", "run", "nope", "--dir", str(tmp_path)])
 
 
 class TestBackendFlag:

@@ -21,6 +21,7 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS = REPO_ROOT / "BENCH_kernels.json"
+CAMPAIGN_RESULTS = REPO_ROOT / "BENCH_campaign.json"
 
 pytestmark = pytest.mark.perf
 
@@ -84,3 +85,59 @@ class TestCommittedBaseline:
         payload = json.loads(RESULTS.read_text())
         regressions, _ = checker.compare_kernels(payload, payload)
         assert not regressions
+
+
+class TestCheckCampaign:
+    """Unit coverage of the campaign-engine gate (cheap, still opt-in)."""
+
+    def test_bisection_budget_enforced(self):
+        checker = _load_checker()
+        fresh = {"campaign": {"search_m2": {"bisect_probes": 9,
+                                            "exhaustive_probes": 15}}}
+        failures, _ = checker.check_campaign(None, fresh)
+        assert len(failures) == 1
+        fresh["campaign"]["search_m2"]["bisect_probes"] = 7
+        failures, notes = checker.check_campaign(None, fresh)
+        assert not failures
+        assert any("SEARCH OK" in n for n in notes)
+
+    def test_speedup_gate_skipped_below_four_cores(self):
+        checker = _load_checker()
+        fresh = {"cpu_count": 1, "derived": {"speedup_4workers": 0.9},
+                 "campaign": {}}
+        failures, notes = checker.check_campaign(None, fresh)
+        assert not failures
+        assert any("SPEEDUP SKIP" in n for n in notes)
+
+    def test_speedup_gate_enforced_with_enough_cores(self):
+        checker = _load_checker()
+        fresh = {"cpu_count": 8, "derived": {"speedup_4workers": 1.4},
+                 "campaign": {}}
+        failures, _ = checker.check_campaign(None, fresh)
+        assert len(failures) == 1
+        fresh["derived"]["speedup_4workers"] = 2.5
+        failures, _ = checker.check_campaign(None, fresh)
+        assert not failures
+
+    def test_serial_drain_regression_against_baseline(self):
+        checker = _load_checker()
+        base = {"campaign": {"serial": {"wall_s": 1.0}}}
+        fresh = {"campaign": {"serial": {"wall_s": 2.0}}}
+        failures, _ = checker.check_campaign(base, fresh, threshold=1.5)
+        assert len(failures) == 1
+        fresh["campaign"]["serial"]["wall_s"] = 1.2
+        failures, _ = checker.check_campaign(base, fresh, threshold=1.5)
+        assert not failures
+
+    def test_committed_campaign_baseline_is_wellformed(self):
+        assert CAMPAIGN_RESULTS.exists(), (
+            "run benchmarks/bench_campaign.py to create BENCH_campaign.json"
+        )
+        payload = json.loads(CAMPAIGN_RESULTS.read_text())
+        assert payload["schema"] == 1
+        for m in (2, 3, 4):
+            entry = payload["campaign"][f"search_m{m}"]
+            assert entry["bisect_probes"] <= entry["exhaustive_probes"] // 2
+        checker = _load_checker()
+        failures, _ = checker.check_campaign(payload, payload)
+        assert not failures

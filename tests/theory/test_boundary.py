@@ -91,6 +91,49 @@ class TestDetectDivergence:
         assert late >= early
 
 
+class TestDetectDivergenceEdgeCases:
+    """Series shapes the campaign engine must classify as "never diverged"."""
+
+    def test_decreasing_series_never_diverges(self):
+        # DLB better than the start for the whole sweep: no boundary.
+        series = np.linspace(5.0, 1.0, 200)
+        with pytest.raises(AnalysisError):
+            detect_divergence_step(series, window=5, sustain=10)
+
+    def test_rise_shorter_than_sustain_window_not_flagged(self):
+        # The exceedance must be *sustained*; a rise that starts but has
+        # fewer than `sustain` samples left in the series cannot qualify.
+        series = np.full(120, 1.0)
+        series[-6:] = 50.0  # only 6 samples above threshold, sustain=10
+        with pytest.raises(AnalysisError):
+            detect_divergence_step(series, window=1, sustain=10)
+
+    def test_transient_bump_that_dips_back_below_baseline(self):
+        # The spread exceeds the threshold for a while but recovers to the
+        # baseline -- DLB caught up, so this is not a divergence.
+        series = np.full(300, 1.0)
+        series[100:108] = 8.0   # sustained-looking bump ...
+        series[108:] = 1.0      # ... but the spread settles back down
+        with pytest.raises(AnalysisError):
+            detect_divergence_step(series, window=1, factor=2.0, sustain=10)
+
+    def test_bump_then_true_divergence_is_found_after_the_bump(self):
+        # Same transient bump, but a genuine sustained rise later on: the
+        # detector must skip the bump and report the real divergence.
+        series = np.full(300, 1.0)
+        series[100:108] = 8.0
+        series[200:] = 1.0 + np.arange(100) * 0.5
+        step = detect_divergence_step(series, window=1, factor=2.0, sustain=10)
+        assert step >= 200
+
+    def test_whole_series_at_threshold_is_not_a_boundary(self):
+        # Constant series: the baseline equals the signal, no increase ever
+        # "begins", so no boundary exists even though nothing is below it.
+        series = np.full(150, 2.0)
+        with pytest.raises(AnalysisError):
+            detect_divergence_step(series, window=5, sustain=10)
+
+
 class TestBoundaryPoint:
     def test_reads_trajectory_at_detected_step(self):
         series = synthetic_spread(100, 60)
