@@ -40,7 +40,8 @@ from .spec import CampaignSpec, RunSpec
 from .store import RunStore
 
 #: progress callback signature: (event, run_hash, spec) with event in
-#: {"cached", "start", "done", "failed", "retry", "cancelled"}.
+#: {"cached", "start", "done", "failed", "retry", "cancelled", "skipped"}
+#: ("skipped": another process already claimed or completed the run).
 ProgressCallback = Callable[[str, str, RunSpec], None]
 
 
@@ -233,6 +234,7 @@ class CampaignSummary:
     failed: int = 0
     cached: int = 0
     cancelled: int = 0
+    skipped: int = 0
     interrupted: bool = False
     wall_s: float = 0.0
     retries: int = 0
@@ -252,6 +254,7 @@ class CampaignSummary:
             "failed": self.failed,
             "cached": self.cached,
             "cancelled": self.cancelled,
+            "skipped": self.skipped,
             "interrupted": self.interrupted,
             "retries": self.retries,
             "wall_s": self.wall_s,
@@ -333,8 +336,30 @@ def run_campaign(
         else:
             work.append((run_hash, spec))
 
+    # Hashes this invocation has claimed but not yet resolved. On a clean
+    # interrupt (KeyboardInterrupt / SIGTERM) exactly these are demoted back
+    # to pending -- never a sibling process's in-flight rows.
+    inflight: set[str] = set()
+
+    def claim(run_hash: str, spec: RunSpec) -> bool:
+        """Claim a run or report why it cannot be executed here."""
+        if store.claim(run_hash):
+            inflight.add(run_hash)
+            return True
+        stored = store.get(run_hash)
+        if stored is not None and stored.status == "done":
+            summary.cached += 1
+            hook.count("cached")
+            report("cached", run_hash, spec)
+        else:
+            summary.skipped += 1
+            hook.count("skipped")
+            report("skipped", run_hash, spec)
+        return False
+
     def record_success(run_hash: str, spec: RunSpec, payload: dict, duration: float):
         store.complete(run_hash, payload, duration)
+        inflight.discard(run_hash)
         summary.completed += 1
         hook.count("completed")
         hook.duration(duration)
@@ -342,6 +367,7 @@ def run_campaign(
 
     def record_failure(run_hash: str, spec: RunSpec, error: str, duration):
         store.fail(run_hash, error, duration)
+        inflight.discard(run_hash)
         summary.failed += 1
         summary.failures[run_hash] = error
         hook.count("failed")
@@ -350,6 +376,19 @@ def run_campaign(
     def reached_stop() -> bool:
         return stop_after is not None and summary.completed >= stop_after
 
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    # Treat SIGTERM like Ctrl-C: the except/finally below demotes the
+    # in-flight run to pending so a later invocation resumes it. Installing
+    # a handler only works on the main thread; elsewhere SIGTERM keeps its
+    # default disposition.
+    previous_sigterm = None
+    if hasattr(signal, "SIGTERM"):
+        try:
+            previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+        except ValueError:
+            previous_sigterm = None
     try:
         if workers <= 1:
             for run_hash, spec in work:
@@ -357,8 +396,9 @@ def run_campaign(
                     summary.cancelled += 1
                     report("cancelled", run_hash, spec)
                     continue
+                if not claim(run_hash, spec):
+                    continue
                 attempt = 0
-                store.start(run_hash)
                 report("start", run_hash, spec)
                 while True:
                     outcome = _pool_worker(spec.to_dict(), timeout)
@@ -379,14 +419,18 @@ def run_campaign(
                     break
         else:
             _run_pool(campaign, store, work, workers, timeout, retries, backoff,
-                      summary, hook, report, reached_stop,
+                      summary, hook, report, reached_stop, claim,
                       record_success, record_failure)
     except KeyboardInterrupt:
         summary.interrupted = True
     finally:
-        # Any rows still marked running (cancelled futures, interrupts)
-        # become pending again so a resume re-executes exactly those.
-        store.reset_running()
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+        # Exactly the rows this invocation still has in flight (cancelled
+        # futures, the interrupted run) become pending again, so a resume
+        # re-executes exactly those.
+        for run_hash in inflight:
+            store.release(run_hash)
         summary.wall_s = time.perf_counter() - started
     if stop_after is not None and summary.cancelled:
         summary.interrupted = True
@@ -394,7 +438,7 @@ def run_campaign(
 
 
 def _run_pool(campaign, store, work, workers, timeout, retries, backoff,
-              summary, hook, report, reached_stop,
+              summary, hook, report, reached_stop, claim,
               record_success, record_failure) -> None:
     """The parallel drain loop (extracted for readability)."""
     pending: dict = {}
@@ -421,7 +465,11 @@ def _run_pool(campaign, store, work, workers, timeout, retries, backoff,
                     attempts[run_hash] = attempt
                 while queue and len(pending) < workers:
                     run_hash, spec = queue.pop(0)
-                    store.start(run_hash)
+                    if run_hash in attempts:
+                        # Retry of a run this invocation already owns.
+                        store.start(run_hash)
+                    elif not claim(run_hash, spec):
+                        continue
                     report("start", run_hash, spec)
                     future = pool.submit(_pool_worker, spec.to_dict(), timeout)
                     pending[future] = (run_hash, spec)

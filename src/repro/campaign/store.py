@@ -85,19 +85,41 @@ class RunStore:
     """SQLite-backed store of campaign runs.
 
     ``path`` is a campaign directory (created on demand); ``None`` opens an
-    in-memory store for ephemeral executions (the CLI ``sweep`` alias).  The
-    store is written only by the scheduling process -- workers return results
-    over the pool, they never touch the database.
+    in-memory store for ephemeral executions (the CLI ``sweep`` alias).
+    Within one scheduling process, the store is written only by that process
+    -- workers return results over the pool, they never touch the database.
+
+    *Across* processes the store is safe to share: file-backed stores run in
+    WAL journal mode with a busy timeout, and :meth:`claim` performs an
+    atomic compare-and-set so two processes draining the same campaign never
+    double-execute a run. Concurrent drainers must open with
+    ``takeover=False`` -- the default ``takeover=True`` demotes every
+    ``running`` row at open, which is right for crash recovery but would
+    steal a sibling process's in-flight runs.
     """
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        takeover: bool = True,
+        busy_timeout: float = 30.0,
+    ) -> None:
         if path is None:
             self.directory = None
             self._db = sqlite3.connect(":memory:")
         else:
             self.directory = Path(path)
             self.directory.mkdir(parents=True, exist_ok=True)
-            self._db = sqlite3.connect(self.directory / DB_NAME)
+            self._db = sqlite3.connect(
+                self.directory / DB_NAME, timeout=busy_timeout
+            )
+            # WAL lets a reader (status/report) proceed under a writer and
+            # makes small commits cheaper; busy_timeout turns lock contention
+            # between sibling processes into a bounded wait instead of an
+            # immediate "database is locked" error.
+            self._db.execute("PRAGMA journal_mode=WAL")
+            self._db.execute(f"PRAGMA busy_timeout={int(busy_timeout * 1000)}")
+            self._db.execute("PRAGMA synchronous=NORMAL")
         self._db.executescript(_SCHEMA_SQL)
         row = self._db.execute(
             "SELECT value FROM meta WHERE key = 'schema'"
@@ -113,8 +135,10 @@ class RunStore:
                 f"run store schema {row[0]} != supported {STORE_SCHEMA} "
                 f"(delete {self.directory} to rebuild)"
             )
-        # Any 'running' rows are stale markers from an interrupted process.
-        self.reset_running()
+        # Any 'running' rows are stale markers from an interrupted process --
+        # unless a sibling process may legitimately be mid-run (takeover=False).
+        if takeover:
+            self.reset_running()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -192,6 +216,37 @@ class RunStore:
     def start(self, run_hash: str) -> None:
         """Mark a run as in flight and count the attempt."""
         self._set_status(run_hash, "running", attempt=True)
+
+    def claim(self, run_hash: str) -> bool:
+        """Atomically claim a runnable row; the exactly-once primitive.
+
+        Flips ``pending``/``failed`` to ``running`` (counting the attempt)
+        in one compare-and-set UPDATE, so of any number of processes racing
+        on the same hash exactly one sees True; the rest see False (the row
+        is already running or done elsewhere) and must skip the run.
+        """
+        cursor = self._db.execute(
+            "UPDATE runs SET status = 'running', attempts = attempts + 1, "
+            "updated_at = ? WHERE hash = ? AND status IN ('pending', 'failed')",
+            (time.time(), run_hash),
+        )
+        self._db.commit()
+        return cursor.rowcount == 1
+
+    def release(self, run_hash: str) -> bool:
+        """Demote one in-flight run back to ``pending`` (resumable).
+
+        The clean-interruption counterpart of :meth:`claim`: an executor that
+        caught SIGTERM/KeyboardInterrupt releases exactly the runs *it*
+        claimed, leaving sibling processes' in-flight rows alone.
+        """
+        cursor = self._db.execute(
+            "UPDATE runs SET status = 'pending', updated_at = ? "
+            "WHERE hash = ? AND status = 'running'",
+            (time.time(), run_hash),
+        )
+        self._db.commit()
+        return cursor.rowcount == 1
 
     def complete(self, run_hash: str, payload: dict, duration_s: float) -> None:
         """Record a successful payload (clears any previous error)."""

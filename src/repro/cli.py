@@ -40,7 +40,10 @@ from .campaign import (
     run_campaign,
 )
 from .config import RunConfig
+from .core.checkpoint import CheckpointManager
 from .core.runner import ParallelMDRunner
+from .errors import FaultInjectionError
+from .faults import FaultInjector, FaultPlan, InvariantAuditor
 from .obs import MetricsRegistry, Observability, Profiler, TraceRecorder
 from .parallel.costmodel import calibrate_tau_pair
 from .reporting import comparison_report, format_table, phase_breakdown, series_preview
@@ -74,16 +77,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     preset = get_preset(args.preset)
     steps = args.steps if args.steps is not None else preset.steps
     results = {}
+    audits = {}
     modes = {"ddm": False, "dlb": True}
     selected = modes if args.mode == "both" else {args.mode: modes[args.mode]}
+    stateful = (
+        args.checkpoint_dir or args.resume
+        or args.checkpoint_every or args.kill_after is not None
+    )
+    if stateful and len(selected) != 1:
+        print(
+            "error: --checkpoint-dir/--checkpoint-every/--resume/--kill-after "
+            "need a single mode (--mode ddm or --mode dlb)",
+            file=sys.stderr,
+        )
+        return 2
+    fault_plan = None
+    if args.faults:
+        try:
+            fault_plan = FaultPlan.from_json_file(args.faults)
+        except FaultInjectionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     obs = _build_observability(args)
     if obs is not None and obs.trace is not None:
         for pid, label in enumerate(selected):
             obs.trace.add_process(pid, f"{label} (simulated clock)", sort_index=pid)
+    killed_at = None
     for trace_pid, (label, dlb_enabled) in enumerate(selected.items()):
         print(f"running {label} ({steps} steps) ...", file=sys.stderr)
+        sim_config = preset.simulation_config(dlb_enabled=dlb_enabled)
+        faults = (
+            FaultInjector(fault_plan, sim_config.decomposition.n_pes)
+            if fault_plan is not None
+            else None
+        )
         runner = ParallelMDRunner(
-            preset.simulation_config(dlb_enabled=dlb_enabled),
+            sim_config,
             RunConfig(
                 steps=steps,
                 seed=args.seed,
@@ -93,12 +122,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ),
             observability=obs,
             trace_pid=trace_pid,
+            faults=faults,
         )
+        if args.audit_invariants:
+            runner.auditor = InvariantAuditor(
+                runner.assignment,
+                n_particles=runner.system.n,
+                every=args.audit_every,
+                policy=args.audit_policy,
+                metrics=obs.metrics if obs is not None else None,
+            )
+            audits[label] = runner.auditor
+        manager = None
+        ckpt_dir = args.resume or args.checkpoint_dir
+        if ckpt_dir:
+            manager = CheckpointManager(ckpt_dir, every=args.checkpoint_every)
+        partial = None
+        if args.resume:
+            partial = runner.restore(manager.load_latest()["state"])
+            print(
+                f"  {label}: resumed from checkpoint at step {runner.step_count}",
+                file=sys.stderr,
+            )
+        target = steps
+        if args.kill_after is not None and args.kill_after < steps:
+            target = args.kill_after
+            killed_at = target
+        remaining = target - runner.step_count
+        if remaining < 0:
+            print(
+                f"error: checkpoint is at step {runner.step_count}, beyond the "
+                f"requested {target} steps",
+                file=sys.stderr,
+            )
+            return 2
         if obs is not None:
             with obs.activate():
-                results[label] = runner.run()
+                results[label] = runner.run(remaining, checkpoint=manager, result=partial)
         else:
-            results[label] = runner.run()
+            results[label] = runner.run(remaining, checkpoint=manager, result=partial)
         stats = runner.neighbor_stats
         if args.backend == "verlet":
             print(
@@ -107,6 +169,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"acceptance {stats.acceptance_ratio:.2f})",
                 file=sys.stderr,
             )
+        if args.audit_invariants:
+            auditor = runner.auditor
+            print(
+                f"  {label}: invariants audited {auditor.audits} times, "
+                f"{auditor.violation_count} violation(s)",
+                file=sys.stderr,
+            )
+    if args.result_json:
+        payload = {
+            "runs": {
+                label: {
+                    "summary": result.summary(),
+                    "digest": result.digest(),
+                    "steps_run": int(result.summary()["steps"]),
+                    "audit": audits[label].summary() if label in audits else None,
+                }
+                for label, result in results.items()
+            },
+            "killed_at": killed_at,
+        }
+        with open(args.result_json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote result summary to {args.result_json}", file=sys.stderr)
+    if killed_at is not None:
+        print(
+            f"killed after step {killed_at} (simulated crash for chaos testing); "
+            "resume with --resume",
+            file=sys.stderr,
+        )
+        return 3
     if len(results) == 2:
         print(comparison_report(results["ddm"], results["dlb"],
                                 title=preset.description))
@@ -436,6 +528,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print the host kernel wall-clock profile after the run",
+    )
+    run.add_argument(
+        "--faults",
+        metavar="PLAN",
+        default=None,
+        help="JSON fault plan: seeded per-PE slowdowns/jitter/stalls, per-tag "
+        "message loss/delay/duplication, dropped DLB timing reports",
+    )
+    run.add_argument(
+        "--audit-invariants",
+        action="store_true",
+        help="validate the permanent-cell structural invariants while running",
+    )
+    run.add_argument(
+        "--audit-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="invariant-audit cadence in steps (default: every step)",
+    )
+    run.add_argument(
+        "--audit-policy",
+        choices=["raise", "log"],
+        default="raise",
+        help="on violation: raise InvariantViolation (default) or log and continue",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for crash-safe snapshots (single mode only)",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="snapshot cadence in steps (0 = never; needs --checkpoint-dir)",
+    )
+    run.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="resume from the newest checkpoint in DIR (bit-identical to an "
+        "uninterrupted run)",
+    )
+    run.add_argument(
+        "--kill-after",
+        type=int,
+        default=None,
+        metavar="K",
+        help="simulate a crash: stop after step K with exit code 3 "
+        "(checkpoints already written remain usable)",
+    )
+    run.add_argument(
+        "--result-json",
+        metavar="FILE",
+        default=None,
+        help="write summary + bit-exact digest (for comparing resumed runs)",
     )
     run.set_defaults(func=_cmd_run)
 

@@ -9,6 +9,8 @@ Figures 5 and 6 are built from.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from ..config import MachineConfig
@@ -31,6 +33,7 @@ class StepAccountant:
         machine: MachineConfig,
         cell_list: CellList,
         n_pes: int,
+        faults=None,
     ) -> None:
         self.machine = machine
         self.cell_list = cell_list
@@ -39,17 +42,25 @@ class StepAccountant:
         self.cost_model = ComputeCostModel(machine, cell_list)
         self.traffic = TrafficLog(n_pes)
         self._pending_migration = np.zeros(n_pes, dtype=np.float64)
+        #: Nullable :class:`~repro.faults.injector.FaultInjector`; the
+        #: default ``None`` path adds one branch per charge site and nothing
+        #: else (the obs-off perf gate covers it).
+        self.faults = faults
         #: Per-PE phase breakdown of the most recent :meth:`account_step`
         #: (consumed by the trace recorder and the per-phase report).
         self.last_components: StepComponents | None = None
 
     def charge_moves(self, moves: list[Move], counts_grid: np.ndarray,
-                     assignment: CellAssignment) -> None:
+                     assignment: CellAssignment, step: int = 0) -> None:
         """Account the balancer's cell migrations.
 
         The particle payload of each moved cell is transferred between steps;
         its cost (and the assignment broadcast to the 8 neighbours) lands on
-        the *next* step's communication time of both endpoints.
+        the *next* step's communication time of both endpoints. With a fault
+        injector, each migration ("migration" tag) and assignment broadcast
+        ("dlb-bookkeeping" tag) may be delayed, lost-and-retransmitted or
+        duplicated -- delivery stays reliable, only the charged time and the
+        wire traffic change.
         """
         if not moves:
             return
@@ -57,14 +68,30 @@ class StepAccountant:
         for move in moves:
             payload = int(cell_particles[move.cell]) * self.machine.bytes_per_particle
             duration = self.network.transfer_time(payload)
+            wire = 1
+            if self.faults is not None:
+                pert = self.faults.perturb_message(step, move.src, move.dst, "migration")
+                duration = pert.perturbed_time(duration)
+                wire = pert.attempts
             self._pending_migration[move.src] += duration
             self._pending_migration[move.dst] += duration
-            self.traffic.record_bulk(move.src, move.dst, payload, count=1, tag="migration")
+            self.traffic.record_bulk(
+                move.src, move.dst, payload * wire, count=wire, tag="migration"
+            )
             # Step 4 of the protocol: broadcast the new assignment to the
             # 8 neighbours (tiny messages; latency dominated).
             broadcast = 8 * self.network.transfer_time(16)
+            wire = 8
+            if self.faults is not None:
+                pert = self.faults.perturb_message(
+                    step, move.src, move.src, "dlb-bookkeeping"
+                )
+                broadcast = pert.perturbed_time(broadcast)
+                wire = 8 * pert.attempts
             self._pending_migration[move.src] += broadcast
-            self.traffic.record_bulk(move.src, move.src, 8 * 16, count=8, tag="dlb-bookkeeping")
+            self.traffic.record_bulk(
+                move.src, move.src, 16 * wire, count=wire, tag="dlb-bookkeeping"
+            )
 
     def account_step(
         self,
@@ -88,6 +115,13 @@ class StepAccountant:
                 else work.force_times
             )
             other_times = work.integrate_times + work.cell_times
+            if self.faults is not None:
+                # Compute faults: per-PE slowdown factors and jitter scale
+                # every compute bucket; transient stalls land once, on the
+                # force phase (the straggler signal DLB reacts to).
+                force_times, other_times = self.faults.perturb_compute(
+                    step, force_times, other_times
+                )
 
             counts_flat = counts_grid.reshape(-1)
             halo = compute_halo(owner, self.cell_list, counts_flat, self.n_pes)
@@ -100,13 +134,20 @@ class StepAccountant:
             # Log the halo exchange per tag. Each PE's receive has a matching
             # send among its neighbours, so charging the send side to the
             # receiving PE keeps machine-wide totals exact while staying O(P).
+            # Message faults apply at this aggregated per-PE granularity: one
+            # "halo" outcome per PE per step perturbs its whole exchange.
             bytes_per_particle = self.machine.bytes_per_particle
             for p in range(self.n_pes):
                 if halo.messages[p]:
+                    wire = 1
+                    if self.faults is not None:
+                        pert = self.faults.perturb_message(step, p, p, "halo")
+                        comm_times[p] = pert.perturbed_time(float(comm_times[p]))
+                        wire = pert.attempts
                     self.traffic.record_bulk(
                         p, p,
-                        int(halo.ghost_particles[p]) * bytes_per_particle,
-                        count=int(halo.messages[p]),
+                        int(halo.ghost_particles[p]) * bytes_per_particle * wire,
+                        count=int(halo.messages[p]) * wire,
                         tag="halo",
                     )
             comm_times += self._pending_migration
@@ -124,3 +165,18 @@ class StepAccountant:
                 dlb_time=dlb_time,
             )
             return timing, totals
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of the accountant's mutable state (deferred migration
+        charges and the cumulative traffic log)."""
+        return {
+            "pending_migration": self._pending_migration.copy(),
+            "traffic": copy.deepcopy(self.traffic),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self._pending_migration[...] = state["pending_migration"]
+        self.traffic = copy.deepcopy(state["traffic"])

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -72,6 +74,31 @@ class RunResult:
         tt = self.tt
         start = int(len(tt) * (1.0 - tail_fraction))
         return float(tt[start:].mean())
+
+    def digest(self) -> str:
+        """Canonical SHA-256 over every recorded number, bit-for-bit.
+
+        Two runs (or a run and its killed-then-resumed continuation) are
+        byte-identical exactly when their digests match: every float is
+        hashed via its IEEE-754 bytes, so even a 1-ulp divergence changes
+        the digest. This is what the chaos-smoke CI job compares.
+        """
+        h = hashlib.sha256()
+        h.update(b"dlb" if self.dlb_enabled else b"ddm")
+        for rec in self.records:
+            t, c = rec.timing, rec.concentration
+            h.update(
+                struct.pack(
+                    "<qq6dqqddqqdd",
+                    rec.step,
+                    t.step, t.tt, t.fmax, t.fave, t.fmin, t.comm_max, t.dlb_time,
+                    int(c.n_cells), int(c.empty_cells),
+                    float(c.c0_ratio), float(c.n), int(c.max_domain_cells),
+                    rec.n_moves,
+                    rec.temperature, rec.potential_energy,
+                )
+            )
+        return h.hexdigest()
 
     def summary(self) -> dict[str, float]:
         """Headline numbers of the run (for reports and quick comparisons)."""

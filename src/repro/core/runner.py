@@ -19,7 +19,7 @@ import numpy as np
 from ..config import RunConfig, SimulationConfig
 from ..decomp.assignment import CellAssignment
 from ..dlb.balancer import DynamicLoadBalancer
-from ..errors import ConfigurationError
+from ..errors import CheckpointError, ConfigurationError
 from ..md.celllist import CellList
 from ..md.forces import ForceField
 from ..md.integrator import VelocityVerlet
@@ -39,6 +39,7 @@ from ..parallel.instrumentation import StepTiming
 from ..rng import generator
 from ..theory.concentration import measure_concentration
 from .accounting import StepAccountant
+from .checkpoint import CheckpointManager
 from .ddm import decomposed_force_pass
 from .results import RunResult, StepRecord
 
@@ -151,6 +152,8 @@ class ParallelMDRunner(_ObservedRunner):
         system: ParticleSystem | None = None,
         observability: Observability | None = None,
         trace_pid: int = 0,
+        faults=None,
+        auditor=None,
     ) -> None:
         if config.decomposition.shape != "pillar":
             raise ConfigurationError(
@@ -162,11 +165,20 @@ class ParallelMDRunner(_ObservedRunner):
         md = config.md
         dec = config.decomposition
 
+        #: Nullable :class:`~repro.faults.injector.FaultInjector` /
+        #: :class:`~repro.faults.audit.InvariantAuditor`; with both ``None``
+        #: the step path is unchanged (one branch per hook).
+        self.faults = faults
+        self.auditor = auditor
         self.cell_list = CellList(md.box_length, dec.cells_per_side)
         self.assignment = CellAssignment(dec.cells_per_side, dec.n_pes)
-        self.accountant = StepAccountant(config.machine, self.cell_list, dec.n_pes)
+        self.accountant = StepAccountant(
+            config.machine, self.cell_list, dec.n_pes, faults=faults
+        )
         self.balancer = (
-            DynamicLoadBalancer(self.assignment, config.dlb) if config.dlb.enabled else None
+            DynamicLoadBalancer(self.assignment, config.dlb, injector=faults)
+            if config.dlb.enabled
+            else None
         )
 
         rng = generator(run_config.seed)
@@ -212,8 +224,10 @@ class ParallelMDRunner(_ObservedRunner):
             return []
         if self.step_count % self.config.dlb.interval != 0:
             return []
-        moves = self.balancer.step(self._last_times)
-        self.accountant.charge_moves(moves, self._last_counts, self.assignment)
+        moves = self.balancer.step(self._last_times, step=self.step_count)
+        self.accountant.charge_moves(
+            moves, self._last_counts, self.assignment, step=self.step_count
+        )
         return moves
 
     def step(self) -> StepRecord:
@@ -244,6 +258,13 @@ class ParallelMDRunner(_ObservedRunner):
         timing, totals = self.accountant.account_step(
             self.step_count, counts, self.assignment, self.dlb_enabled, override
         )
+        if self.auditor is not None:
+            self.auditor.maybe_audit(
+                self.step_count,
+                counts=counts,
+                forces=self.system.forces,
+                moves=moves,
+            )
         if self.observability is not None:
             self._observe_step(timing, moves)
         self.sim_time += timing.tt
@@ -260,15 +281,94 @@ class ParallelMDRunner(_ObservedRunner):
             potential_energy=force_result.potential_energy,
         )
 
-    def run(self, steps: int | None = None) -> RunResult:
-        """Run ``steps`` steps (default: the run config's), collecting records."""
+    def run(
+        self,
+        steps: int | None = None,
+        checkpoint: "CheckpointManager | None" = None,
+        result: RunResult | None = None,
+    ) -> RunResult:
+        """Run ``steps`` steps (default: the run config's), collecting records.
+
+        ``checkpoint`` (nullable) snapshots the full runner state at the
+        manager's cadence; pass the partial ``result`` returned by
+        :meth:`restore` to continue a run, with ``steps`` counting only the
+        *remaining* steps.
+        """
         steps = self.run_config.steps if steps is None else steps
-        result = RunResult(dlb_enabled=self.dlb_enabled)
+        if result is None:
+            result = RunResult(dlb_enabled=self.dlb_enabled)
         for _ in range(steps):
             record = self.step()
             if self.step_count % self.run_config.record_interval == 0:
                 result.append(record)
+            if checkpoint is not None and checkpoint.due(self.step_count):
+                checkpoint.save(self.step_count, self.state_dict(result))
         self.collect_metrics(result)
+        return result
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _config_token(self) -> str:
+        """Identity of the configuration a snapshot belongs to.
+
+        Frozen-dataclass reprs are deterministic, so a snapshot can refuse
+        to restore into a runner built from different settings.
+        """
+        return f"{self.config!r}|{self.run_config!r}"
+
+    def state_dict(self, result: RunResult | None = None) -> dict:
+        """Everything mutable, deep-copied: system arrays, holder map,
+        balancer ledger and timing view, pending accounting charges, Verlet
+        cache (with pair order), clocks and the partial records."""
+        return {
+            "kind": "parallel_md",
+            "config_token": self._config_token(),
+            "step_count": self.step_count,
+            "sim_time": self.sim_time,
+            "positions": self.system.positions.copy(),
+            "velocities": self.system.velocities.copy(),
+            "forces": self.system.forces.copy(),
+            "holder": self.assignment.holder.copy(),
+            "last_times": self._last_times.copy(),
+            "last_counts": self._last_counts.copy(),
+            "balancer": self.balancer.state_dict() if self.balancer is not None else None,
+            "accountant": self.accountant.state_dict(),
+            "force_cache": self.force_field.cache_state(),
+            "records": list(result.records) if result is not None else [],
+        }
+
+    def restore(self, state: dict) -> RunResult:
+        """Restore a :meth:`state_dict` snapshot; returns the partial result.
+
+        Raises :class:`~repro.errors.CheckpointError` when the snapshot was
+        taken under a different configuration or for a different runner kind.
+        """
+        if state.get("kind") != "parallel_md":
+            raise CheckpointError(
+                f"snapshot is for runner kind {state.get('kind')!r}, not 'parallel_md'"
+            )
+        if state.get("config_token") != self._config_token():
+            raise CheckpointError(
+                "snapshot was taken under a different configuration; refusing "
+                "to resume (same config + seed is what makes resume bit-identical)"
+            )
+        self.step_count = int(state["step_count"])
+        self.sim_time = float(state["sim_time"])
+        self.system.positions[...] = state["positions"]
+        self.system.velocities[...] = state["velocities"]
+        self.system.forces[...] = state["forces"]
+        self.assignment.holder[...] = state["holder"]
+        self._last_times = np.array(state["last_times"], copy=True)
+        self._last_counts = np.array(state["last_counts"], copy=True)
+        if state["balancer"] is not None and self.balancer is not None:
+            self.balancer.load_state_dict(state["balancer"])
+        self.accountant.load_state_dict(state["accountant"])
+        self.force_field.restore_cache_state(
+            state["force_cache"], self.system.box_length
+        )
+        result = RunResult(dlb_enabled=self.dlb_enabled)
+        for record in state["records"]:
+            result.append(record)
         return result
 
 
@@ -293,6 +393,8 @@ class DrivenLoadRunner(_ObservedRunner):
         rounds_per_config: int = 1,
         observability: Observability | None = None,
         trace_pid: int = 0,
+        faults=None,
+        auditor=None,
     ) -> None:
         if config.decomposition.shape != "pillar":
             raise ConfigurationError("DrivenLoadRunner needs the pillar decomposition")
@@ -302,16 +404,24 @@ class DrivenLoadRunner(_ObservedRunner):
             )
         self.config = config
         dec = config.decomposition
+        self.faults = faults
+        self.auditor = auditor
         self.cell_list = CellList(config.md.box_length, dec.cells_per_side)
         self.assignment = CellAssignment(dec.cells_per_side, dec.n_pes)
         self.balancer = (
-            DynamicLoadBalancer(self.assignment, config.dlb) if config.dlb.enabled else None
+            DynamicLoadBalancer(self.assignment, config.dlb, injector=faults)
+            if config.dlb.enabled
+            else None
         )
-        self.accountant = StepAccountant(config.machine, self.cell_list, dec.n_pes)
+        self.accountant = StepAccountant(
+            config.machine, self.cell_list, dec.n_pes, faults=faults
+        )
         self.rounds_per_config = int(rounds_per_config)
         self._last_times = np.zeros(dec.n_pes, dtype=np.float64)
         self._last_counts: np.ndarray | None = None
         self.step_count = 0
+        #: Configurations already fully processed (resume skips this many).
+        self.configs_done = 0
         self._init_observability(observability, trace_pid, config.dlb.enabled)
 
     @property
@@ -319,10 +429,26 @@ class DrivenLoadRunner(_ObservedRunner):
         """Whether the balancer is active."""
         return self.balancer is not None
 
-    def run(self, configurations: Iterable[np.ndarray]) -> RunResult:
-        """Process configurations (position arrays) in order."""
-        result = RunResult(dlb_enabled=self.dlb_enabled)
-        for positions in configurations:
+    def run(
+        self,
+        configurations: Iterable[np.ndarray],
+        checkpoint: "CheckpointManager | None" = None,
+        result: RunResult | None = None,
+    ) -> RunResult:
+        """Process configurations (position arrays) in order.
+
+        ``checkpoint`` snapshots after each fully processed configuration at
+        the manager's cadence (its ``every`` counts configurations here).
+        After :meth:`restore`, pass the *same* configuration sequence and the
+        returned partial ``result``: the first ``configs_done`` entries are
+        skipped and processing continues exactly where the snapshot was taken.
+        """
+        if result is None:
+            result = RunResult(dlb_enabled=self.dlb_enabled)
+        skip = self.configs_done
+        for index, positions in enumerate(configurations):
+            if index < skip:
+                continue
             counts = self.cell_list.counts(positions)
             n_moves = 0
             timing = None
@@ -333,14 +459,18 @@ class DrivenLoadRunner(_ObservedRunner):
                     and self.step_count > 0
                     and self.step_count % self.config.dlb.interval == 0
                 ):
-                    moves = self.balancer.step(self._last_times)
+                    moves = self.balancer.step(self._last_times, step=self.step_count)
                     base = self._last_counts if self._last_counts is not None else counts
-                    self.accountant.charge_moves(moves, base, self.assignment)
+                    self.accountant.charge_moves(
+                        moves, base, self.assignment, step=self.step_count
+                    )
                     n_moves += len(moves)
                 self.step_count += 1
                 timing, totals = self.accountant.account_step(
                     self.step_count, counts, self.assignment, self.dlb_enabled
                 )
+                if self.auditor is not None:
+                    self.auditor.maybe_audit(self.step_count, counts=counts, moves=moves)
                 if self.observability is not None:
                     self._observe_step(timing, moves)
                 self.sim_time += timing.tt
@@ -356,5 +486,59 @@ class DrivenLoadRunner(_ObservedRunner):
                     n_moves=n_moves,
                 )
             )
+            self.configs_done = index + 1
+            if checkpoint is not None and checkpoint.due(self.configs_done):
+                checkpoint.save(self.step_count, self.state_dict(result))
         self.collect_metrics(result)
+        return result
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _config_token(self) -> str:
+        return f"{self.config!r}|rounds={self.rounds_per_config}"
+
+    def state_dict(self, result: RunResult | None = None) -> dict:
+        """Mutable state snapshot (see :meth:`ParallelMDRunner.state_dict`)."""
+        return {
+            "kind": "driven_load",
+            "config_token": self._config_token(),
+            "step_count": self.step_count,
+            "configs_done": self.configs_done,
+            "sim_time": self.sim_time,
+            "holder": self.assignment.holder.copy(),
+            "last_times": self._last_times.copy(),
+            "last_counts": (
+                self._last_counts.copy() if self._last_counts is not None else None
+            ),
+            "balancer": self.balancer.state_dict() if self.balancer is not None else None,
+            "accountant": self.accountant.state_dict(),
+            "records": list(result.records) if result is not None else [],
+        }
+
+    def restore(self, state: dict) -> RunResult:
+        """Restore a :meth:`state_dict` snapshot; returns the partial result."""
+        if state.get("kind") != "driven_load":
+            raise CheckpointError(
+                f"snapshot is for runner kind {state.get('kind')!r}, not 'driven_load'"
+            )
+        if state.get("config_token") != self._config_token():
+            raise CheckpointError(
+                "snapshot was taken under a different configuration; refusing to resume"
+            )
+        self.step_count = int(state["step_count"])
+        self.configs_done = int(state["configs_done"])
+        self.sim_time = float(state["sim_time"])
+        self.assignment.holder[...] = state["holder"]
+        self._last_times = np.array(state["last_times"], copy=True)
+        self._last_counts = (
+            np.array(state["last_counts"], copy=True)
+            if state["last_counts"] is not None
+            else None
+        )
+        if state["balancer"] is not None and self.balancer is not None:
+            self.balancer.load_state_dict(state["balancer"])
+        self.accountant.load_state_dict(state["accountant"])
+        result = RunResult(dlb_enabled=self.dlb_enabled)
+        for record in state["records"]:
+            result.append(record)
         return result

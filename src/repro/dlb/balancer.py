@@ -12,6 +12,7 @@ from ..errors import ConfigurationError
 from ..obs.profiler import scope
 from ..parallel.topology import Torus2D
 from .protocol import Case, Move, decide_move
+from .views import TimingView
 
 
 @dataclass
@@ -54,6 +55,7 @@ class DynamicLoadBalancer:
         self,
         assignment: CellAssignment,
         config: DLBConfig | None = None,
+        injector=None,
     ) -> None:
         if assignment.pe_side < 3:
             raise ConfigurationError(
@@ -64,6 +66,12 @@ class DynamicLoadBalancer:
         self.config = config or DLBConfig()
         self.topology = Torus2D(assignment.pe_side)
         self.stats = BalancerStats()
+        # Fault injection is strictly opt-in: with no injector the decision
+        # path below is byte-for-byte the original (perf gate relies on it).
+        self.injector = injector
+        self._view: TimingView | None = None
+        if injector is not None:
+            self._view = TimingView(assignment.n_pes, injector.max_staleness)
 
     def _wants_rebalance(self, my_time: float, fast_time: float) -> bool:
         if self.config.policy == "fastest":
@@ -73,23 +81,38 @@ class DynamicLoadBalancer:
             return my_time > 0
         return (my_time - fast_time) / fast_time > self.config.threshold
 
-    def decide(self, per_pe_times: np.ndarray) -> list[Move]:
-        """Run one decision round; does not mutate the assignment."""
+    def decide(self, per_pe_times: np.ndarray, step: int = 0) -> list[Move]:
+        """Run one decision round; does not mutate the assignment.
+
+        With a fault injector attached, the step-1 timing broadcast goes
+        through a :class:`~repro.dlb.views.TimingView`: dropped reports fall
+        back to bounded-staleness last-known values, and a PE with no usable
+        neighbour information degrades to the safe no-move decision.
+        """
         times = np.asarray(per_pe_times, dtype=np.float64)
         if times.shape != (self.assignment.n_pes,):
             raise ConfigurationError(
                 f"times shape {times.shape} != ({self.assignment.n_pes},)"
             )
+        if self._view is not None:
+            self._view.refresh(step, times, self.topology, self.injector)
         with scope("dlb.decide"):
             moves: list[Move] = []
             committed: dict[int, set[int]] = {}
             for pe in range(self.assignment.n_pes):
-                neighborhood = self.topology.neighborhood(pe)
-                local = times[neighborhood]
-                fastest = neighborhood[int(np.argmin(local))]
+                if self._view is not None:
+                    fastest = self._view.fastest_known(pe, times, self.topology)
+                    believed = self._view.effective(pe, fastest)
+                    assert believed is not None  # fastest_known only picks usable views
+                    fast_time = believed
+                else:
+                    neighborhood = self.topology.neighborhood(pe)
+                    local = times[neighborhood]
+                    fastest = neighborhood[int(np.argmin(local))]
+                    fast_time = float(times[fastest])
                 if fastest == pe:
                     continue
-                if not self._wants_rebalance(float(times[pe]), float(times[fastest])):
+                if not self._wants_rebalance(float(times[pe]), fast_time):
                     continue
                 exclude = committed.setdefault(pe, set())
                 for _ in range(self.config.max_sends_per_step):
@@ -115,8 +138,36 @@ class DynamicLoadBalancer:
         if not moves:
             self.stats.idle_steps += 1
 
-    def step(self, per_pe_times: np.ndarray) -> list[Move]:
+    def step(self, per_pe_times: np.ndarray, step: int = 0) -> list[Move]:
         """Decide and apply one redistribution round; returns the moves."""
-        moves = self.decide(per_pe_times)
+        moves = self.decide(per_pe_times, step=step)
         self.apply(moves)
         return moves
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of balancer bookkeeping (assignment is snapshotted by
+        the runner; the two are restored together)."""
+        state: dict = {
+            "stats": {
+                "steps": self.stats.steps,
+                "lends": self.stats.lends,
+                "returns": self.stats.returns,
+                "idle_steps": self.stats.idle_steps,
+                "moves_per_step": list(self.stats.moves_per_step),
+            },
+            "view": self._view.state_dict() if self._view is not None else None,
+        }
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        stats = state["stats"]
+        self.stats.steps = int(stats["steps"])
+        self.stats.lends = int(stats["lends"])
+        self.stats.returns = int(stats["returns"])
+        self.stats.idle_steps = int(stats["idle_steps"])
+        self.stats.moves_per_step = list(stats["moves_per_step"])
+        if state.get("view") is not None and self._view is not None:
+            self._view.load_state_dict(state["view"])

@@ -18,12 +18,16 @@ from ..errors import ConfigurationError
 from ..parallel.spmd import SPMDExecutor
 from ..parallel.topology import Torus2D
 from .protocol import Move, decide_move
+from .views import TimingView
 
 
 def spmd_decide(
     assignment: CellAssignment,
     per_pe_times: np.ndarray,
     max_sends_per_step: int = 1,
+    injector=None,
+    step: int = 0,
+    view: "TimingView | None" = None,
 ) -> list[Move]:
     """One distributed decision round; returns the moves in PE order.
 
@@ -31,6 +35,14 @@ def spmd_decide(
     Superstep 2: every rank reads its inbox, finds the fastest PE among
     itself and the senders (ties broken in the fixed neighbourhood order,
     exactly as the centralised balancer does), and runs the case analysis.
+
+    With an ``injector``, the broadcast goes through the executor's fault
+    hook: a dropped report simply never appears in the receiver's inbox, and
+    the receiver falls back to the bounded-staleness last-known value in
+    ``view`` (pass the same ``view`` across steps to carry staleness over).
+    The hook consults ``injector.report_delivered(step, src, dst)`` -- the
+    exact query the centralised balancer makes -- so the two implementations
+    observe identical drop patterns and stay move-for-move equivalent.
     """
     times = np.asarray(per_pe_times, dtype=np.float64)
     n_pes = assignment.n_pes
@@ -40,7 +52,15 @@ def spmd_decide(
         raise ConfigurationError("SPMD protocol needs a torus side of at least 3")
 
     topology = Torus2D(assignment.pe_side)
-    executor = SPMDExecutor(n_pes)
+    fault_hook = None
+    if injector is not None:
+        if view is None:
+            view = TimingView(n_pes, injector.max_staleness)
+
+        def fault_hook(_superstep: int, src: int, dst: int) -> int:
+            return 1 if injector.report_delivered(step, src, dst) else 0
+
+    executor = SPMDExecutor(n_pes, fault_hook=fault_hook)
 
     def broadcast_times(rank: int, ex: SPMDExecutor) -> None:
         for neighbor in topology.neighbors(rank):
@@ -53,14 +73,26 @@ def spmd_decide(
     def decide(rank: int, ex: SPMDExecutor) -> None:
         received = {src: t for src, t in ex.inbox(rank)}
         received[rank] = float(times[rank])
-        # Fixed neighbourhood order = deterministic tie-breaking, identical
-        # to the centralised balancer's argmin over the same ordering.
-        fastest = rank
-        best = received[rank]
-        for peer in topology.neighborhood(rank)[1:]:
-            if received[peer] < best:
-                best = received[peer]
-                fastest = peer
+        if view is not None:
+            # Fold this round's inbox into the rank's persistent view:
+            # delivered reports refresh it, holes age the last-known value.
+            view.observe(rank, rank, float(times[rank]))
+            for neighbor in topology.neighbors(rank):
+                if neighbor in received:
+                    view.observe(rank, neighbor, received[neighbor])
+                else:
+                    view.miss(rank, neighbor)
+            fastest = view.fastest_known(rank, times, topology)
+        else:
+            # Fixed neighbourhood order = deterministic tie-breaking,
+            # identical to the centralised balancer's argmin over the same
+            # ordering.
+            fastest = rank
+            best = received[rank]
+            for peer in topology.neighborhood(rank)[1:]:
+                if received[peer] < best:
+                    best = received[peer]
+                    fastest = peer
         if fastest == rank:
             return
         exclude: set[int] = set()

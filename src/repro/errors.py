@@ -48,3 +48,22 @@ class AnalysisError(ReproError):
 class CampaignError(ReproError):
     """Raised by the campaign engine (unknown campaign name, malformed run
     spec, store schema mismatch, or a run exceeding its time budget)."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised for an invalid fault plan (negative probability, unknown fault
+    field, a rule naming a PE outside the machine) or a fault the injector
+    cannot apply to the requested hook."""
+
+
+class InvariantViolation(ReproError):
+    """Raised by the invariant auditor when a structural guarantee of the
+    permanent-cell protocol is broken at runtime: a permanent cell away from
+    home, a cell with zero or two holders, a borrowed-cell ledger that does
+    not round-trip, particle-count loss, or non-finite forces."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint cannot be written, found, or restored (no
+    snapshot in the directory, corrupt/truncated file, or a snapshot taken
+    under an incompatible configuration)."""

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SimulationError
 from ..obs.profiler import scope
 from .celllist import CellList
 from .neighbors import NeighborStats, VerletList, pairs_celllist, pairs_kdtree
@@ -234,5 +234,32 @@ class ForceField:
             delta = delta_all[np.arange(system.n), nearest]
             forces = forces - self.attraction * delta
             potential_energy += 0.5 * self.attraction * float(np.sum(delta * delta))
+        if not np.all(np.isfinite(forces)):
+            bad = int(np.count_nonzero(~np.isfinite(forces).all(axis=1)))
+            raise SimulationError(
+                f"non-finite forces on {bad} particle(s): overlapping positions "
+                "or a diverged integration (reduce dt or check initial spacing)"
+            )
         system.forces[...] = forces
         return ForceResult(forces, potential_energy, result.virial, result.n_pairs)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def cache_state(self) -> dict:
+        """Snapshot of the pair-search cache and counters.
+
+        The Verlet candidate list is part of this state on purpose: its pair
+        *order* determines the floating-point accumulation order in
+        :func:`forces_from_pairs`, so restoring it (rather than rebuilding)
+        is what makes a resumed run bit-identical to an uninterrupted one.
+        """
+        return {
+            "stats": self.stats.state_dict(),
+            "verlet": self._verlet.state_dict() if self._verlet is not None else None,
+        }
+
+    def restore_cache_state(self, state: dict, box_length: float) -> None:
+        """Restore a snapshot taken by :meth:`cache_state`."""
+        self.stats.load_state_dict(state["stats"])
+        if state.get("verlet") is not None and self.backend == "verlet":
+            self._get_verlet(box_length).load_state_dict(state["verlet"])

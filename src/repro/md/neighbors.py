@@ -300,6 +300,22 @@ class NeighborStats:
             "acceptance_ratio": self.acceptance_ratio,
         }
 
+    def state_dict(self) -> dict[str, int]:
+        """Checkpoint snapshot of the raw counters."""
+        return {
+            "rebuilds": self.rebuilds,
+            "reuses": self.reuses,
+            "candidate_pairs": self.candidate_pairs,
+            "accepted_pairs": self.accepted_pairs,
+            "total_candidates": self.total_candidates,
+            "total_accepted": self.total_accepted,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        for name, value in state.items():
+            setattr(self, name, int(value))
+
 
 class VerletList:
     """A reusable pair list with a skin radius (Verlet neighbour list).
@@ -389,6 +405,27 @@ class VerletList:
         self._pairs = None
         self._reference = None
         self._reuse_streak = 0
+
+    def state_dict(self) -> dict:
+        """Checkpoint snapshot of the cache, *including the pair order*.
+
+        Pair order matters: it fixes the floating-point accumulation order
+        of the force kernel, so a restored run reproduces forces bit-for-bit
+        instead of merely to rounding error.
+        """
+        return {
+            "pairs": None if self._pairs is None else self._pairs.copy(),
+            "reference": None if self._reference is None else self._reference.copy(),
+            "reuse_streak": self._reuse_streak,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        pairs = state["pairs"]
+        reference = state["reference"]
+        self._pairs = None if pairs is None else np.array(pairs, copy=True)
+        self._reference = None if reference is None else np.array(reference, copy=True)
+        self._reuse_streak = int(state["reuse_streak"])
 
     def max_displacement_sq(self, positions: np.ndarray) -> float:
         """Largest squared displacement since the last build (minimum image)."""

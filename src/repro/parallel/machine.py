@@ -16,7 +16,9 @@ class VirtualMachine:
     per-PE compute and communication durations and reads back barrier times.
     """
 
-    def __init__(self, n_pes: int, machine: MachineConfig | str = "t3e") -> None:
+    def __init__(
+        self, n_pes: int, machine: MachineConfig | str = "t3e", faults=None
+    ) -> None:
         if n_pes <= 0:
             raise ConfigurationError(f"n_pes must be positive, got {n_pes}")
         if isinstance(machine, str):
@@ -26,9 +28,18 @@ class VirtualMachine:
         self.network = NetworkModel(machine)
         self.clocks = PEClocks(n_pes)
         self.traffic = TrafficLog(n_pes)
+        #: Nullable :class:`~repro.faults.injector.FaultInjector`; consulted
+        #: at the charge hooks so any client of the virtual machine observes
+        #: the same perturbations the step accountant does.
+        self.faults = faults
+        #: Simulation step the charge hooks attribute faults to (advance
+        #: with :meth:`start_step` or set directly).
+        self.step = 0
 
     def charge_compute(self, per_pe_times) -> None:
         """Charge per-PE compute durations for the current step."""
+        if self.faults is not None:
+            (per_pe_times,) = self.faults.perturb_compute(self.step, per_pe_times)
         self.clocks.advance_all(per_pe_times)
 
     def charge_exchange(
@@ -37,11 +48,20 @@ class VirtualMachine:
         """Charge ``pe`` for receiving ``n_messages`` totalling ``n_bytes``.
 
         Returns the charged duration. Traffic is logged from ``peer`` to
-        ``pe``.
+        ``pe``. With a fault injector the exchange may be delayed,
+        lost-and-retransmitted or duplicated (reliable delivery; only time
+        and wire traffic change).
         """
         duration = self.network.exchange_time(n_messages, n_bytes)
+        wire = 1
+        if self.faults is not None:
+            pert = self.faults.perturb_message(self.step, peer, pe, tag or "*")
+            duration = pert.perturbed_time(duration)
+            wire = pert.attempts
         self.clocks.advance(pe, duration)
-        self.traffic.record_bulk(peer, pe, n_bytes, count=n_messages, tag=tag)
+        self.traffic.record_bulk(
+            peer, pe, n_bytes * wire, count=n_messages * wire, tag=tag
+        )
         return duration
 
     def barrier(self) -> float:
@@ -51,3 +71,4 @@ class VirtualMachine:
     def start_step(self) -> None:
         """Reset per-step clocks (the core keeps cumulative time itself)."""
         self.clocks.reset()
+        self.step += 1

@@ -30,21 +30,42 @@ class SPMDExecutor:
     the default ``None`` path records nothing and allocates nothing.
     """
 
-    def __init__(self, n_ranks: int, trace: "TraceRecorder | None" = None) -> None:
+    def __init__(
+        self,
+        n_ranks: int,
+        trace: "TraceRecorder | None" = None,
+        fault_hook: Callable[[int, int, int], int] | None = None,
+    ) -> None:
         if n_ranks <= 0:
             raise ConfigurationError(f"n_ranks must be positive, got {n_ranks}")
         self.n_ranks = int(n_ranks)
         self.trace = trace
+        #: Nullable fault-injection hook ``(superstep, src, dst) -> copies``:
+        #: 0 drops the message, 1 delivers normally, >1 duplicates. The
+        #: default ``None`` path delivers everything and costs nothing.
+        self.fault_hook = fault_hook
         self.superstep_count = 0
         self._epoch = time.perf_counter()
         self._inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.n_ranks)]
         self._outboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.n_ranks)]
 
     def send(self, src: int, dst: int, payload: Any) -> None:
-        """Post a message for delivery at the next superstep."""
+        """Post a message for delivery at the next superstep.
+
+        With a ``fault_hook`` attached the message may be dropped (0 copies)
+        or duplicated (>1); BSP delivery order is unaffected either way.
+        """
         self._check(src)
         self._check(dst)
-        self._outboxes[dst].append((src, payload))
+        copies = 1
+        if self.fault_hook is not None:
+            copies = self.fault_hook(self.superstep_count, src, dst)
+            if copies < 0:
+                raise ProtocolError(
+                    f"fault hook returned negative copy count {copies}"
+                )
+        for _ in range(copies):
+            self._outboxes[dst].append((src, payload))
 
     def inbox(self, rank: int) -> list[tuple[int, Any]]:
         """Messages delivered to ``rank`` this superstep, as (src, payload)."""

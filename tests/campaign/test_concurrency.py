@@ -1,0 +1,72 @@
+"""Two processes draining the same store never double-execute a run."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.campaign import CampaignSpec, RunSpec, RunStore
+
+#: Runs both worker processes race over.
+N_RUNS = 6
+
+_WORKER = """
+import json, sys
+from repro.campaign import CampaignSpec, RunSpec, RunStore, run_campaign
+import repro.campaign.executor as executor_module
+
+# Instant stub executions: this test is about claiming, not physics.
+executor_module._pool_worker = lambda spec_dict, timeout: {
+    "ok": True,
+    "payload": {"kind": "stub", "seed": spec_dict["seed"], "worker": sys.argv[2]},
+    "duration_s": 0.0,
+}
+
+runs = tuple(
+    RunSpec(m=2, n_pes=9, density=0.256, n_steps=40, seed=500 + i)
+    for i in range(%(n_runs)d)
+)
+campaign = CampaignSpec(name="race", runs=runs)
+store = RunStore(sys.argv[1], takeover=False)  # concurrent drainer mode
+summary = run_campaign(campaign, store, workers=1, retries=0)
+print(json.dumps(summary.to_dict()))
+""" % {"n_runs": N_RUNS}
+
+
+def test_two_processes_never_double_execute(tmp_path):
+    env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _WORKER, str(tmp_path), name],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+        )
+        for name in ("alpha", "beta")
+    ]
+    summaries = []
+    for proc in procs:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+        summaries.append(json.loads(out.strip().splitlines()[-1]))
+
+    with RunStore(tmp_path, takeover=False) as store:
+        rows = store.runs("race")
+        assert len(rows) == N_RUNS
+        # Every run is done, and was executed exactly once: the atomic
+        # claim() means attempts never exceeds 1 even under the race.
+        assert all(row.status == "done" for row in rows)
+        assert [row.attempts for row in rows] == [1] * N_RUNS
+        # Each payload names exactly one executing worker.
+        workers = {row.payload["worker"] for row in rows}
+        assert workers <= {"alpha", "beta"}
+
+    # Execution counts across the two invocations partition the campaign:
+    # every run completed by exactly one process, the rest seen as
+    # cached/skipped -- never executed twice.
+    total_completed = sum(s["completed"] for s in summaries)
+    assert total_completed == N_RUNS
+    for summary in summaries:
+        assert summary["completed"] + summary["cached"] + summary["skipped"] == N_RUNS
+        assert summary["failed"] == 0

@@ -133,3 +133,67 @@ class TestCanonicalPayload:
 
     def test_compact_separators(self):
         assert canonical_payload({"a": [1, 2]}) == '{"a":[1,2]}'
+
+
+class TestConcurrentClaim:
+    def test_claim_flips_pending_to_running(self, spec):
+        with RunStore() as store:
+            h = store.register(spec, "c")
+            assert store.claim(h)
+            row = store.get(h)
+            assert row.status == "running"
+            assert row.attempts == 1
+
+    def test_second_claim_loses(self, spec):
+        with RunStore() as store:
+            h = store.register(spec, "c")
+            assert store.claim(h)
+            assert not store.claim(h)
+            assert store.get(h).attempts == 1
+
+    def test_done_run_cannot_be_claimed(self, spec):
+        with RunStore() as store:
+            h = store.register(spec, "c")
+            store.claim(h)
+            store.complete(h, {"x": 1}, 0.1)
+            assert not store.claim(h)
+
+    def test_failed_run_can_be_reclaimed(self, spec):
+        with RunStore() as store:
+            h = store.register(spec, "c")
+            store.claim(h)
+            store.fail(h, "boom")
+            assert store.claim(h)
+            assert store.get(h).attempts == 2
+
+    def test_release_demotes_only_running(self, spec):
+        with RunStore() as store:
+            h = store.register(spec, "c")
+            assert not store.release(h)  # pending: nothing to release
+            store.claim(h)
+            assert store.release(h)
+            assert store.get(h).status == "pending"
+            store.claim(h)
+            store.complete(h, {"x": 1}, 0.1)
+            assert not store.release(h)  # done stays done
+
+    def test_takeover_false_leaves_running_rows(self, tmp_path, spec):
+        with RunStore(tmp_path) as store:
+            h = store.register(spec, "c")
+            store.claim(h)
+        with RunStore(tmp_path, takeover=False) as sibling:
+            assert sibling.get(h).status == "running"
+        with RunStore(tmp_path) as recovery:  # crash recovery: takeover
+            assert recovery.get(h).status == "pending"
+
+    def test_wal_mode_enabled_for_file_stores(self, tmp_path):
+        with RunStore(tmp_path) as store:
+            mode = store._db.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode == "wal"
+
+    def test_claims_race_from_two_connections(self, tmp_path, spec):
+        with RunStore(tmp_path) as a:
+            h = a.register(spec, "c")
+            with RunStore(tmp_path, takeover=False) as b:
+                winners = [a.claim(h), b.claim(h)]
+                assert sorted(winners) == [False, True]

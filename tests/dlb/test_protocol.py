@@ -121,3 +121,53 @@ class TestCase3Return:
 class TestSelf:
     def test_self_fastest_yields_none(self, assignment, topology):
         assert decide_move(assignment, topology, 4, 4) is None
+
+
+class TestEdgeCases:
+    """Degenerate protocol inputs: bad offsets, empty ledgers, no movables."""
+
+    @pytest.mark.parametrize("offset", [(2, 0), (0, -2), (3, 3), (-2, 1), (10, -10)])
+    def test_classify_rejects_every_non_neighbour_offset(self, offset):
+        with pytest.raises(ProtocolError, match="not an 8-neighbour"):
+            classify_case(offset)
+
+    def test_fully_exhausted_pe_cannot_lend_to_any_lower_neighbour(
+        self, assignment, topology
+    ):
+        # Lend away every movable cell PE 4 has; only permanent cells remain,
+        # so no lower neighbour can receive anything more.
+        pe = 4
+        receivers = sorted(assignment.lower_neighbors(pe))
+        for i, cell in enumerate(list(assignment.movable_at_home(pe))):
+            assignment.transfer(int(cell), receivers[i % len(receivers)])
+        assert assignment.movable_at_home(pe).size == 0
+        for receiver in receivers:
+            assert decide_move(assignment, topology, pe, receiver) is None
+
+    def test_ledger_empties_after_full_round_trip(self, assignment, topology):
+        # Case 1 lends, Case 3 returns; afterwards the borrowed ledger is
+        # empty again and a further Case 3 request finds nothing.
+        lender = assignment.pe_flat(1, 2)  # offset (0, +1) from PE 4
+        borrower = 4
+        lent = decide_move(assignment, topology, lender, borrower)
+        assert lent is not None and lent.kind is Case.SEND_OWN
+        assignment.transfer(lent.cell, borrower)
+        back = decide_move(assignment, topology, borrower, lender)
+        assert back is not None and back.kind is Case.RETURN_BORROWED
+        assert back.cell == lent.cell
+        assignment.transfer(back.cell, lender)
+        assert np.array_equal(assignment.holder, assignment.home)
+        assert decide_move(assignment, topology, borrower, lender) is None
+
+    def test_exclusion_can_exhaust_the_movable_set(self, assignment, topology):
+        # With every movable cell excluded, Case 1 has nothing left to pick.
+        pe = 4
+        receiver = assignment.pe_flat(0, 1)
+        exclude = {int(c) for c in assignment.movable_at_home(pe)}
+        assert decide_move(assignment, topology, pe, receiver, exclude) is None
+
+    def test_permanent_cell_transfer_is_rejected(self, assignment):
+        permanent_cell = int(np.flatnonzero(assignment.permanent)[0])
+        lower = next(iter(assignment.lower_neighbors(int(assignment.home[permanent_cell]))))
+        with pytest.raises(ProtocolError):
+            assignment.transfer(permanent_cell, lower)

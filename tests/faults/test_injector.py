@@ -1,0 +1,187 @@
+"""The injector is deterministic, stateless and bounded."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    MessageFaultRule,
+    SlowdownRule,
+    StallRule,
+    TimingFaultRule,
+)
+from repro.faults.injector import MAX_RETRANSMITS, NO_PERTURBATION
+
+
+def chaos_plan(seed: int = 7) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        slowdowns=(SlowdownRule(pe=2, factor=2.0, start=3),),
+        jitter=0.1,
+        stalls=(StallRule(pe=0, step=5, duration=2, extra=0.5),),
+        messages=(MessageFaultRule(tag="*", loss=0.3, delay_prob=0.3,
+                                   delay=0.01, duplicate=0.2),),
+        timing=TimingFaultRule(drop=0.4, max_staleness=2),
+    )
+
+
+class TestConstruction:
+    def test_rejects_plan_naming_pe_outside_machine(self):
+        plan = FaultPlan(slowdowns=(SlowdownRule(pe=9, factor=2.0),))
+        with pytest.raises(FaultInjectionError, match="names PE 9"):
+            FaultInjector(plan, n_pes=9)
+
+    def test_rejects_nonpositive_n_pes(self):
+        with pytest.raises(FaultInjectionError):
+            FaultInjector(FaultPlan(), n_pes=0)
+
+
+class TestDeterminism:
+    """Same plan + seed => byte-identical perturbations, with no RNG cursor."""
+
+    def test_compute_factors_reproducible_across_instances(self):
+        a = FaultInjector(chaos_plan(), n_pes=9)
+        b = FaultInjector(chaos_plan(), n_pes=9)
+        for step in range(20):
+            assert np.array_equal(a.compute_factors(step), b.compute_factors(step))
+
+    def test_out_of_order_queries_match_in_order(self):
+        # A resumed run asks for steps k..n only; answers must not depend on
+        # whether steps 0..k-1 were ever queried.
+        fresh = FaultInjector(chaos_plan(), n_pes=9)
+        warmed = FaultInjector(chaos_plan(), n_pes=9)
+        for step in range(10):
+            warmed.compute_factors(step)
+            warmed.perturb_message(step, 1, 2, "halo")
+            warmed.report_delivered(step, 1, 2)
+        assert np.array_equal(warmed.compute_factors(7), fresh.compute_factors(7))
+        assert warmed.perturb_message(7, 1, 2, "halo") == fresh.perturb_message(
+            7, 1, 2, "halo"
+        )
+        assert warmed.report_delivered(7, 1, 2) == fresh.report_delivered(7, 1, 2)
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(chaos_plan(seed=1), n_pes=9)
+        b = FaultInjector(chaos_plan(seed=2), n_pes=9)
+        assert not all(
+            np.array_equal(a.compute_factors(s), b.compute_factors(s))
+            for s in range(10)
+        )
+
+    def test_message_draws_independent_per_endpoint(self):
+        inj = FaultInjector(chaos_plan(), n_pes=9)
+        outcomes = {
+            (src, dst): inj.perturb_message(4, src, dst, "halo")
+            for src in range(3)
+            for dst in range(3)
+        }
+        assert len(set(outcomes.values())) > 1
+
+
+class TestComputeFaults:
+    def test_slowdown_applies_only_in_window(self):
+        plan = FaultPlan(slowdowns=(SlowdownRule(pe=2, factor=2.0, start=3, stop=6),))
+        inj = FaultInjector(plan, n_pes=4)
+        assert inj.compute_factors(2)[2] == 1.0
+        assert inj.compute_factors(3)[2] == 2.0
+        assert inj.compute_factors(6)[2] == 1.0
+        # Other PEs untouched (no jitter in this plan).
+        assert np.array_equal(inj.compute_factors(4)[[0, 1, 3]], np.ones(3))
+
+    def test_jitter_is_multiplicative_and_positive(self):
+        inj = FaultInjector(FaultPlan(seed=3, jitter=0.2), n_pes=16)
+        factors = inj.compute_factors(0)
+        assert np.all(factors > 0)
+        assert not np.allclose(factors, 1.0)
+
+    def test_stall_adds_to_first_array_only(self):
+        plan = FaultPlan(stalls=(StallRule(pe=1, step=0, duration=1, extra=0.5),))
+        inj = FaultInjector(plan, n_pes=4)
+        force = np.ones(4)
+        other = np.ones(4)
+        new_force, new_other = inj.perturb_compute(0, force, other)
+        assert new_force[1] == pytest.approx(1.5)
+        assert new_other[1] == pytest.approx(1.0)
+        # Inputs are never mutated.
+        assert np.array_equal(force, np.ones(4))
+
+    def test_overlapping_stalls_accumulate(self):
+        plan = FaultPlan(stalls=(StallRule(pe=0, step=0, duration=2, extra=0.5),
+                                 StallRule(pe=0, step=1, duration=1, extra=0.25)))
+        inj = FaultInjector(plan, n_pes=2)
+        assert inj.compute_extra(1)[0] == pytest.approx(0.75)
+
+    def test_no_stall_returns_none(self):
+        assert FaultInjector(FaultPlan(), n_pes=2).compute_extra(0) is None
+
+
+class TestMessageFaults:
+    def test_untagged_plan_returns_shared_identity(self):
+        inj = FaultInjector(FaultPlan(), n_pes=4)
+        assert inj.perturb_message(0, 0, 1, "halo") is NO_PERTURBATION
+
+    def test_certain_loss_is_bounded_by_retransmit_cap(self):
+        plan = FaultPlan(messages=(MessageFaultRule(tag="*", loss=1.0),))
+        inj = FaultInjector(plan, n_pes=4)
+        outcome = inj.perturb_message(0, 0, 1, "halo")
+        assert outcome.retransmits == MAX_RETRANSMITS
+        assert outcome.attempts == MAX_RETRANSMITS + 1
+
+    def test_certain_duplicate_delivers_two_copies(self):
+        plan = FaultPlan(messages=(MessageFaultRule(tag="*", duplicate=1.0),))
+        outcome = FaultInjector(plan, n_pes=4).perturb_message(0, 0, 1, "halo")
+        assert outcome.copies == 2
+        assert outcome.attempts == 2
+
+    def test_perturbed_time_accounts_retransmits_and_delay(self):
+        plan = FaultPlan(
+            seed=5,
+            messages=(MessageFaultRule(tag="*", loss=1.0, loss_timeout=0.01,
+                                       delay_prob=1.0, delay=0.02),),
+        )
+        outcome = FaultInjector(plan, n_pes=4).perturb_message(0, 0, 1, "halo")
+        base = 0.1
+        expected = outcome.attempts * base + outcome.retransmits * 0.01 + outcome.delay
+        assert outcome.perturbed_time(base) == pytest.approx(expected)
+        assert outcome.perturbed_time(base) > base
+
+    def test_tag_specific_rule_only_hits_its_tag(self):
+        plan = FaultPlan(messages=(MessageFaultRule(tag="halo", duplicate=1.0),))
+        inj = FaultInjector(plan, n_pes=4)
+        assert inj.perturb_message(0, 0, 1, "halo").copies == 2
+        assert inj.perturb_message(0, 0, 1, "migration") is NO_PERTURBATION
+
+
+class TestTimingFaults:
+    def test_self_reports_always_delivered(self):
+        plan = FaultPlan(timing=TimingFaultRule(drop=1.0))
+        inj = FaultInjector(plan, n_pes=9)
+        assert all(inj.report_delivered(s, p, p) for s in range(5) for p in range(9))
+
+    def test_certain_drop_loses_every_cross_report(self):
+        plan = FaultPlan(timing=TimingFaultRule(drop=1.0))
+        inj = FaultInjector(plan, n_pes=9)
+        assert not any(
+            inj.report_delivered(0, src, dst)
+            for src in range(9) for dst in range(9) if src != dst
+        )
+
+    def test_no_timing_rule_delivers_everything(self):
+        inj = FaultInjector(FaultPlan(), n_pes=9)
+        assert inj.report_delivered(3, 0, 8)
+        assert inj.max_staleness == 0
+
+    def test_max_staleness_comes_from_plan(self):
+        plan = FaultPlan(timing=TimingFaultRule(drop=0.5, max_staleness=4))
+        assert FaultInjector(plan, n_pes=9).max_staleness == 4
+
+    def test_delivery_matrix_stable_within_and_across_steps(self):
+        plan = FaultPlan(seed=11, timing=TimingFaultRule(drop=0.5))
+        inj = FaultInjector(plan, n_pes=9)
+        first = [inj.report_delivered(2, s, d) for s in range(9) for d in range(9)]
+        # Query another step (invalidates the memo), then re-query step 2.
+        inj.report_delivered(3, 0, 1)
+        second = [inj.report_delivered(2, s, d) for s in range(9) for d in range(9)]
+        assert first == second

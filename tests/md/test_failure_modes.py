@@ -22,6 +22,18 @@ class TestNumericalBlowup:
         assert np.all(np.isfinite(result.forces))
         assert np.abs(result.forces).max() > 1e10
 
+    def test_coincident_particles_raise_simulation_error(self):
+        # Exactly coincident particles give r = 0 and a non-finite force;
+        # compute() must raise instead of writing NaN into system.forces.
+        pos = np.array([[1.0, 1.0, 1.0], [1.0, 1.0, 1.0], [5.0, 5.0, 5.0]])
+        system = ParticleSystem(pos, box_length=10.0)
+        before = system.forces.copy()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            with pytest.raises(SimulationError, match="non-finite forces"):
+                ForceField(LennardJones()).compute(system)
+        # The corrupted forces never reached the system arrays.
+        assert np.array_equal(system.forces, before)
+
     def test_giant_time_step_detected_by_validate(self):
         # An absurd dt launches particles at enormous speed; positions stay
         # wrapped (finite) but validate() notices non-finite velocities once

@@ -231,3 +231,79 @@ class TestObservabilityFlags:
                      "--record-interval", "1"])
         assert code == 0
         assert "per-phase step-time breakdown" in capsys.readouterr().out
+
+
+class TestChaosFlags:
+    """The --faults/--audit-invariants/--checkpoint/--resume surface."""
+
+    @staticmethod
+    def write_plan(tmp_path):
+        plan = {
+            "seed": 11,
+            "slowdowns": [{"pe": 4, "factor": 2.0}],
+            "jitter": 0.05,
+            "messages": [{"tag": "*", "loss": 0.2}],
+            "timing": {"drop": 0.3, "max_staleness": 2},
+        }
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan))
+        return path
+
+    def test_chaos_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "bench-m2", "--mode", "dlb", "--steps", "5",
+             "--faults", "plan.json", "--audit-invariants", "--audit-every", "2",
+             "--audit-policy", "log", "--checkpoint-dir", "ck",
+             "--checkpoint-every", "3", "--kill-after", "4",
+             "--result-json", "out.json"]
+        )
+        assert args.faults == "plan.json"
+        assert args.audit_invariants
+        assert args.checkpoint_every == 3
+
+    def test_stateful_flags_require_single_mode(self, tmp_path, capsys):
+        code = main(["run", "bench-m2", "--steps", "4",
+                     "--checkpoint-dir", str(tmp_path / "ck")])
+        assert code == 2
+
+    def test_faulted_audited_run_passes(self, tmp_path, capsys):
+        plan = self.write_plan(tmp_path)
+        code = main(["run", "bench-m2", "--mode", "dlb", "--steps", "6",
+                     "--record-interval", "1",
+                     "--faults", str(plan), "--audit-invariants"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "0 violation(s)" in err
+
+    def test_invalid_fault_plan_is_a_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"seed": 1, "slowness": []}')
+        code = main(["run", "bench-m2", "--mode", "dlb", "--steps", "3",
+                     "--faults", str(bad)])
+        assert code == 2
+
+    def test_kill_resume_digest_matches_uninterrupted(self, tmp_path, capsys):
+        """The CI chaos-smoke scenario, in miniature."""
+        plan = self.write_plan(tmp_path)
+        base = ["run", "bench-m2", "--mode", "dlb", "--steps", "10",
+                "--record-interval", "1", "--faults", str(plan),
+                "--audit-invariants"]
+
+        full_json = tmp_path / "full.json"
+        assert main(base + ["--result-json", str(full_json)]) == 0
+
+        ck = tmp_path / "ck"
+        killed_json = tmp_path / "killed.json"
+        code = main(base + ["--checkpoint-dir", str(ck), "--checkpoint-every", "3",
+                            "--kill-after", "7", "--result-json", str(killed_json)])
+        assert code == 3  # simulated crash
+        assert json.loads(killed_json.read_text())["killed_at"] == 7
+
+        resumed_json = tmp_path / "resumed.json"
+        assert main(base + ["--resume", str(ck),
+                            "--result-json", str(resumed_json)]) == 0
+
+        full = json.loads(full_json.read_text())
+        resumed = json.loads(resumed_json.read_text())
+        assert full["runs"]["dlb"]["digest"] == resumed["runs"]["dlb"]["digest"]
+        assert resumed["runs"]["dlb"]["audit"]["violations"] == 0
