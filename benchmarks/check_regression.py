@@ -28,6 +28,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_RESULTS = REPO_ROOT / "BENCH_kernels.json"
 DEFAULT_CAMPAIGN_RESULTS = REPO_ROOT / "BENCH_campaign.json"
+DEFAULT_ENGINE_RESULTS = REPO_ROOT / "BENCH_engine.json"
 
 #: Allowed slowdown factor before the check fails.
 DEFAULT_THRESHOLD = 1.3
@@ -182,6 +183,80 @@ def check_campaign(
     return failures, notes
 
 
+#: Allowed slowdown of the sequential engine step loop before the check fails.
+DEFAULT_ENGINE_THRESHOLD = 1.5
+
+#: Cores needed before the engine parallel-speedup gate applies.
+ENGINE_SPEEDUP_MIN_CORES = 4
+
+#: Required multiprocess speedup at 36 PEs on hosts with enough cores.
+ENGINE_SPEEDUP_THRESHOLD = 2.0
+
+
+def check_engine(
+    baseline: dict | None,
+    fresh: dict,
+    threshold: float = DEFAULT_ENGINE_THRESHOLD,
+) -> tuple[list[str], list[str]]:
+    """Guard the execution engine's invariants recorded in BENCH_engine.json.
+
+    Always enforced on the fresh payload:
+
+    * the multiprocess engine's run digest matched the sequential engine's
+      on every benchmarked workload (bit-identity is the engine's contract,
+      so a recorded mismatch fails on any host);
+    * on hosts with >= 4 cores (per the *recorded* ``cpu_count``), the
+      4-worker engine runs the 36-PE step loop >= 2x faster than sequential.
+
+    With a baseline, each workload's sequential wall-clock additionally
+    must not grow beyond ``threshold`` x the baseline.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    entries = fresh.get("engine", {})
+
+    for name in sorted(entries):
+        if entries[name].get("digest_match"):
+            notes.append(f"DIGEST OK       {name}: multiprocess == sequential")
+        else:
+            failures.append(
+                f"DIGEST MISMATCH {name}: multiprocess != sequential "
+                "(bit-identity contract broken)"
+            )
+
+    cpu_count = int(fresh.get("cpu_count", 1))
+    for key, speedup in sorted(fresh.get("derived", {}).items()):
+        if not key.startswith("speedup_pe36"):
+            continue
+        line = f"engine {key} {speedup:.2f}x on {cpu_count} recorded cores"
+        if cpu_count < ENGINE_SPEEDUP_MIN_CORES:
+            notes.append(f"SPEEDUP SKIP    {line} (needs >= "
+                         f"{ENGINE_SPEEDUP_MIN_CORES} cores)")
+        elif speedup >= ENGINE_SPEEDUP_THRESHOLD:
+            notes.append(f"SPEEDUP OK      {line}")
+        else:
+            failures.append(f"SPEEDUP LOW     {line} "
+                            f"(limit {ENGINE_SPEEDUP_THRESHOLD:.1f}x)")
+
+    if baseline is not None:
+        for name in sorted(entries):
+            old = baseline.get("engine", {}).get(name, {}).get("sequential_wall_s")
+            new = entries[name].get("sequential_wall_s")
+            if old and new and old > 0:
+                ratio = float(new) / float(old)
+                line = (f"engine {name} sequential: {old:.2f} s -> "
+                        f"{new:.2f} s ({ratio:.2f}x)")
+                if ratio > threshold:
+                    failures.append(f"ENGINE SLOWER   {line} "
+                                    f"(limit {threshold:.2f}x)")
+                else:
+                    notes.append(f"ENGINE OK       {line}")
+            else:
+                notes.append(f"ENGINE SKIP     {name}: sequential wall-clock "
+                             "missing on one side")
+    return failures, notes
+
+
 def load(path: Path) -> dict:
     """Read one BENCH_kernels.json payload."""
     with open(path) as handle:
@@ -243,6 +318,26 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed slowdown of the serial campaign drain "
         f"(default {DEFAULT_CAMPAIGN_THRESHOLD})",
     )
+    parser.add_argument(
+        "--engine-baseline",
+        type=Path,
+        default=None,
+        help="committed baseline BENCH_engine.json to compare against",
+    )
+    parser.add_argument(
+        "--engine-fresh",
+        type=Path,
+        default=DEFAULT_ENGINE_RESULTS,
+        help="freshly generated engine results "
+        f"(default {DEFAULT_ENGINE_RESULTS})",
+    )
+    parser.add_argument(
+        "--engine-threshold",
+        type=float,
+        default=DEFAULT_ENGINE_THRESHOLD,
+        help="allowed slowdown of the sequential engine step loop "
+        f"(default {DEFAULT_ENGINE_THRESHOLD})",
+    )
     args = parser.parse_args(argv)
 
     if not args.fresh.exists():
@@ -274,9 +369,26 @@ def main(argv: list[str] | None = None) -> int:
             f"CAMPAIGN SKIP   {args.campaign_fresh} not found "
             "(run benchmarks/bench_campaign.py to generate it)"
         ]
-    for line in notes + overhead_notes + campaign_notes:
+    engine_failures: list[str] = []
+    engine_notes: list[str] = []
+    if args.engine_fresh.exists():
+        engine_baseline = (
+            load(args.engine_baseline)
+            if args.engine_baseline is not None and args.engine_baseline.exists()
+            else None
+        )
+        engine_failures, engine_notes = check_engine(
+            engine_baseline, load(args.engine_fresh),
+            threshold=args.engine_threshold,
+        )
+    else:
+        engine_notes = [
+            f"ENGINE SKIP     {args.engine_fresh} not found "
+            "(run benchmarks/bench_engine.py to generate it)"
+        ]
+    for line in notes + overhead_notes + campaign_notes + engine_notes:
         print(line)
-    failures = regressions + overhead_failures + campaign_failures
+    failures = regressions + overhead_failures + campaign_failures + engine_failures
     for line in failures:
         print(line)
     if failures:

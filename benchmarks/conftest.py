@@ -27,6 +27,9 @@ KERNEL_RESULTS_PATH = Path(__file__).parent.parent / "BENCH_kernels.json"
 #: Machine-readable campaign-engine timings tracked across PRs (repo root).
 CAMPAIGN_RESULTS_PATH = Path(__file__).parent.parent / "BENCH_campaign.json"
 
+#: Machine-readable execution-engine timings tracked across PRs (repo root).
+ENGINE_RESULTS_PATH = Path(__file__).parent.parent / "BENCH_engine.json"
+
 
 def bench_scale() -> str:
     """Benchmark scale from the environment (quick by default)."""
@@ -109,6 +112,40 @@ def campaign_log():
     CAMPAIGN_RESULTS_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
+
+
+@pytest.fixture(scope="session")
+def engine_log():
+    """Collector for execution-engine benchmarks, flushed to BENCH_engine.json.
+
+    ``benchmarks/bench_engine.py`` files digest-checked sequential and
+    multiprocess step-loop wall-clock here; at session end they land in a
+    machine-readable file at the repo root so ``benchmarks/check_regression.py``
+    can gate the engine's bit-identity and speedup across PRs.
+    """
+    entries: dict[str, dict] = {}
+    yield entries
+    if not entries:
+        return
+    payload = {
+        "schema": 1,
+        "scale": bench_scale(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "engine": entries,
+    }
+    derived: dict[str, float] = {}
+    for name, entry in entries.items():
+        parallel = entry.get("multiprocess_wall_s")
+        sequential = entry.get("sequential_wall_s")
+        if parallel and sequential and parallel > 0:
+            derived[f"speedup_{name}_workers{entry.get('workers', 0)}"] = (
+                sequential / parallel
+            )
+    if derived:
+        payload["derived"] = derived
+    ENGINE_RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def record_kernel(kernel_log: dict, benchmark, name: str) -> None:

@@ -8,14 +8,19 @@ simulated T3E-class multicomputer, and the theory of DLB's effective ranges.
 
 Quickstart::
 
-    from repro import ParallelMDRunner, RunConfig, get_preset
+    from repro import api
+    from repro.config import RunConfig
 
-    preset = get_preset("fig5b-scaled")
-    runner = ParallelMDRunner(preset.simulation_config(dlb_enabled=True),
-                              RunConfig(steps=200, seed=1))
-    result = runner.run()
+    result = api.simulate("fig5b-scaled", run=RunConfig(steps=200, seed=1))
     print(result.summary())
+
+:mod:`repro.api` is the stable public surface; the runner classes it wraps
+(``repro.ParallelMDRunner`` / ``repro.DrivenLoadRunner``) remain importable
+from the top level as deprecated shims.
 """
+
+import importlib
+import warnings
 
 from .config import (
     DecompositionConfig,
@@ -25,7 +30,7 @@ from .config import (
     RunConfig,
     SimulationConfig,
 )
-from .core import DrivenLoadRunner, ParallelMDRunner, RunResult, StepRecord
+from .core import RunResult, StepRecord
 from .dlb import DynamicLoadBalancer, dlb_limit_ratio, movable_fraction
 from .errors import (
     AnalysisError,
@@ -52,6 +57,29 @@ from .workloads import (
 )
 
 __version__ = "1.0.0"
+
+#: Top-level names now served lazily with a DeprecationWarning: construct
+#: runs through :func:`repro.api.simulate` / :func:`repro.api.simulate_driven`
+#: instead of driving the runner classes directly.
+_DEPRECATED_RUNNERS = {
+    "ParallelMDRunner": ("repro.core.runner", "repro.api.simulate"),
+    "DrivenLoadRunner": ("repro.core.runner", "repro.api.simulate_driven"),
+}
+
+
+def __getattr__(name: str):
+    if name == "api":
+        return importlib.import_module(".api", __name__)
+    if name in _DEPRECATED_RUNNERS:
+        module_name, replacement = _DEPRECATED_RUNNERS[name]
+        warnings.warn(
+            f"repro.{name} is deprecated; use {replacement}() (the class "
+            f"itself remains available as {module_name}.{name})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module_name), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "AnalysisError",

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import RunConfig
+from ..engine import effective_engine_workers
 from ..errors import CampaignError
 from ..experiments.fig10 import run_boundary_repetition
 from ..theory.boundary import moving_average
@@ -96,7 +97,7 @@ def _probe_configurations(schedule, index: int, hold: int):
 
 
 def _execute_probe(spec: RunSpec) -> dict:
-    from ..core.runner import DrivenLoadRunner
+    from .. import api
     from ..experiments.common import droplets_for, geometry_for, simulation_config_for
     from ..experiments.fig10 import auto_rounds
     from ..workloads.concentration import ConcentrationSchedule
@@ -114,8 +115,8 @@ def _execute_probe(spec: RunSpec) -> dict:
         seed=spec.seed,
     )
     index, hold = int(spec.probe_index), int(spec.probe_hold)
-    result = DrivenLoadRunner(config, rounds_per_config=rounds).run(
-        _probe_configurations(schedule, index, hold)
+    result = api.simulate_driven(
+        config, _probe_configurations(schedule, index, hold), rounds_per_config=rounds
     )
     # Divergence oracle: after holding the level, is the (smoothed) spread
     # still pinned above the balanced-prefix baseline?  Thresholds mirror
@@ -144,20 +145,20 @@ def _execute_probe(spec: RunSpec) -> dict:
 
 
 def _execute_preset(spec: RunSpec) -> dict:
-    from ..core.runner import ParallelMDRunner
-    from ..workloads.presets import get_preset
+    from .. import api
 
-    preset = get_preset(spec.preset)
-    runner = ParallelMDRunner(
-        preset.simulation_config(dlb_enabled=spec.mode == "dlb"),
-        RunConfig(
+    result = api.simulate(
+        spec.preset,
+        run=RunConfig(
             steps=spec.n_steps,
             seed=spec.seed,
             record_interval=max(1, spec.n_steps // 50),
             force_backend=spec.backend,
         ),
+        dlb=spec.mode == "dlb",
+        engine=spec.engine,
+        engine_workers=spec.engine_workers,
     )
-    result = runner.run()
     payload = {
         "kind": "preset",
         "preset": spec.preset,
@@ -324,9 +325,28 @@ def run_campaign(
         if progress is not None:
             progress(event, run_hash, spec)
 
+    # Nested-parallelism guard: each pool worker running a multiprocess
+    # engine would multiply processes; cap siblings x engine workers to the
+    # cpu count. ``engine_workers`` is not part of the content hash (engine
+    # results are worker-count independent), so the rewrite never
+    # invalidates stored runs.
+    from dataclasses import replace
+
+    specs = [
+        replace(
+            spec,
+            engine_workers=effective_engine_workers(
+                spec.engine_workers, sibling_processes=max(1, workers)
+            ),
+        )
+        if spec.engine == "multiprocess"
+        else spec
+        for spec in campaign.runs
+    ]
+
     # Partition into cache hits and work, preserving campaign order.
     work: list[tuple[str, RunSpec]] = []
-    for spec in campaign.runs:
+    for spec in specs:
         run_hash = store.register(spec, campaign.name)
         stored = store.get(run_hash)
         if stored is not None and stored.status == "done":

@@ -72,6 +72,12 @@ class RunSpec:
         Concentration level and hold length of the ``probe`` kind.
     preset, mode, backend:
         Workload name, ddm/dlb side and force backend of the ``preset`` kind.
+    engine, engine_workers:
+        Execution engine of the ``preset`` kind (None = classic in-process).
+        ``engine`` is part of the content hash (it selects the decomposed
+        force path); ``engine_workers`` is not -- engine results are
+        bit-identical for any worker count, and the scheduler rewrites it
+        through the nested-parallelism guard without invalidating caches.
     """
 
     kind: str = "boundary"
@@ -89,6 +95,8 @@ class RunSpec:
     preset: str | None = None
     mode: str = "dlb"
     backend: str = "kdtree"
+    engine: str | None = None
+    engine_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in RUN_KINDS:
@@ -112,6 +120,13 @@ class RunSpec:
                 raise CampaignError("preset runs need a preset name")
             if self.mode not in ("ddm", "dlb"):
                 raise CampaignError(f"preset mode must be ddm or dlb, got {self.mode!r}")
+        if self.engine is not None:
+            if self.kind != "preset":
+                raise CampaignError("engines apply to preset runs only")
+            if self.engine not in ("sequential", "multiprocess"):
+                raise CampaignError(f"unknown engine {self.engine!r}")
+        elif self.engine_workers is not None:
+            raise CampaignError("engine_workers given without an engine")
 
     # -- resolution and hashing -------------------------------------------
 
@@ -152,6 +167,11 @@ class RunSpec:
                 "mode": self.mode,
                 "backend": self.backend,
             }
+            # Hash-preserving: engine-less specs keep their pre-engine hash,
+            # and the worker count never enters (results are worker-count
+            # independent by the engine's bit-identity guarantee).
+            if self.engine is not None:
+                knobs["preset"]["engine"] = self.engine
         return {
             "schema": SPEC_SCHEMA,
             "config": asdict(self.resolved_config()),
@@ -166,8 +186,16 @@ class RunSpec:
     # -- (de)serialisation -------------------------------------------------
 
     def to_dict(self) -> dict:
-        """Plain-dict form (what the run store persists)."""
-        return asdict(self)
+        """Plain-dict form (what the run store persists).
+
+        Engine fields are omitted at their defaults, so stored spec JSON is
+        byte-identical to pre-engine stores for engine-less runs.
+        """
+        data = asdict(self)
+        if self.engine is None:
+            del data["engine"]
+            del data["engine_workers"]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":
@@ -254,6 +282,8 @@ class CampaignSpec:
         n_steps: int = 200,
         seed: int = 7,
         description: str = "",
+        engine: str | None = None,
+        engine_workers: int | None = None,
     ) -> "CampaignSpec":
         """Expand a (preset x mode x backend) MD-comparison grid."""
         runs = tuple(
@@ -264,6 +294,8 @@ class CampaignSpec:
                 backend=backend,
                 n_steps=n_steps,
                 seed=seed,
+                engine=engine,
+                engine_workers=engine_workers,
             )
             for preset in presets
             for mode in modes

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..core.results import attach_schema_version, check_schema_version
 from ..errors import CampaignError
 from .spec import RunSpec
 
@@ -183,12 +184,16 @@ class RunStore:
     def _to_stored(row: tuple) -> StoredRun:
         (run_hash, campaign, spec_json, status, payload_json, error,
          attempts, duration_s) = row
+        payload = json.loads(payload_json) if payload_json else None
+        if payload is not None and "schema_version" in payload:
+            # Pre-versioning rows load as-is; stamped rows must be readable.
+            check_schema_version(payload, source=f"stored run {run_hash}")
         return StoredRun(
             hash=run_hash,
             campaign=campaign,
             spec=json.loads(spec_json),
             status=status,
-            payload=json.loads(payload_json) if payload_json else None,
+            payload=payload,
             error=error,
             attempts=int(attempts),
             duration_s=duration_s,
@@ -249,7 +254,12 @@ class RunStore:
         return cursor.rowcount == 1
 
     def complete(self, run_hash: str, payload: dict, duration_s: float) -> None:
-        """Record a successful payload (clears any previous error)."""
+        """Record a successful payload (clears any previous error).
+
+        Payloads are stamped with the result schema version on the way in,
+        so every stored payload declares the layout it was written under.
+        """
+        payload = attach_schema_version(payload)
         self._db.execute(
             "UPDATE runs SET status = 'done', payload_json = ?, error = NULL, "
             "duration_s = ?, updated_at = ? WHERE hash = ?",

@@ -29,6 +29,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from . import api
 from .campaign import (
     CampaignSpec,
     RunStore,
@@ -40,10 +41,9 @@ from .campaign import (
     run_campaign,
 )
 from .config import RunConfig
-from .core.checkpoint import CheckpointManager
-from .core.runner import ParallelMDRunner
-from .errors import FaultInjectionError
-from .faults import FaultInjector, FaultPlan, InvariantAuditor
+from .core.results import write_result_json
+from .engine import ENGINE_NAMES
+from .errors import ConfigurationError, FaultInjectionError
 from .obs import MetricsRegistry, Observability, Profiler, TraceRecorder
 from .parallel.costmodel import calibrate_tau_pair
 from .reporting import comparison_report, format_table, phase_breakdown, series_preview
@@ -77,7 +77,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
     preset = get_preset(args.preset)
     steps = args.steps if args.steps is not None else preset.steps
     results = {}
-    audits = {}
     modes = {"ddm": False, "dlb": True}
     selected = modes if args.mode == "both" else {args.mode: modes[args.mode]}
     stateful = (
@@ -94,7 +93,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fault_plan = None
     if args.faults:
         try:
-            fault_plan = FaultPlan.from_json_file(args.faults)
+            fault_plan = api.load_faults(args.faults)
         except FaultInjectionError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -102,95 +101,83 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if obs is not None and obs.trace is not None:
         for pid, label in enumerate(selected):
             obs.trace.add_process(pid, f"{label} (simulated clock)", sort_index=pid)
+    run_config = RunConfig(
+        steps=steps,
+        seed=args.seed,
+        record_interval=args.record_interval,
+        force_backend=args.backend,
+        skin=args.skin,
+    )
+    audit = (
+        api.AuditPolicy(every=args.audit_every, policy=args.audit_policy)
+        if args.audit_invariants
+        else None
+    )
+    ckpt_dir = args.resume or args.checkpoint_dir
+    checkpoints = (
+        api.CheckpointPolicy(
+            directory=ckpt_dir,
+            every=args.checkpoint_every,
+            resume=bool(args.resume),
+        )
+        if ckpt_dir
+        else None
+    )
+    stop_after = None
     killed_at = None
+    if args.kill_after is not None and args.kill_after < steps:
+        stop_after = args.kill_after
+        killed_at = args.kill_after
     for trace_pid, (label, dlb_enabled) in enumerate(selected.items()):
         print(f"running {label} ({steps} steps) ...", file=sys.stderr)
-        sim_config = preset.simulation_config(dlb_enabled=dlb_enabled)
-        faults = (
-            FaultInjector(fault_plan, sim_config.decomposition.n_pes)
-            if fault_plan is not None
-            else None
-        )
-        runner = ParallelMDRunner(
-            sim_config,
-            RunConfig(
-                steps=steps,
-                seed=args.seed,
-                record_interval=args.record_interval,
-                force_backend=args.backend,
-                skin=args.skin,
-            ),
-            observability=obs,
-            trace_pid=trace_pid,
-            faults=faults,
-        )
-        if args.audit_invariants:
-            runner.auditor = InvariantAuditor(
-                runner.assignment,
-                n_particles=runner.system.n,
-                every=args.audit_every,
-                policy=args.audit_policy,
-                metrics=obs.metrics if obs is not None else None,
+        try:
+            result = api.simulate(
+                args.preset,
+                run=run_config,
+                dlb=dlb_enabled,
+                engine=args.engine,
+                engine_workers=args.engine_workers,
+                observability=obs,
+                faults=fault_plan,
+                audit=audit,
+                checkpoints=checkpoints,
+                trace_pid=trace_pid,
+                stop_after=stop_after,
             )
-            audits[label] = runner.auditor
-        manager = None
-        ckpt_dir = args.resume or args.checkpoint_dir
-        if ckpt_dir:
-            manager = CheckpointManager(ckpt_dir, every=args.checkpoint_every)
-        partial = None
-        if args.resume:
-            partial = runner.restore(manager.load_latest()["state"])
-            print(
-                f"  {label}: resumed from checkpoint at step {runner.step_count}",
-                file=sys.stderr,
-            )
-        target = steps
-        if args.kill_after is not None and args.kill_after < steps:
-            target = args.kill_after
-            killed_at = target
-        remaining = target - runner.step_count
-        if remaining < 0:
-            print(
-                f"error: checkpoint is at step {runner.step_count}, beyond the "
-                f"requested {target} steps",
-                file=sys.stderr,
-            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
             return 2
-        if obs is not None:
-            with obs.activate():
-                results[label] = runner.run(remaining, checkpoint=manager, result=partial)
-        else:
-            results[label] = runner.run(remaining, checkpoint=manager, result=partial)
-        stats = runner.neighbor_stats
+        results[label] = result
+        if result.meta.get("resumed_at") is not None:
+            print(
+                f"  {label}: resumed from checkpoint at step "
+                f"{result.meta['resumed_at']}",
+                file=sys.stderr,
+            )
+        stats = result.meta.get("neighbor_stats") or {}
         if args.backend == "verlet":
             print(
-                f"  {label}: pair-search rebuilds={stats.rebuilds} "
-                f"reuses={stats.reuses} (reuse ratio {stats.reuse_ratio:.2f}, "
-                f"acceptance {stats.acceptance_ratio:.2f})",
+                f"  {label}: pair-search rebuilds={stats['rebuilds']} "
+                f"reuses={stats['reuses']} (reuse ratio {stats['reuse_ratio']:.2f}, "
+                f"acceptance {stats['acceptance_ratio']:.2f})",
                 file=sys.stderr,
             )
-        if args.audit_invariants:
-            auditor = runner.auditor
+        audit_summary = result.meta.get("audit")
+        if audit_summary is not None:
             print(
-                f"  {label}: invariants audited {auditor.audits} times, "
-                f"{auditor.violation_count} violation(s)",
+                f"  {label}: invariants audited {audit_summary['audits']} times, "
+                f"{audit_summary['violations']} violation(s)",
                 file=sys.stderr,
             )
     if args.result_json:
         payload = {
             "runs": {
-                label: {
-                    "summary": result.summary(),
-                    "digest": result.digest(),
-                    "steps_run": int(result.summary()["steps"]),
-                    "audit": audits[label].summary() if label in audits else None,
-                }
+                label: api.result_payload(result)
                 for label, result in results.items()
             },
             "killed_at": killed_at,
         }
-        with open(args.result_json, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
+        write_result_json(args.result_json, payload)
         print(f"wrote result summary to {args.result_json}", file=sys.stderr)
     if killed_at is not None:
         print(
@@ -510,6 +497,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.4,
         help="Verlet-list skin radius (verlet backend only)",
+    )
+    run.add_argument(
+        "--engine",
+        choices=list(ENGINE_NAMES),
+        default=None,
+        help="execution engine for the force path (default: classic in-process; "
+        "multiprocess shards virtual PEs over worker processes, bit-identical "
+        "results by construction)",
+    )
+    run.add_argument(
+        "--engine-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-process count for --engine multiprocess "
+        "(default: min(4, cpu count))",
     )
     run.add_argument(
         "--trace",

@@ -34,6 +34,7 @@ class StepAccountant:
         cell_list: CellList,
         n_pes: int,
         faults=None,
+        profiler=None,
     ) -> None:
         self.machine = machine
         self.cell_list = cell_list
@@ -42,6 +43,12 @@ class StepAccountant:
         self.cost_model = ComputeCostModel(machine, cell_list)
         self.traffic = TrafficLog(n_pes)
         self._pending_migration = np.zeros(n_pes, dtype=np.float64)
+        #: Explicit nullable :class:`~repro.obs.profiler.Profiler`. When set,
+        #: timings go to it directly; only when ``None`` is the process-global
+        #: :func:`~repro.obs.profiler.scope` consulted. Worker processes hand
+        #: each accountant its own profiler, so two accountants in different
+        #: processes (or the same one) never share hidden global state.
+        self.profiler = profiler
         #: Nullable :class:`~repro.faults.injector.FaultInjector`; the
         #: default ``None`` path adds one branch per charge site and nothing
         #: else (the obs-off perf gate covers it).
@@ -106,7 +113,12 @@ class StepAccountant:
         ``force_times_override`` substitutes measured wall-clock force times
         for the cost model's (the runner's ``"measured"`` mode).
         """
-        with scope("accounting.account_step"):
+        timer = (
+            self.profiler.timer("accounting.account_step")
+            if self.profiler is not None
+            else scope("accounting.account_step")
+        )
+        with timer:
             owner = assignment.cell_owner_map()
             work = self.cost_model.per_pe_work(counts_grid, owner, self.n_pes)
             force_times = (

@@ -21,7 +21,8 @@ import os
 import pickle
 from pathlib import Path
 
-from ..errors import CheckpointError
+from ..errors import CheckpointError, SchemaError
+from .results import RESULT_SCHEMA_VERSION, check_schema_version
 
 #: Bump when the snapshot layout changes incompatibly.
 CHECKPOINT_VERSION = 1
@@ -85,7 +86,12 @@ class CheckpointManager:
         self.directory.mkdir(parents=True, exist_ok=True)
         final = self._path(step)
         tmp = self.directory / f"{_TMP_PREFIX}{final.name}.{os.getpid()}"
-        payload = {"version": CHECKPOINT_VERSION, "step": int(step), "state": state}
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "step": int(step),
+            "state": state,
+        }
         try:
             with open(tmp, "wb") as fh:
                 pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
@@ -146,6 +152,11 @@ class CheckpointManager:
                     f"checkpoint {path} has version {payload.get('version')}, "
                     f"this build reads version {CHECKPOINT_VERSION}"
                 )
+            if "schema_version" in payload:
+                try:
+                    check_schema_version(payload, source=f"checkpoint {path}")
+                except SchemaError as exc:
+                    raise CheckpointError(str(exc)) from exc
             return payload
         raise CheckpointError(
             f"no readable checkpoint in {self.directory}: " + "; ".join(errors)

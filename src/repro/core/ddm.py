@@ -38,12 +38,113 @@ class DecomposedForceResult:
         ``(P,)`` wall-clock seconds each PE's pass took on this host.
     per_pe_pairs:
         ``(P,)`` pairs each PE evaluated (owned-owned and owned-ghost).
+    virial:
+        Pair virial ``sum(f_ij . r_ij)`` with the same 1.0/0.5 ownership
+        weights as the energy (so the merged value matches the global
+        kernel's modulo summation order).
     """
 
     forces: np.ndarray
     potential_energy: float
     per_pe_seconds: np.ndarray
     per_pe_pairs: np.ndarray
+    virial: float = 0.0
+
+
+@dataclass(frozen=True)
+class PEForceSlice:
+    """One PE's share of a decomposed force pass.
+
+    The slice is self-contained: ``forces[k]`` is the full force on particle
+    ``owned_ids[k]`` (every pair touching an owned particle is evaluated by
+    its owner), so merging slices is plain disjoint assignment into the
+    global array. Scalars carry the ownership-weighted energy/virial
+    contributions; summing them over PEs in rank order reproduces
+    :func:`decomposed_force_pass` bit-for-bit — which is what lets an
+    execution engine compute slices in any process and still produce a
+    digest-identical run (see ``repro.engine``).
+    """
+
+    pe: int
+    owned_ids: np.ndarray
+    forces: np.ndarray
+    energy: float
+    virial: float
+    n_pairs: int
+    seconds: float
+
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_FORCES = np.empty((0, 3), dtype=np.float64)
+
+
+def pe_force_slice(
+    pe: int,
+    positions: np.ndarray,
+    box_length: float,
+    cell_list: CellList,
+    cell_owner: np.ndarray,
+    particle_cell: np.ndarray,
+    particle_owner: np.ndarray,
+    potential: LennardJones,
+) -> PEForceSlice:
+    """Compute PE ``pe``'s force slice from shared read-only inputs.
+
+    This is the kernel both execution engines run: a sequential engine calls
+    it for every PE in rank order in one process, a multiprocess engine calls
+    it for its shard of PEs in a worker. All inputs are plain arrays so the
+    call is cheap to make against shared memory.
+    """
+    start = time.perf_counter()
+    owned_cells = cell_owner == pe
+    local_cells = owned_cells | ghost_cell_mask(cell_owner, cell_list, pe)
+    local_ids = np.flatnonzero(local_cells[particle_cell])
+    if len(local_ids) == 0:
+        return PEForceSlice(
+            pe, _EMPTY_IDS, _EMPTY_FORCES, 0.0, 0.0, 0,
+            time.perf_counter() - start,
+        )
+    local_pos = positions[local_ids]
+    owned_local = particle_owner[local_ids] == pe
+
+    pairs = pairs_kdtree(local_pos, box_length, potential.cutoff)
+    if len(pairs):
+        keep = owned_local[pairs[:, 0]] | owned_local[pairs[:, 1]]
+        pairs = pairs[keep]
+    owned_ids = local_ids[owned_local]
+    if len(pairs) == 0:
+        return PEForceSlice(
+            pe, owned_ids, np.zeros((len(owned_ids), 3), dtype=np.float64),
+            0.0, 0.0, 0, time.perf_counter() - start,
+        )
+
+    i, j = pairs[:, 0], pairs[:, 1]
+    delta = local_pos[i] - local_pos[j]
+    minimum_image_inplace(delta, box_length)
+    r_sq = np.einsum("ij,ij->i", delta, delta)
+    energies, f_over_r = potential.energy_force_sq(r_sq)
+    fvec = delta * f_over_r[:, None]
+    n_local = len(local_ids)
+    local_forces = np.zeros((n_local, 3))
+    for axis in range(3):
+        local_forces[:, axis] += np.bincount(i, weights=fvec[:, axis], minlength=n_local)
+        local_forces[:, axis] -= np.bincount(j, weights=fvec[:, axis], minlength=n_local)
+    # Energy/virial: both-owned pairs belong fully to this PE; mixed pairs
+    # are shared half-half with the neighbouring owner.
+    weight = np.where(owned_local[i] & owned_local[j], 1.0, 0.5)
+    energy = float(np.dot(weight, energies))
+    virial = float(np.dot(weight * f_over_r, r_sq))
+    return PEForceSlice(
+        pe=pe,
+        owned_ids=owned_ids,
+        # Only the owned endpoints' forces are this PE's responsibility;
+        # a mixed pair's other half is computed by the ghost's owner.
+        forces=local_forces[owned_local],
+        energy=energy,
+        virial=virial,
+        n_pairs=int(len(pairs)),
+        seconds=time.perf_counter() - start,
+    )
 
 
 def ghost_cell_mask(cell_owner: np.ndarray, cell_list: CellList, pe: int) -> np.ndarray:
@@ -91,53 +192,28 @@ def decomposed_force_pass(
 
     forces = np.zeros_like(positions)
     total_energy = 0.0
+    total_virial = 0.0
     per_pe_seconds = np.zeros(n_pes, dtype=np.float64)
     per_pe_pairs = np.zeros(n_pes, dtype=np.int64)
 
     for pe in range(n_pes):
-        start = time.perf_counter()
-        owned_cells = cell_owner == pe
-        local_cells = owned_cells | ghost_cell_mask(cell_owner, cell_list, pe)
-        local_ids = np.flatnonzero(local_cells[particle_cell])
-        if len(local_ids) == 0:
-            per_pe_seconds[pe] = time.perf_counter() - start
-            continue
-        local_pos = positions[local_ids]
-        owned_local = particle_owner[local_ids] == pe
-
-        pairs = pairs_kdtree(local_pos, box, potential.cutoff)
-        if len(pairs):
-            keep = owned_local[pairs[:, 0]] | owned_local[pairs[:, 1]]
-            pairs = pairs[keep]
-        per_pe_pairs[pe] = len(pairs)
-
-        if len(pairs):
-            i, j = pairs[:, 0], pairs[:, 1]
-            delta = local_pos[i] - local_pos[j]
-            minimum_image_inplace(delta, box)
-            r_sq = np.einsum("ij,ij->i", delta, delta)
-            energies, f_over_r = potential.energy_force_sq(r_sq)
-            fvec = delta * f_over_r[:, None]
-            n_local = len(local_ids)
-            local_forces = np.zeros((n_local, 3))
-            for axis in range(3):
-                local_forces[:, axis] += np.bincount(i, weights=fvec[:, axis], minlength=n_local)
-                local_forces[:, axis] -= np.bincount(j, weights=fvec[:, axis], minlength=n_local)
-            # Only the owned endpoints' forces are this PE's responsibility;
-            # a mixed pair's other half is computed by the ghost's owner.
-            owned_ids = local_ids[owned_local]
-            forces[owned_ids] += local_forces[owned_local]
-            # Energy: both-owned pairs belong fully to this PE; mixed pairs are
-            # shared half-half with the neighbouring owner.
-            weight = np.where(owned_local[i] & owned_local[j], 1.0, 0.5)
-            total_energy += float(np.dot(weight, energies))
-        per_pe_seconds[pe] = time.perf_counter() - start
+        piece = pe_force_slice(
+            pe, positions, box, cell_list, cell_owner,
+            particle_cell, particle_owner, potential,
+        )
+        if len(piece.owned_ids):
+            forces[piece.owned_ids] += piece.forces
+        total_energy += piece.energy
+        total_virial += piece.virial
+        per_pe_seconds[pe] = piece.seconds
+        per_pe_pairs[pe] = piece.n_pairs
 
     return DecomposedForceResult(
         forces=forces,
         potential_energy=total_energy,
         per_pe_seconds=per_pe_seconds,
         per_pe_pairs=per_pe_pairs,
+        virial=total_virial,
     )
 
 
@@ -157,6 +233,7 @@ def _decomposed_from_candidates(
 
     forces = np.zeros_like(positions)
     total_energy = 0.0
+    total_virial = 0.0
     per_pe_seconds = np.zeros(n_pes, dtype=np.float64)
     per_pe_pairs = np.zeros(n_pes, dtype=np.int64)
 
@@ -200,6 +277,7 @@ def _decomposed_from_candidates(
             # shared half-half with the neighbouring owner.
             weight = np.where(i_owned & j_owned, 1.0, 0.5)
             total_energy += float(np.dot(weight, energies))
+            total_virial += float(np.dot(weight * f_over_r, r_sq))
         per_pe_seconds[pe] = time.perf_counter() - start
 
     return DecomposedForceResult(
@@ -207,4 +285,5 @@ def _decomposed_from_candidates(
         potential_energy=total_energy,
         per_pe_seconds=per_pe_seconds,
         per_pe_pairs=per_pe_pairs,
+        virial=total_virial,
     )

@@ -13,12 +13,15 @@ the quasi-static concentration sweeps behind Figures 9-10 and Table 1
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..config import RunConfig, SimulationConfig
 from ..decomp.assignment import CellAssignment
 from ..dlb.balancer import DynamicLoadBalancer
+from ..engine.base import Engine, EngineContext
+from ..engine.forcefield import EngineForceField
 from ..errors import CheckpointError, ConfigurationError
 from ..md.celllist import CellList
 from ..md.forces import ForceField
@@ -43,6 +46,10 @@ from .checkpoint import CheckpointManager
 from .ddm import decomposed_force_pass
 from .results import RunResult, StepRecord
 
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from ..faults.audit import InvariantAuditor
+    from ..faults.injector import FaultInjector
+
 
 #: Span names of the per-PE phase timeline, in within-step order.
 _PHASE_SPANS = ("dlb", "force", "halo-comm", "integrate")
@@ -64,6 +71,14 @@ class _ObservedRunner:
     def _init_observability(
         self, observability: Observability | None, trace_pid: int, dlb_enabled: bool
     ) -> None:
+        if trace_pid < 0:
+            raise ConfigurationError(
+                f"trace_pid must be non-negative, got {trace_pid}"
+            )
+        if observability is not None and observability.trace is not None:
+            # Fail loudly when two runners share a recorder and a pid: the
+            # old behavior silently interleaved their spans on one track.
+            observability.trace.claim_pid(trace_pid)
         self.observability = observability
         self.trace_pid = int(trace_pid)
         #: Simulated-clock position (sum of barrier times so far).
@@ -152,8 +167,9 @@ class ParallelMDRunner(_ObservedRunner):
         system: ParticleSystem | None = None,
         observability: Observability | None = None,
         trace_pid: int = 0,
-        faults=None,
-        auditor=None,
+        faults: "FaultInjector | None" = None,
+        auditor: "InvariantAuditor | None" = None,
+        engine: Engine | None = None,
     ) -> None:
         if config.decomposition.shape != "pillar":
             raise ConfigurationError(
@@ -170,10 +186,17 @@ class ParallelMDRunner(_ObservedRunner):
         #: the step path is unchanged (one branch per hook).
         self.faults = faults
         self.auditor = auditor
+        #: Nullable execution engine; ``None`` keeps the classic in-process
+        #: force path (global pair kernel + optional measured-mode DDM pass).
+        self.engine = engine
         self.cell_list = CellList(md.box_length, dec.cells_per_side)
         self.assignment = CellAssignment(dec.cells_per_side, dec.n_pes)
         self.accountant = StepAccountant(
-            config.machine, self.cell_list, dec.n_pes, faults=faults
+            config.machine,
+            self.cell_list,
+            dec.n_pes,
+            faults=faults,
+            profiler=observability.profiler if observability is not None else None,
         )
         self.balancer = (
             DynamicLoadBalancer(self.assignment, config.dlb, injector=faults)
@@ -188,18 +211,43 @@ class ParallelMDRunner(_ObservedRunner):
                 f"system box {self.system.box_length} != config box {md.box_length}"
             )
         self.potential = LennardJones(cutoff=md.cutoff)
-        self.force_field = ForceField(
-            self.potential,
-            backend=run_config.force_backend,
-            cells_per_side=dec.cells_per_side,
-            attraction=md.attraction,
-            attractors=attractor_sites(md, rng),
-            skin=run_config.skin,
-            max_reuse=run_config.neighbor_max_reuse,
-            # Share the runner's grid instead of letting the force field build
-            # its own copy per search (the seed rebuilt one per step).
-            cell_list=self.cell_list,
-        )
+        attractors = attractor_sites(md, rng)
+        if engine is not None:
+            if run_config.force_backend != "kdtree":
+                raise ConfigurationError(
+                    "execution engines run the decomposed per-PE pass with "
+                    "kd-tree pair search; force_backend must be 'kdtree', "
+                    f"got {run_config.force_backend!r}"
+                )
+            engine.bind(
+                EngineContext(
+                    n_particles=self.system.n,
+                    n_pes=dec.n_pes,
+                    box_length=md.box_length,
+                    cells_per_side=dec.cells_per_side,
+                    potential=self.potential,
+                )
+            )
+            engine.attach_observability(observability)
+            self.force_field = EngineForceField(
+                engine,
+                self.assignment.cell_owner_map,
+                attraction=md.attraction,
+                attractors=attractors,
+            )
+        else:
+            self.force_field = ForceField(
+                self.potential,
+                backend=run_config.force_backend,
+                cells_per_side=dec.cells_per_side,
+                attraction=md.attraction,
+                attractors=attractors,
+                skin=run_config.skin,
+                max_reuse=run_config.neighbor_max_reuse,
+                # Share the runner's grid instead of letting the force field
+                # build its own copy per search (the seed rebuilt one per step).
+                cell_list=self.cell_list,
+            )
         self.integrator = VelocityVerlet(md.dt)
         self.thermostat = VelocityRescale(md.temperature, md.rescale_interval)
         self.integrator.initialize(self.system, self.force_field)
@@ -241,20 +289,29 @@ class ParallelMDRunner(_ObservedRunner):
         counts = self.cell_list.counts(self.system.positions)
         override = None
         if self.run_config.timing_mode == "measured":
-            # With the Verlet backend the integrator's force pass just refreshed
-            # (or reused) the cached candidate list; hand it to the decomposed
-            # pass so no PE repeats the pair search.
-            verlet = self.force_field.verlet_list
-            candidates = verlet.candidates(self.system.positions) if verlet is not None else None
-            decomposed = decomposed_force_pass(
-                self.system,
-                self.cell_list,
-                self.assignment.cell_owner_map(),
-                self.config.decomposition.n_pes,
-                self.potential,
-                candidate_pairs=candidates,
-            )
-            override = decomposed.per_pe_seconds
+            if self.engine is not None:
+                # The engine's force pass *is* the decomposed pass; reuse its
+                # per-PE wall-clock instead of computing the forces twice.
+                override = self.force_field.last_pass.per_pe_seconds
+            else:
+                # With the Verlet backend the integrator's force pass just
+                # refreshed (or reused) the cached candidate list; hand it to
+                # the decomposed pass so no PE repeats the pair search.
+                verlet = self.force_field.verlet_list
+                candidates = (
+                    verlet.candidates(self.system.positions)
+                    if verlet is not None
+                    else None
+                )
+                decomposed = decomposed_force_pass(
+                    self.system,
+                    self.cell_list,
+                    self.assignment.cell_owner_map(),
+                    self.config.decomposition.n_pes,
+                    self.potential,
+                    candidate_pairs=candidates,
+                )
+                override = decomposed.per_pe_seconds
         timing, totals = self.accountant.account_step(
             self.step_count, counts, self.assignment, self.dlb_enabled, override
         )
@@ -393,8 +450,8 @@ class DrivenLoadRunner(_ObservedRunner):
         rounds_per_config: int = 1,
         observability: Observability | None = None,
         trace_pid: int = 0,
-        faults=None,
-        auditor=None,
+        faults: "FaultInjector | None" = None,
+        auditor: "InvariantAuditor | None" = None,
     ) -> None:
         if config.decomposition.shape != "pillar":
             raise ConfigurationError("DrivenLoadRunner needs the pillar decomposition")
@@ -414,7 +471,11 @@ class DrivenLoadRunner(_ObservedRunner):
             else None
         )
         self.accountant = StepAccountant(
-            config.machine, self.cell_list, dec.n_pes, faults=faults
+            config.machine,
+            self.cell_list,
+            dec.n_pes,
+            faults=faults,
+            profiler=observability.profiler if observability is not None else None,
         )
         self.rounds_per_config = int(rounds_per_config)
         self._last_times = np.zeros(dec.n_pes, dtype=np.float64)

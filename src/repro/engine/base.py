@@ -1,0 +1,268 @@
+"""Execution-engine protocol: how a run's per-PE work actually executes.
+
+An :class:`Engine` executes the decomposed per-PE force pass of
+:func:`repro.core.ddm.pe_force_slice` for all P virtual PEs and folds the
+slices into one :class:`~repro.core.ddm.DecomposedForceResult`. The fold is
+identical across backends — scalars are routed through a
+:class:`~repro.engine.router.DeterministicRouter` and reduced in delivery
+order — so every backend produces bit-identical forces/energies and thus a
+bit-identical run digest. Backends differ only in *where* the slices are
+computed: the sequential engine loops PEs in rank order in-process; the
+multiprocess engine shards PEs across worker processes over shared memory.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.ddm import DecomposedForceResult
+from ..errors import ConfigurationError, EngineError
+from ..md.potential import LennardJones
+from .router import DeterministicRouter
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from ..obs import Observability
+
+#: Engine names accepted by :func:`create_engine` and the CLI ``--engine``.
+ENGINE_NAMES = ("sequential", "multiprocess")
+
+#: Router tag under which per-PE force-pass scalars travel.
+FORCE_RESULT_TAG = "force-result"
+
+
+@dataclass(frozen=True)
+class EngineContext:
+    """The picklable workload description an engine is bound to.
+
+    Everything a worker process needs to rebuild the pair-search structures:
+    no live objects, only plain values, so the context crosses a ``spawn``
+    boundary unchanged.
+    """
+
+    n_particles: int
+    n_pes: int
+    box_length: float
+    cells_per_side: int
+    potential: LennardJones
+
+    def __post_init__(self) -> None:
+        if self.n_particles <= 0:
+            raise ConfigurationError(
+                f"n_particles must be positive, got {self.n_particles}"
+            )
+        if self.n_pes <= 0:
+            raise ConfigurationError(f"n_pes must be positive, got {self.n_pes}")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Declarative engine request: resolved by :func:`create_engine`.
+
+    ``workers`` only matters for the multiprocess backend; ``None`` picks
+    ``min(4, os.cpu_count())``.
+    """
+
+    name: str = "sequential"
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.name not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown engine {self.name!r} (choose from {ENGINE_NAMES})"
+            )
+        if self.workers is not None and self.workers <= 0:
+            raise ConfigurationError(
+                f"engine workers must be positive, got {self.workers}"
+            )
+
+
+class Engine(abc.ABC):
+    """Pluggable executor of the decomposed per-PE force pass.
+
+    Lifecycle: construct → :meth:`bind` to one workload → any number of
+    :meth:`force_pass` calls → :meth:`close` (or use as a context manager).
+    Binding is one-shot on purpose: a multiprocess engine sizes its shared
+    memory at bind time, and silently rebinding to a different workload is
+    exactly the class of mistake :class:`~repro.errors.EngineError` exists
+    to surface.
+    """
+
+    #: Backend name (stable identifier used by CLI/results metadata).
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.router = DeterministicRouter()
+        self._context: EngineContext | None = None
+        self._closed = False
+        self._observability: "Observability | None" = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def context(self) -> EngineContext | None:
+        """The bound workload, or ``None`` before :meth:`bind`."""
+        return self._context
+
+    @property
+    def workers(self) -> int:
+        """Worker processes backing this engine (1 for in-process backends)."""
+        return 1
+
+    def bind(self, context: EngineContext) -> None:
+        """Attach the engine to one workload; idempotent for equal contexts."""
+        if self._closed:
+            raise EngineError(f"engine {self.name!r} is closed")
+        if self._context is not None:
+            if self._context != context:
+                raise EngineError(
+                    f"engine {self.name!r} is already bound to a different "
+                    f"workload ({self._context.n_particles} particles / "
+                    f"{self._context.n_pes} PEs); create one engine per workload"
+                )
+            return
+        self._context = context
+        self._start()
+
+    def attach_observability(self, observability: "Observability | None") -> None:
+        """Give the engine a sink for metrics/profiler output (nullable)."""
+        self._observability = observability
+
+    def close(self) -> None:
+        """Release backend resources; further passes raise ``EngineError``."""
+        if not self._closed:
+            self._closed = True
+            self._shutdown()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- backend hooks -----------------------------------------------------
+
+    def _start(self) -> None:
+        """Backend hook: allocate resources for the bound context."""
+
+    def _shutdown(self) -> None:
+        """Backend hook: release resources (must be safe to call once)."""
+
+    @abc.abstractmethod
+    def force_pass(
+        self, positions: np.ndarray, cell_owner: np.ndarray, step: int
+    ) -> DecomposedForceResult:
+        """Execute one decomposed force pass over all PEs.
+
+        ``positions`` is the ``(N, 3)`` current configuration, ``cell_owner``
+        the ``(n_cells,)`` owner map of the *current* assignment (it changes
+        under DLB), ``step`` the simulation step (orders router traffic).
+        """
+
+    # -- shared machinery --------------------------------------------------
+
+    def _require_context(self) -> EngineContext:
+        if self._closed:
+            raise EngineError(f"engine {self.name!r} is closed")
+        if self._context is None:
+            raise EngineError(f"engine {self.name!r} used before bind()")
+        return self._context
+
+    def _fold(self, forces: np.ndarray, step: int) -> DecomposedForceResult:
+        """Reduce routed per-PE scalars into one result, in delivery order.
+
+        Every backend posts one ``(energy, virial, seconds, n_pairs)`` tuple
+        per PE under :data:`FORCE_RESULT_TAG`; the router delivers them
+        sorted by ``(step, tag, src, ...)`` = PE rank order, so the energy
+        and virial sums accumulate in exactly the order the sequential
+        reference uses — bit-identical regardless of completion order.
+        """
+        context = self._require_context()
+        n_pes = context.n_pes
+        per_pe_seconds = np.zeros(n_pes, dtype=np.float64)
+        per_pe_pairs = np.zeros(n_pes, dtype=np.int64)
+        energy = 0.0
+        virial = 0.0
+        delivered = 0
+        for message in self.router.drain():
+            if message.tag != FORCE_RESULT_TAG or message.step != step:
+                raise EngineError(
+                    f"unexpected routed message {message.tag!r} at step "
+                    f"{message.step} (folding step {step})"
+                )
+            pe_energy, pe_virial, pe_seconds, pe_pairs = message.payload
+            energy += pe_energy
+            virial += pe_virial
+            per_pe_seconds[message.src] = pe_seconds
+            per_pe_pairs[message.src] = pe_pairs
+            delivered += 1
+        if delivered != n_pes:
+            raise EngineError(
+                f"force pass folded {delivered} PE results, expected {n_pes}"
+            )
+        return DecomposedForceResult(
+            forces=forces,
+            potential_energy=energy,
+            per_pe_seconds=per_pe_seconds,
+            per_pe_pairs=per_pe_pairs,
+            virial=virial,
+        )
+
+
+def create_engine(
+    engine: "str | EngineSpec | Engine | None",
+    workers: int | None = None,
+) -> "Engine | None":
+    """Resolve an engine request to an instance.
+
+    Accepts a backend name, an :class:`EngineSpec`, an already-constructed
+    :class:`Engine` (returned as-is; ``workers`` must then be ``None``), or
+    ``None`` (no engine: the runner keeps its classic in-process force path).
+    """
+    if engine is None:
+        if workers is not None:
+            raise ConfigurationError("engine workers given without an engine")
+        return None
+    if isinstance(engine, Engine):
+        if workers is not None:
+            raise ConfigurationError(
+                "pass workers via the engine's own constructor, not create_engine"
+            )
+        return engine
+    if isinstance(engine, str):
+        engine = EngineSpec(name=engine, workers=workers)
+    elif workers is not None and engine.workers != workers:
+        raise ConfigurationError(
+            f"conflicting worker counts: spec says {engine.workers}, got {workers}"
+        )
+    if engine.name == "sequential":
+        from .sequential import SequentialEngine
+
+        return SequentialEngine()
+    from .multiprocess import MultiprocessEngine
+
+    return MultiprocessEngine(workers=engine.workers)
+
+
+def effective_engine_workers(
+    requested: int | None,
+    sibling_processes: int = 1,
+    cpu_count: int | None = None,
+) -> int:
+    """Worker count after the nested-parallelism guard.
+
+    ``sibling_processes`` is how many peer processes (e.g. campaign pool
+    workers) will each run an engine concurrently; the product
+    ``siblings × engine workers`` is capped at the host's CPU count so a
+    campaign of multiprocess runs cannot oversubscribe the machine.
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    siblings = max(1, int(sibling_processes))
+    budget = max(1, cpus // siblings)
+    if requested is None:
+        return min(4, budget)
+    return max(1, min(int(requested), budget))

@@ -1,0 +1,69 @@
+"""Deterministic per-step message router.
+
+Every message exchanged between virtual PEs — halo scalars, DLB decisions,
+per-PE force-pass results — goes through one :class:`DeterministicRouter`.
+Messages are *posted* in whatever order the execution backend produces them
+(rank order in one process, arrival order over pipes with many), and
+*delivered* in the total order ``(step, tag, src, dst, seq)``.
+
+That ordering is the whole determinism argument for the multiprocess engine:
+floating-point reduction order is fixed by the delivery order, not by the
+nondeterministic completion order of worker processes, so any backend that
+routes its exchanges through this class produces bit-identical reductions —
+and therefore a bit-identical run digest (see DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class RoutedMessage:
+    """One routed message; ordering fields first so tuples sort naturally."""
+
+    step: int
+    tag: str
+    src: int
+    dst: int
+    seq: int
+    payload: Any = field(compare=False)
+
+
+class DeterministicRouter:
+    """Collects posted messages and delivers them in a total order.
+
+    ``seq`` is a per-router monotone counter that breaks ties between
+    multiple messages with identical ``(step, tag, src, dst)``; within one
+    poster that reproduces posting order, which is deterministic in every
+    backend (each PE's sends are ordered by its own program order).
+    """
+
+    def __init__(self) -> None:
+        self._pending: list[RoutedMessage] = []
+        self._seq = 0
+        #: Total messages routed over the router's lifetime (for metrics).
+        self.routed_total = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def post(self, step: int, tag: str, src: int, dst: int, payload: Any = None) -> None:
+        """Queue one message for ordered delivery."""
+        self._pending.append(
+            RoutedMessage(int(step), tag, int(src), int(dst), self._seq, payload)
+        )
+        self._seq += 1
+        self.routed_total += 1
+
+    def drain(self) -> list[RoutedMessage]:
+        """All pending messages in ``(step, tag, src, dst, seq)`` order.
+
+        Draining clears the queue; the caller owns delivery.
+        """
+        messages = sorted(
+            self._pending, key=lambda m: (m.step, m.tag, m.src, m.dst, m.seq)
+        )
+        self._pending.clear()
+        return messages

@@ -1,0 +1,58 @@
+"""In-process engine: PEs execute in rank order, one per loop iteration.
+
+This is the reference backend — the extracted form of what the runner always
+did. It exists so the multiprocess engine has a bit-identical baseline to be
+checked against: both post the same per-PE scalars through the same router
+and share :meth:`Engine._fold`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ddm import DecomposedForceResult, pe_force_slice
+from ..md.celllist import CellList
+from ..obs.profiler import scope
+from .base import FORCE_RESULT_TAG, Engine, EngineContext
+
+
+class SequentialEngine(Engine):
+    """Executes every PE's force slice in rank order in the calling process."""
+
+    name = "sequential"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cell_list: CellList | None = None
+
+    def _start(self) -> None:
+        context: EngineContext = self._context  # bound by Engine.bind
+        self._cell_list = CellList(context.box_length, context.cells_per_side)
+
+    def force_pass(
+        self, positions: np.ndarray, cell_owner: np.ndarray, step: int
+    ) -> DecomposedForceResult:
+        context = self._require_context()
+        cell_list = self._cell_list
+        with scope("engine.force_pass"):
+            particle_cell = cell_list.assign(positions)
+            particle_owner = cell_owner[particle_cell]
+            forces = np.zeros_like(positions)
+            for pe in range(context.n_pes):
+                piece = pe_force_slice(
+                    pe, positions, context.box_length, cell_list, cell_owner,
+                    particle_cell, particle_owner, context.potential,
+                )
+                if len(piece.owned_ids):
+                    forces[piece.owned_ids] = piece.forces
+                self.router.post(
+                    step, FORCE_RESULT_TAG, pe, 0,
+                    (piece.energy, piece.virial, piece.seconds, piece.n_pairs),
+                )
+            result = self._fold(forces, step)
+        if self._observability is not None and self._observability.metrics is not None:
+            self._observability.metrics.counter(
+                "repro_engine_force_passes_total",
+                "Decomposed force passes executed by the engine",
+            ).inc(engine=self.name)
+        return result

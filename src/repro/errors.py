@@ -63,6 +63,18 @@ class InvariantViolation(ReproError):
     not round-trip, particle-count loss, or non-finite forces."""
 
 
+class EngineError(ReproError):
+    """Raised by the execution-engine layer (unknown engine name, a worker
+    process that died or raised, an engine bound to a mismatched workload,
+    or use of an engine after :meth:`close`)."""
+
+
+class SchemaError(ReproError):
+    """Raised when a persisted artifact (result JSON, campaign payload,
+    checkpoint metadata) declares a schema version this library cannot
+    read — i.e. an unknown major version."""
+
+
 class CheckpointError(ReproError):
     """Raised when a checkpoint cannot be written, found, or restored (no
     snapshot in the directory, corrupt/truncated file, or a snapshot taken

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.runner import DrivenLoadRunner
+from .. import api
 from ..errors import AnalysisError
 from ..rng import repetition_seeds
 from ..theory.boundary import BoundaryPoint, boundary_point
@@ -119,7 +119,7 @@ def run_boundary_repetition(
         n_droplets=droplets_for(geometry),
         seed=int(schedule_seed),
     )
-    result = DrivenLoadRunner(config, rounds_per_config=rounds_per_config).run(schedule)
+    result = api.simulate_driven(config, schedule, rounds_per_config=rounds_per_config)
     try:
         point = boundary_point(
             result.spread, result.trajectory, steps=result.steps, **detector_kwargs

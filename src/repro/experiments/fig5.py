@@ -16,9 +16,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import api
 from ..config import RunConfig
 from ..core.results import RunResult
-from ..core.runner import ParallelMDRunner
 from ..workloads.presets import Preset, get_preset
 
 
@@ -57,13 +57,22 @@ def run_fig5(
     seed: int = 7,
     record_interval: int = 20,
     n_attractors: int | None = None,
+    engine: str | None = None,
+    engine_workers: int | None = None,
 ) -> Fig5Result:
     """Run one Figure 5 panel (both curves) and return the series.
 
     ``preset`` names a workload (e.g. ``"fig5a-scaled"`` for the m=4 panel,
     ``"fig5b-scaled"`` for m=2); ``steps`` overrides its recommended length.
+    ``engine`` selects an execution engine for the force path (see
+    :func:`repro.api.simulate`); results are engine-independent by design.
     """
     preset = get_preset(preset) if isinstance(preset, str) else preset
+    run_config = RunConfig(
+        steps=steps if steps is not None else preset.steps,
+        seed=seed,
+        record_interval=record_interval,
+    )
     results = {}
     for dlb_enabled in (False, True):
         config = preset.simulation_config(dlb_enabled=dlb_enabled)
@@ -71,13 +80,10 @@ def run_fig5(
             from dataclasses import replace
 
             config = replace(config, md=replace(config.md, n_attractors=n_attractors))
-        runner = ParallelMDRunner(
+        results[dlb_enabled] = api.simulate(
             config,
-            RunConfig(
-                steps=steps if steps is not None else preset.steps,
-                seed=seed,
-                record_interval=record_interval,
-            ),
+            run=run_config,
+            engine=engine,
+            engine_workers=engine_workers,
         )
-        results[dlb_enabled] = runner.run()
     return Fig5Result(preset=preset, ddm=results[False], dlb=results[True])

@@ -79,6 +79,46 @@ def forces_from_pairs(
     return ForceResult(forces, potential_energy, virial, int(len(i)))
 
 
+def apply_attraction(
+    positions: np.ndarray,
+    forces: np.ndarray,
+    box_length: float,
+    attraction: float,
+    attractors: np.ndarray | None,
+) -> tuple[np.ndarray, float]:
+    """Add the harmonic pull toward the nearest nucleation site.
+
+    Returns the new force array (a copy; the input is not mutated) and the
+    attraction's potential-energy contribution. ``attractors=None`` means a
+    single site at the box centre.
+    """
+    sites = (
+        attractors
+        if attractors is not None
+        else np.full((1, 3), box_length / 2.0)
+    )
+    # Pull toward the nearest nucleation site (minimum image).
+    delta_all = minimum_image(
+        positions[:, None, :] - sites[None, :, :], box_length
+    )
+    dist_sq = np.einsum("ikj,ikj->ik", delta_all, delta_all)
+    nearest = np.argmin(dist_sq, axis=1)
+    delta = delta_all[np.arange(len(positions)), nearest]
+    new_forces = forces - attraction * delta
+    extra_energy = 0.5 * attraction * float(np.sum(delta * delta))
+    return new_forces, extra_energy
+
+
+def check_finite_forces(forces: np.ndarray) -> None:
+    """Raise :class:`SimulationError` if any force component is non-finite."""
+    if not np.all(np.isfinite(forces)):
+        bad = int(np.count_nonzero(~np.isfinite(forces).all(axis=1)))
+        raise SimulationError(
+            f"non-finite forces on {bad} particle(s): overlapping positions "
+            "or a diverged integration (reduce dt or check initial spacing)"
+        )
+
+
 class ForceField:
     """LJ force field with interchangeable pair-search backends.
 
@@ -220,26 +260,12 @@ class ForceField:
         forces = result.forces
         potential_energy = result.potential_energy
         if self.attraction > 0.0:
-            sites = (
-                self.attractors
-                if self.attractors is not None
-                else np.full((1, 3), system.box_length / 2.0)
+            forces, extra = apply_attraction(
+                system.positions, forces, system.box_length,
+                self.attraction, self.attractors,
             )
-            # Pull toward the nearest nucleation site (minimum image).
-            delta_all = minimum_image(
-                system.positions[:, None, :] - sites[None, :, :], system.box_length
-            )
-            dist_sq = np.einsum("ikj,ikj->ik", delta_all, delta_all)
-            nearest = np.argmin(dist_sq, axis=1)
-            delta = delta_all[np.arange(system.n), nearest]
-            forces = forces - self.attraction * delta
-            potential_energy += 0.5 * self.attraction * float(np.sum(delta * delta))
-        if not np.all(np.isfinite(forces)):
-            bad = int(np.count_nonzero(~np.isfinite(forces).all(axis=1)))
-            raise SimulationError(
-                f"non-finite forces on {bad} particle(s): overlapping positions "
-                "or a diverged integration (reduce dt or check initial spacing)"
-            )
+            potential_energy += extra
+        check_finite_forces(forces)
         system.forces[...] = forces
         return ForceResult(forces, potential_energy, result.virial, result.n_pairs)
 

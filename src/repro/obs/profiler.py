@@ -62,6 +62,15 @@ class TimerStat:
         """Mean seconds per call."""
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "TimerStat") -> None:
+        """Fold another stat's samples into this one."""
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     def as_dict(self) -> dict[str, float]:
         """Flat summary for reports and JSON dumps."""
         return {
@@ -147,6 +156,37 @@ class Profiler:
         if self.trace is not None:
             offset = (start - self.epoch) if start is not None else 0.0
             self.trace.host_span(name, offset, seconds)
+
+    def state_dict(self) -> dict[str, dict[str, float]]:
+        """Portable snapshot of every stat (for cross-process merging).
+
+        Worker processes snapshot their local profiler on shutdown and ship
+        the plain-dict state over a pipe; the driver folds it back in with
+        :meth:`merge_state` so one profile covers all processes.
+        """
+        return {
+            name: {
+                "count": stat.count,
+                "total": stat.total,
+                "min": stat.min if stat.count else float("inf"),
+                "max": stat.max,
+            }
+            for name, stat in self.stats.items()
+        }
+
+    def merge_state(self, state: dict[str, dict[str, float]], prefix: str = "") -> None:
+        """Fold a :meth:`state_dict` snapshot in (optionally name-prefixed)."""
+        for name, data in state.items():
+            incoming = TimerStat()
+            incoming.count = int(data["count"])
+            incoming.total = float(data["total"])
+            incoming.min = float(data["min"])
+            incoming.max = float(data["max"])
+            key = prefix + name
+            stat = self.stats.get(key)
+            if stat is None:
+                stat = self.stats[key] = TimerStat()
+            stat.merge(incoming)
 
     def as_dict(self) -> dict[str, dict[str, float]]:
         """Per-name summaries, sorted by total time descending."""

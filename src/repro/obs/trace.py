@@ -63,8 +63,33 @@ class TraceRecorder:
         self._events: list[dict[str, Any]] = []
         self._known_tracks: set[tuple[int, int]] = set()
         self._known_processes: set[int] = set()
+        self._claimed_pids: set[int] = set()
 
     # -- track metadata ----------------------------------------------------
+
+    def claim_pid(self, pid: int) -> None:
+        """Reserve a simulated-machine process id for one runner.
+
+        Two runners sharing a recorder must claim distinct pids — otherwise
+        their per-PE spans interleave on the same tracks and the timeline
+        silently lies. Claiming an already-claimed (or invalid) pid raises
+        :class:`~repro.errors.ConfigurationError` instead of corrupting the
+        trace.
+        """
+        pid = int(pid)
+        if pid < 0:
+            raise ConfigurationError(f"trace_pid must be non-negative, got {pid}")
+        if pid == self.HOST_PID:
+            raise ConfigurationError(
+                f"trace_pid {pid} is reserved for the host wall-clock track"
+            )
+        if pid in self._claimed_pids:
+            raise ConfigurationError(
+                f"trace_pid {pid} is already claimed by another runner on this "
+                "recorder; give each runner sharing a recorder a distinct "
+                "trace_pid"
+            )
+        self._claimed_pids.add(pid)
 
     def add_process(self, pid: int, name: str, sort_index: int | None = None) -> None:
         """Name a process (one per run/mode; shows as a group in the viewer)."""

@@ -15,6 +15,7 @@ import time
 from collections.abc import Callable
 from typing import TYPE_CHECKING, Any
 
+from ..engine.router import DeterministicRouter
 from ..errors import ConfigurationError, ProtocolError
 from ..obs.profiler import scope
 
@@ -28,6 +29,12 @@ class SPMDExecutor:
     ``trace`` (nullable) records every superstep as a wall-clock span on the
     host track, with the superstep index and the number of messages posted;
     the default ``None`` path records nothing and allocates nothing.
+
+    All traffic flows through a :class:`~repro.engine.router.DeterministicRouter`
+    (pass ``router`` to share one with an execution engine): messages are
+    delivered at the superstep barrier in ``(step, tag, src, dst, seq)``
+    order, which makes inbox order — and therefore every reduction a rank
+    computes over its inbox — independent of the posting backend.
     """
 
     def __init__(
@@ -35,6 +42,7 @@ class SPMDExecutor:
         n_ranks: int,
         trace: "TraceRecorder | None" = None,
         fault_hook: Callable[[int, int, int], int] | None = None,
+        router: DeterministicRouter | None = None,
     ) -> None:
         if n_ranks <= 0:
             raise ConfigurationError(f"n_ranks must be positive, got {n_ranks}")
@@ -44,12 +52,12 @@ class SPMDExecutor:
         #: 0 drops the message, 1 delivers normally, >1 duplicates. The
         #: default ``None`` path delivers everything and costs nothing.
         self.fault_hook = fault_hook
+        self.router = router if router is not None else DeterministicRouter()
         self.superstep_count = 0
         self._epoch = time.perf_counter()
         self._inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.n_ranks)]
-        self._outboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.n_ranks)]
 
-    def send(self, src: int, dst: int, payload: Any) -> None:
+    def send(self, src: int, dst: int, payload: Any, tag: str = "msg") -> None:
         """Post a message for delivery at the next superstep.
 
         With a ``fault_hook`` attached the message may be dropped (0 copies)
@@ -65,7 +73,7 @@ class SPMDExecutor:
                     f"fault hook returned negative copy count {copies}"
                 )
         for _ in range(copies):
-            self._outboxes[dst].append((src, payload))
+            self.router.post(self.superstep_count, tag, src, dst, payload)
 
     def inbox(self, rank: int) -> list[tuple[int, Any]]:
         """Messages delivered to ``rank`` this superstep, as (src, payload)."""
@@ -81,9 +89,11 @@ class SPMDExecutor:
         with scope("spmd.superstep"):
             start = time.perf_counter()
             results = [body(rank, self) for rank in range(self.n_ranks)]
-            posted = sum(len(box) for box in self._outboxes)
-            self._inboxes = self._outboxes
-            self._outboxes = [[] for _ in range(self.n_ranks)]
+            delivered = self.router.drain()
+            posted = len(delivered)
+            self._inboxes = [[] for _ in range(self.n_ranks)]
+            for message in delivered:
+                self._inboxes[message.dst].append((message.src, message.payload))
             if self.trace is not None:
                 now = time.perf_counter()
                 self.trace.host_span(

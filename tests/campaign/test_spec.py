@@ -122,3 +122,41 @@ class TestBuiltins:
     def test_unknown_name_raises(self):
         with pytest.raises(CampaignError):
             get_campaign("fig99")
+
+
+class TestEngineFields:
+    def test_engine_only_on_preset_runs(self):
+        with pytest.raises(CampaignError):
+            RunSpec(kind="boundary", engine="sequential")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(CampaignError):
+            RunSpec(kind="preset", preset="quickstart", engine="gpu")
+
+    def test_workers_require_an_engine(self):
+        with pytest.raises(CampaignError):
+            RunSpec(kind="preset", preset="quickstart", engine_workers=2)
+
+    def test_engineless_hash_is_unchanged(self):
+        # The engine fields must not invalidate pre-engine stored runs.
+        spec = RunSpec(kind="preset", preset="quickstart")
+        assert "engine" not in spec.content()["run"]["preset"]
+        assert "engine" not in spec.to_dict()
+
+    def test_engine_enters_the_hash_but_workers_do_not(self):
+        base = RunSpec(kind="preset", preset="quickstart")
+        engined = RunSpec(kind="preset", preset="quickstart", engine="multiprocess")
+        w2 = RunSpec(
+            kind="preset", preset="quickstart", engine="multiprocess", engine_workers=2
+        )
+        w4 = RunSpec(
+            kind="preset", preset="quickstart", engine="multiprocess", engine_workers=4
+        )
+        assert engined.spec_hash() != base.spec_hash()
+        assert w2.spec_hash() == w4.spec_hash() == engined.spec_hash()
+
+    def test_engined_spec_roundtrips(self):
+        spec = RunSpec(
+            kind="preset", preset="quickstart", engine="multiprocess", engine_workers=3
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec

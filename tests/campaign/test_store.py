@@ -4,6 +4,7 @@ import pytest
 
 from repro.campaign import RunSpec, RunStore, canonical_payload
 from repro.campaign.store import DB_NAME, STORE_SCHEMA
+from repro.core.results import RESULT_SCHEMA_VERSION
 from repro.errors import CampaignError
 
 
@@ -29,7 +30,8 @@ class TestLifecycle:
             store.complete(h, {"x": 1}, duration_s=0.5)
             row = store.get(h)
             assert row.status == "done"
-            assert row.payload == {"x": 1}
+            # Completion stamps the result schema version into the payload.
+            assert row.payload == {"schema_version": RESULT_SCHEMA_VERSION, "x": 1}
             assert row.attempts == 1
             assert row.duration_s == 0.5
 
@@ -63,7 +65,7 @@ class TestExactlyOnce:
             assert store.register(spec, "second") == h
             row = store.get(h)
             assert row.status == "done"
-            assert row.payload == {"x": 1}
+            assert row.payload == {"schema_version": RESULT_SCHEMA_VERSION, "x": 1}
             assert row.campaign == "first"
 
 
@@ -85,7 +87,7 @@ class TestResumeSemantics:
         with RunStore(tmp_path) as store:
             row = store.get(h)
             assert row.status == "done"
-            assert row.payload == {"x": 2}
+            assert row.payload == {"schema_version": RESULT_SCHEMA_VERSION, "x": 2}
 
     def test_schema_mismatch_refuses_to_open(self, tmp_path, spec):
         with RunStore(tmp_path) as store:

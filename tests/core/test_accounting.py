@@ -97,3 +97,31 @@ class TestMeasuredOverride:
         )
         assert timing.fmax == pytest.approx(9.0)
         assert timing.fmin == pytest.approx(1.0)
+
+
+class TestExplicitProfiler:
+    """Worker-safety: an accountant given its own profiler never touches the
+    process-global one (two accountants in different processes stay isolated)."""
+
+    def test_timings_go_to_the_given_profiler(self):
+        from repro.obs.profiler import Profiler
+
+        nc, n_pes = 6, 9
+        profiler = Profiler()
+        accountant = StepAccountant(
+            MachineConfig(), CellList(float(nc), nc), n_pes, profiler=profiler
+        )
+        counts = np.full((nc, nc, nc), 3)
+        accountant.account_step(1, counts, CellAssignment(nc, n_pes), dlb_enabled=False)
+        assert profiler.stats["accounting.account_step"].count == 1
+
+    def test_merge_state_folds_worker_snapshots(self):
+        from repro.obs.profiler import Profiler
+
+        worker = Profiler()
+        with worker.timer("engine.worker.force_pass"):
+            pass
+        driver = Profiler()
+        driver.merge_state(worker.state_dict(), prefix="worker0.")
+        merged = driver.stats["worker0.engine.worker.force_pass"]
+        assert merged.count == 1

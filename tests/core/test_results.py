@@ -64,3 +64,75 @@ class TestRunResult:
         result.append(record(4, 1.0))
         trajectory = result.trajectory
         assert trajectory.point_at_step(4) == (1.4, 0.04)
+
+
+class TestResultSchema:
+    """The versioned result schema: one writer/reader pair for every artifact."""
+
+    def test_round_trip(self, tmp_path):
+        from repro.core.results import (
+            RESULT_SCHEMA_VERSION,
+            read_result_json,
+            write_result_json,
+        )
+
+        path = tmp_path / "result.json"
+        write_result_json(path, {"summary": {"tt_mean": 1.5}, "digest": "ab"})
+        payload = read_result_json(path)
+        assert payload["schema_version"] == RESULT_SCHEMA_VERSION
+        assert payload["summary"] == {"tt_mean": 1.5}
+        assert payload["digest"] == "ab"
+
+    def test_existing_version_is_preserved(self):
+        from repro.core.results import attach_schema_version
+
+        stamped = attach_schema_version({"schema_version": "1.9", "x": 1})
+        assert stamped["schema_version"] == "1.9"
+
+    def test_unknown_major_rejected(self, tmp_path):
+        import json
+
+        from repro.core.results import read_result_json
+        from repro.errors import SchemaError
+
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema_version": "2.0", "x": 1}))
+        with pytest.raises(SchemaError):
+            read_result_json(path)
+
+    def test_newer_minor_accepted(self, tmp_path):
+        import json
+
+        from repro.core.results import read_result_json
+
+        path = tmp_path / "minor.json"
+        path.write_text(json.dumps({"schema_version": "1.99", "x": 1}))
+        assert read_result_json(path)["x"] == 1
+
+    def test_missing_declaration_rejected(self, tmp_path):
+        import json
+
+        from repro.core.results import read_result_json
+        from repro.errors import SchemaError
+
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps({"x": 1}))
+        with pytest.raises(SchemaError):
+            read_result_json(path)
+
+    def test_malformed_version_rejected(self):
+        from repro.core.results import parse_schema_version
+        from repro.errors import SchemaError
+
+        for bad in ("1", "a.b", "1.2.3", "-1.0"):
+            with pytest.raises(SchemaError):
+                parse_schema_version(bad)
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        from repro.core.results import read_result_json
+        from repro.errors import SchemaError
+
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(SchemaError):
+            read_result_json(path)

@@ -1,0 +1,57 @@
+"""The deterministic message router: ordering is the bit-identity keystone."""
+
+import pytest
+
+from repro.engine import DeterministicRouter, RoutedMessage
+
+
+class TestDeterministicRouter:
+    def test_drain_orders_by_step_tag_src_dst(self):
+        router = DeterministicRouter()
+        router.post(2, "b", 1, 0, "late-step")
+        router.post(1, "b", 2, 0, "src2")
+        router.post(1, "a", 9, 9, "early-tag")
+        router.post(1, "b", 0, 1, "src0")
+        delivered = router.drain()
+        assert [m.payload for m in delivered] == [
+            "early-tag", "src0", "src2", "late-step",
+        ]
+
+    def test_posting_order_breaks_ties_last(self):
+        router = DeterministicRouter()
+        router.post(0, "t", 0, 0, "first")
+        router.post(0, "t", 0, 0, "second")
+        assert [m.payload for m in router.drain()] == ["first", "second"]
+
+    def test_drain_empties_the_router(self):
+        router = DeterministicRouter()
+        router.post(0, "t", 0, 0, None)
+        assert len(router.drain()) == 1
+        assert router.drain() == []
+        assert len(router) == 0
+
+    def test_routed_total_counts_across_drains(self):
+        router = DeterministicRouter()
+        for src in range(3):
+            router.post(0, "t", src, 0, None)
+        router.drain()
+        router.post(1, "t", 0, 0, None)
+        assert router.routed_total == 4
+
+    def test_delivery_is_independent_of_posting_order(self):
+        messages = [(s, "t", src, d) for s in (1, 0) for src in (2, 0, 1) for d in (1, 0)]
+        forward = DeterministicRouter()
+        backward = DeterministicRouter()
+        for key in messages:
+            forward.post(*key, payload=key)
+        for key in reversed(messages):
+            backward.post(*key, payload=key)
+        assert [m.payload for m in forward.drain()] == [
+            m.payload for m in backward.drain()
+        ]
+
+    def test_message_fields(self):
+        message = RoutedMessage(step=3, tag="x", src=1, dst=2, seq=0, payload="p")
+        assert (message.step, message.tag, message.src, message.dst) == (3, "x", 1, 2)
+        with pytest.raises(Exception):
+            message.payload = "other"  # frozen

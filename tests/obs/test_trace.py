@@ -80,3 +80,49 @@ class TestTraceRecorder:
         assert len(trace) == 0
         trace.instant("tick", ts_s=0.0, pe=0)
         assert len(trace) >= 1
+
+
+class TestPidClaims:
+    """Shared-recorder pid collisions fail loudly instead of corrupting."""
+
+    def test_distinct_pids_coexist(self):
+        trace = TraceRecorder()
+        trace.claim_pid(0)
+        trace.claim_pid(1)
+
+    def test_double_claim_raises(self):
+        from repro.errors import ConfigurationError
+
+        trace = TraceRecorder()
+        trace.claim_pid(0)
+        with pytest.raises(ConfigurationError):
+            trace.claim_pid(0)
+
+    def test_negative_and_host_pids_rejected(self):
+        from repro.errors import ConfigurationError
+
+        trace = TraceRecorder()
+        with pytest.raises(ConfigurationError):
+            trace.claim_pid(-1)
+        with pytest.raises(ConfigurationError):
+            trace.claim_pid(TraceRecorder.HOST_PID)
+
+    def test_two_runners_sharing_a_recorder_and_pid_collide(self):
+        from repro.config import (
+            DecompositionConfig,
+            MDConfig,
+            RunConfig,
+            SimulationConfig,
+        )
+        from repro.core.runner import ParallelMDRunner
+        from repro.errors import ConfigurationError
+        from repro.obs import Observability
+
+        config = SimulationConfig(
+            md=MDConfig(n_particles=1000, density=0.256),
+            decomposition=DecompositionConfig(cells_per_side=6, n_pes=9),
+        )
+        obs = Observability(trace=TraceRecorder())
+        ParallelMDRunner(config, RunConfig(steps=1), observability=obs, trace_pid=0)
+        with pytest.raises(ConfigurationError):
+            ParallelMDRunner(config, RunConfig(steps=1), observability=obs, trace_pid=0)

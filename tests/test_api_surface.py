@@ -1,0 +1,107 @@
+"""Snapshot of the public API surface.
+
+``repro.api`` is the stable contract: its ``__all__`` and the signatures of
+its callables are pinned here so an accidental rename, a dropped keyword, or
+a default change fails tier-1 instead of silently breaking downstream
+callers. Additive changes (a new keyword-only argument with a default, a new
+``__all__`` entry) require updating the snapshot in the same PR — which is
+exactly the review trigger this test exists to create.
+"""
+
+import inspect
+
+from repro import api
+
+EXPECTED_ALL = [
+    "AuditPolicy",
+    "CheckpointPolicy",
+    "EngineSpec",
+    "RunConfig",
+    "RunResult",
+    "SimulationConfig",
+    "load_config",
+    "load_faults",
+    "load_result",
+    "result_payload",
+    "save_config",
+    "simulate",
+    "simulate_driven",
+]
+
+EXPECTED_SIGNATURES = {
+    "simulate": (
+        "(config: 'SimulationConfig | str', *, run: 'RunConfig', "
+        "dlb: 'bool | None' = None, "
+        "engine: 'Engine | EngineSpec | str | None' = None, "
+        "engine_workers: 'int | None' = None, "
+        "observability: 'Observability | None' = None, "
+        "faults: 'FaultPlan | FaultInjector | None' = None, "
+        "audit: 'AuditPolicy | None' = None, "
+        "checkpoints: 'CheckpointPolicy | None' = None, "
+        "system: 'ParticleSystem | None' = None, "
+        "trace_pid: 'int' = 0, "
+        "stop_after: 'int | None' = None) -> 'RunResult'"
+    ),
+    "simulate_driven": (
+        "(config: 'SimulationConfig | str', "
+        "configurations: 'Iterable[np.ndarray]', *, "
+        "rounds_per_config: 'int' = 1, "
+        "dlb: 'bool | None' = None, "
+        "observability: 'Observability | None' = None, "
+        "faults: 'FaultPlan | FaultInjector | None' = None, "
+        "audit: 'AuditPolicy | None' = None, "
+        "checkpoints: 'CheckpointPolicy | None' = None, "
+        "trace_pid: 'int' = 0) -> 'RunResult'"
+    ),
+    "result_payload": "(result: 'RunResult') -> 'dict[str, Any]'",
+    "save_config": (
+        "(path: 'str | Path', config: 'SimulationConfig', "
+        "run: 'RunConfig | None' = None) -> 'None'"
+    ),
+    "load_config": "(path: 'str | Path') -> 'LoadedConfig'",
+    "load_result": "(path: 'str | Path') -> 'dict[str, Any]'",
+    "load_faults": "(path: 'str | Path') -> 'FaultPlan'",
+}
+
+
+class TestPublicSurface:
+    def test_all_is_pinned(self):
+        assert list(api.__all__) == EXPECTED_ALL
+
+    def test_all_is_sorted(self):
+        # Classes first (CamelCase sorts before snake_case), then functions.
+        assert list(api.__all__) == sorted(api.__all__)
+
+    def test_every_name_exists(self):
+        for name in api.__all__:
+            assert hasattr(api, name), f"api.__all__ lists missing name {name!r}"
+
+    def test_signatures_are_pinned(self):
+        for name, expected in EXPECTED_SIGNATURES.items():
+            actual = str(inspect.signature(getattr(api, name)))
+            assert actual == expected, (
+                f"api.{name} signature changed:\n  was {expected}\n  now {actual}\n"
+                "If this is intentional and additive, update the snapshot."
+            )
+
+    def test_simulate_arguments_are_keyword_only(self):
+        for name in ("simulate", "simulate_driven"):
+            signature = inspect.signature(getattr(api, name))
+            positional = [
+                p
+                for p in signature.parameters.values()
+                if p.kind
+                in (inspect.Parameter.POSITIONAL_ONLY,
+                    inspect.Parameter.POSITIONAL_OR_KEYWORD)
+            ]
+            # Only the workload inputs lead; every option is keyword-only.
+            allowed = {"config", "configurations"}
+            assert {p.name for p in positional} <= allowed
+
+    def test_policy_dataclasses_are_frozen(self):
+        import dataclasses
+
+        for cls in (api.AuditPolicy, api.CheckpointPolicy, api.EngineSpec):
+            assert dataclasses.is_dataclass(cls)
+            params = getattr(cls, "__dataclass_params__")
+            assert params.frozen, f"{cls.__name__} must stay immutable"

@@ -141,3 +141,66 @@ class TestCheckCampaign:
         checker = _load_checker()
         failures, _ = checker.check_campaign(payload, payload)
         assert not failures
+
+
+ENGINE_RESULTS = REPO_ROOT / "BENCH_engine.json"
+
+
+class TestCheckEngine:
+    """Unit coverage of the execution-engine gate (cheap, still opt-in)."""
+
+    def test_digest_mismatch_always_fails(self):
+        checker = _load_checker()
+        fresh = {"cpu_count": 1,
+                 "engine": {"pe36": {"digest_match": False}}}
+        failures, _ = checker.check_engine(None, fresh)
+        assert len(failures) == 1
+        fresh["engine"]["pe36"]["digest_match"] = True
+        failures, notes = checker.check_engine(None, fresh)
+        assert not failures
+        assert any("DIGEST OK" in n for n in notes)
+
+    def test_speedup_gate_skipped_below_four_cores(self):
+        checker = _load_checker()
+        fresh = {"cpu_count": 1,
+                 "derived": {"speedup_pe36_workers4": 0.9},
+                 "engine": {"pe36": {"digest_match": True}}}
+        failures, notes = checker.check_engine(None, fresh)
+        assert not failures
+        assert any("SPEEDUP SKIP" in n for n in notes)
+
+    def test_speedup_gate_enforced_with_enough_cores(self):
+        checker = _load_checker()
+        fresh = {"cpu_count": 8,
+                 "derived": {"speedup_pe36_workers4": 1.4},
+                 "engine": {"pe36": {"digest_match": True}}}
+        failures, _ = checker.check_engine(None, fresh)
+        assert len(failures) == 1
+        fresh["derived"]["speedup_pe36_workers4"] = 2.5
+        failures, _ = checker.check_engine(None, fresh)
+        assert not failures
+
+    def test_sequential_wall_regression_against_baseline(self):
+        checker = _load_checker()
+        base = {"engine": {"pe36": {"digest_match": True,
+                                    "sequential_wall_s": 1.0}}}
+        fresh = {"cpu_count": 1,
+                 "engine": {"pe36": {"digest_match": True,
+                                     "sequential_wall_s": 2.0}}}
+        failures, _ = checker.check_engine(base, fresh, threshold=1.5)
+        assert len(failures) == 1
+        fresh["engine"]["pe36"]["sequential_wall_s"] = 1.2
+        failures, _ = checker.check_engine(base, fresh, threshold=1.5)
+        assert not failures
+
+    def test_committed_engine_baseline_is_wellformed(self):
+        assert ENGINE_RESULTS.exists(), (
+            "run benchmarks/bench_engine.py to create BENCH_engine.json"
+        )
+        payload = json.loads(ENGINE_RESULTS.read_text())
+        assert payload["schema"] == 1
+        for name in ("pe16", "pe36"):
+            assert payload["engine"][name]["digest_match"] is True
+        checker = _load_checker()
+        failures, _ = checker.check_engine(payload, payload)
+        assert not failures
