@@ -7,6 +7,9 @@ paper's qualitative findings. Generated CSVs land in ``benchmarks/out/``.
 
 Scale knobs via environment:
   REPRO_BENCH_SCALE=quick|full   (default quick)
+
+Retired benchmarks (currently the O(n_cells * max^2) padded pair generator,
+~13 s/round at quick scale) only run under ``--include-legacy``.
 """
 
 from __future__ import annotations
@@ -29,6 +32,21 @@ CAMPAIGN_RESULTS_PATH = Path(__file__).parent.parent / "BENCH_campaign.json"
 
 #: Machine-readable execution-engine timings tracked across PRs (repo root).
 ENGINE_RESULTS_PATH = Path(__file__).parent.parent / "BENCH_engine.json"
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--include-legacy",
+        action="store_true",
+        default=False,
+        help="also run retired legacy benchmarks (padded pair generator)",
+    )
+
+
+@pytest.fixture(scope="session")
+def include_legacy(request: pytest.FixtureRequest) -> bool:
+    """Whether retired legacy benchmarks were opted into."""
+    return bool(request.config.getoption("--include-legacy"))
 
 
 def bench_scale() -> str:
@@ -79,6 +97,14 @@ def kernel_log():
     obs_on = entries.get("parallel_step_obs_on")
     if obs_off and obs_on and obs_off["mean_s"] > 0:
         derived["obs_on_over_off"] = obs_on["mean_s"] / obs_off["mean_s"]
+    # Kernel-tier speedups over the CSR pair search on the clustered config
+    # (the tentpole gates of check_regression.check_kernel_tier).
+    for tier in ("half", "jit", "numpy"):
+        entry = entries.get(f"kernel_{tier}")
+        if csr and entry and entry["mean_s"] > 0:
+            derived[f"clustered_csr_over_kernel_{tier}"] = (
+                csr["mean_s"] / entry["mean_s"]
+            )
     if derived:
         payload["derived"] = derived
     KERNEL_RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -266,6 +266,7 @@ def simulate(
                 "resumed_at": resumed_at,
                 "audit": auditor.summary() if auditor is not None else None,
                 "neighbor_stats": runner.neighbor_stats.as_dict(),
+                "kernel": runner.kernel_name,
             }
         )
         return result

@@ -40,7 +40,7 @@ from .campaign import (
     render_report,
     run_campaign,
 )
-from .config import RunConfig
+from .config import KERNEL_NAMES, RunConfig
 from .core.results import write_result_json
 from .engine import ENGINE_NAMES
 from .errors import ConfigurationError, FaultInjectionError
@@ -107,6 +107,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         record_interval=args.record_interval,
         force_backend=args.backend,
         skin=args.skin,
+        kernel=args.kernel,
     )
     audit = (
         api.AuditPolicy(every=args.audit_every, policy=args.audit_policy)
@@ -198,7 +199,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for label, result in results.items():
         print()
         print(phase_breakdown(result.timing,
-                              title=f"{label}: per-phase step-time breakdown"))
+                              title=f"{label}: per-phase step-time breakdown",
+                              neighbor_stats=result.meta.get("neighbor_stats")))
     if obs is not None:
         if obs.trace is not None:
             obs.trace.write(args.trace)
@@ -497,6 +499,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.4,
         help="Verlet-list skin radius (verlet backend only)",
+    )
+    run.add_argument(
+        "--kernel",
+        choices=list(KERNEL_NAMES),
+        default=None,
+        help="force-kernel tier: numpy (full-list reference), half "
+        "(cache-blocked half-neighbour list, bit-identical), jit "
+        "(numba-compiled; errors when numba is missing) or auto (jit when "
+        "numba imports, silently half otherwise); default honours "
+        "the REPRO_KERNEL environment variable",
     )
     run.add_argument(
         "--engine",

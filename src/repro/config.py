@@ -91,6 +91,10 @@ class MDConfig:
         return box_length_for(self.n_particles, self.density)
 
 
+#: Force-kernel tiers understood by :mod:`repro.md.kernels` (and ``--kernel``).
+#: ``"auto"`` resolves to ``"jit"`` when numba imports cleanly, else ``"half"``.
+KERNEL_NAMES = ("numpy", "half", "jit", "auto")
+
 #: Valid domain shapes for 3-D DDM (Figure 2 of the paper).
 DOMAIN_SHAPES = ("plane", "pillar", "cube")
 
@@ -288,6 +292,13 @@ class RunConfig:
     neighbor_max_reuse:
         Cap on consecutive Verlet-list reuses before a forced rebuild
         (0 disables the cap; the displacement criterion alone decides).
+    kernel:
+        Force-kernel tier: ``"numpy"`` (full-list reference), ``"half"``
+        (cache-blocked half-neighbour-list, bit-identical to the reference),
+        ``"jit"`` (numba-compiled half-list; errors if numba is missing) or
+        ``"auto"`` (jit when numba imports cleanly, silently half otherwise).
+        ``None`` defers to the ``REPRO_KERNEL`` environment variable and
+        ultimately to ``"numpy"``.
     timing_mode:
         ``"model"`` derives per-PE times from the calibratable cost model
         (fast, deterministic); ``"measured"`` actually runs each PE's force
@@ -301,6 +312,7 @@ class RunConfig:
     force_backend: str = "kdtree"
     skin: float = 0.4
     neighbor_max_reuse: int = 20
+    kernel: str | None = None
     timing_mode: str = "model"
 
     def __post_init__(self) -> None:
@@ -317,6 +329,10 @@ class RunConfig:
         if self.neighbor_max_reuse < 0:
             raise ConfigurationError(
                 f"neighbor_max_reuse must be non-negative, got {self.neighbor_max_reuse}"
+            )
+        if self.kernel is not None and self.kernel not in KERNEL_NAMES:
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}; choose one of {KERNEL_NAMES}"
             )
         if self.timing_mode not in ("model", "measured"):
             raise ConfigurationError(f"unknown timing_mode {self.timing_mode!r}")

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import DecompositionError
 from ..md.celllist import FULL_STENCIL, CellList
+from ..md.kernels import KernelBackend, NumpyKernel
 from ..md.neighbors import pairs_kdtree
 from ..md.pbc import minimum_image_inplace
 from ..md.potential import LennardJones
@@ -77,6 +78,9 @@ class PEForceSlice:
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
 _EMPTY_FORCES = np.empty((0, 3), dtype=np.float64)
 
+#: Shared fallback kernel tier for callers that do not pass one.
+_REFERENCE_KERNEL = NumpyKernel()
+
 
 def pe_force_slice(
     pe: int,
@@ -87,6 +91,7 @@ def pe_force_slice(
     particle_cell: np.ndarray,
     particle_owner: np.ndarray,
     potential: LennardJones,
+    kernel: KernelBackend | None = None,
 ) -> PEForceSlice:
     """Compute PE ``pe``'s force slice from shared read-only inputs.
 
@@ -94,6 +99,12 @@ def pe_force_slice(
     it for every PE in rank order in one process, a multiprocess engine calls
     it for its shard of PEs in a worker. All inputs are plain arrays so the
     call is cheap to make against shared memory.
+
+    ``kernel`` picks the force-kernel tier for the per-pair math (default:
+    the full-list NumPy reference). The ownership weighting and the Newton-3
+    scatter stay here, and every tier's :meth:`pair_terms` preserves the
+    original pair order, so the slice -- and hence the engine's run digest --
+    is bit-identical across the ``numpy`` and ``half`` tiers.
     """
     start = time.perf_counter()
     owned_cells = cell_owner == pe
@@ -118,12 +129,10 @@ def pe_force_slice(
             0.0, 0.0, 0, time.perf_counter() - start,
         )
 
-    i, j = pairs[:, 0], pairs[:, 1]
-    delta = local_pos[i] - local_pos[j]
-    minimum_image_inplace(delta, box_length)
-    r_sq = np.einsum("ij,ij->i", delta, delta)
-    energies, f_over_r = potential.energy_force_sq(r_sq)
-    fvec = delta * f_over_r[:, None]
+    backend = _REFERENCE_KERNEL if kernel is None else kernel
+    i, j, fvec, energies, f_over_r, r_sq = backend.pair_terms(
+        local_pos, pairs, box_length, potential
+    )
     n_local = len(local_ids)
     local_forces = np.zeros((n_local, 3))
     for axis in range(3):

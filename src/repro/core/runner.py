@@ -26,6 +26,7 @@ from ..errors import CheckpointError, ConfigurationError
 from ..md.celllist import CellList
 from ..md.forces import ForceField
 from ..md.integrator import VelocityVerlet
+from ..md.kernels import resolve_kernel_name
 from ..md.observables import temperature
 from ..md.potential import LennardJones
 from ..md.simulation import attractor_sites, build_system
@@ -212,6 +213,9 @@ class ParallelMDRunner(_ObservedRunner):
             )
         self.potential = LennardJones(cutoff=md.cutoff)
         attractors = attractor_sites(md, rng)
+        #: Resolved force-kernel tier name ("numpy", "half" or "jit"); "auto"
+        #: is resolved here, once, so engine workers inherit a concrete name.
+        self.kernel_name = resolve_kernel_name(run_config.kernel)
         if engine is not None:
             if run_config.force_backend != "kdtree":
                 raise ConfigurationError(
@@ -226,6 +230,7 @@ class ParallelMDRunner(_ObservedRunner):
                     box_length=md.box_length,
                     cells_per_side=dec.cells_per_side,
                     potential=self.potential,
+                    kernel=self.kernel_name,
                 )
             )
             engine.attach_observability(observability)
@@ -247,6 +252,7 @@ class ParallelMDRunner(_ObservedRunner):
                 # Share the runner's grid instead of letting the force field
                 # build its own copy per search (the seed rebuilt one per step).
                 cell_list=self.cell_list,
+                kernel=self.kernel_name,
             )
         self.integrator = VelocityVerlet(md.dt)
         self.thermostat = VelocityRescale(md.temperature, md.rescale_interval)

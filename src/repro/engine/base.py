@@ -41,7 +41,10 @@ class EngineContext:
 
     Everything a worker process needs to rebuild the pair-search structures:
     no live objects, only plain values, so the context crosses a ``spawn``
-    boundary unchanged.
+    boundary unchanged. ``kernel`` is the *resolved* force-kernel tier name
+    (``"numpy"``, ``"half"`` or ``"jit"``); resolving ``"auto"`` happens on
+    the driver before the context is built, so every worker instantiates the
+    same backend regardless of its own environment.
     """
 
     n_particles: int
@@ -49,6 +52,7 @@ class EngineContext:
     box_length: float
     cells_per_side: int
     potential: LennardJones
+    kernel: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.n_particles <= 0:
@@ -57,6 +61,11 @@ class EngineContext:
             )
         if self.n_pes <= 0:
             raise ConfigurationError(f"n_pes must be positive, got {self.n_pes}")
+        if self.kernel not in ("numpy", "half", "jit"):
+            raise ConfigurationError(
+                f"engine context needs a resolved kernel name, got {self.kernel!r} "
+                "(resolve 'auto' via repro.md.kernels.resolve_kernel_name first)"
+            )
 
 
 @dataclass(frozen=True)

@@ -50,6 +50,8 @@ class EngineForceField:
     ) -> None:
         self.engine = engine
         self.potential = engine.context.potential if engine.context else None
+        #: Resolved kernel-tier name the engine's workers evaluate with.
+        self.kernel_name = engine.context.kernel if engine.context else "numpy"
         self._owner_map = owner_map
         self.attraction = float(attraction)
         self.attractors = attractors
@@ -79,6 +81,10 @@ class EngineForceField:
         n_pairs = int(result.per_pe_pairs.sum())
         self.stats.record_build(n_pairs)
         self.stats.record_evaluation(n_pairs, n_pairs)
+        if self.kernel_name != "numpy":
+            # Engine passes feed exact (within-cut-off) pairs to the tier, so
+            # evaluated == accepted.
+            self.stats.record_half_list(n_pairs, n_pairs)
         forces = result.forces
         potential_energy = result.potential_energy
         if self.attraction > 0.0:
@@ -99,6 +105,7 @@ class EngineForceField:
             "stats": self.stats.state_dict(),
             "verlet": None,
             "engine_step": self._step,
+            "kernel": self.kernel_name,
         }
 
     def restore_cache_state(self, state: dict, box_length: float) -> None:

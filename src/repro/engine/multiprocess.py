@@ -40,6 +40,7 @@ import numpy as np
 from ..core.ddm import DecomposedForceResult, pe_force_slice
 from ..errors import ConfigurationError, EngineError
 from ..md.celllist import CellList
+from ..md.kernels import create_kernel
 from ..obs.profiler import Profiler, scope
 from .base import FORCE_RESULT_TAG, Engine, EngineContext
 
@@ -76,6 +77,9 @@ def _worker_main(
         positions = np.ndarray((n, 3), dtype=np.float64, buffer=positions_shm.buf)
         forces = np.ndarray((n, 3), dtype=np.float64, buffer=forces_shm.buf)
         cell_list = CellList(context.box_length, context.cells_per_side)
+        # The context carries a resolved tier name, so every worker builds
+        # the same backend the driver (and sequential reference) uses.
+        kernel = create_kernel(context.kernel)
         cell_owner = np.ndarray(
             (cell_list.n_cells,), dtype=np.int64, buffer=owner_shm.buf
         )
@@ -97,7 +101,7 @@ def _worker_main(
                         piece = pe_force_slice(
                             pe, positions, context.box_length, cell_list,
                             cell_owner, particle_cell, particle_owner,
-                            context.potential,
+                            context.potential, kernel=kernel,
                         )
                         if len(piece.owned_ids):
                             forces[piece.owned_ids] = piece.forces

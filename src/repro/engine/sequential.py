@@ -12,6 +12,7 @@ import numpy as np
 
 from ..core.ddm import DecomposedForceResult, pe_force_slice
 from ..md.celllist import CellList
+from ..md.kernels import KernelBackend, create_kernel
 from ..obs.profiler import scope
 from .base import FORCE_RESULT_TAG, Engine, EngineContext
 
@@ -24,10 +25,12 @@ class SequentialEngine(Engine):
     def __init__(self) -> None:
         super().__init__()
         self._cell_list: CellList | None = None
+        self._kernel: KernelBackend | None = None
 
     def _start(self) -> None:
         context: EngineContext = self._context  # bound by Engine.bind
         self._cell_list = CellList(context.box_length, context.cells_per_side)
+        self._kernel = create_kernel(context.kernel)
 
     def force_pass(
         self, positions: np.ndarray, cell_owner: np.ndarray, step: int
@@ -42,6 +45,7 @@ class SequentialEngine(Engine):
                 piece = pe_force_slice(
                     pe, positions, context.box_length, cell_list, cell_owner,
                     particle_cell, particle_owner, context.potential,
+                    kernel=self._kernel,
                 )
                 if len(piece.owned_ids):
                     forces[piece.owned_ids] = piece.forces

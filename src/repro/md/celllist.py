@@ -173,7 +173,8 @@ class CellList:
         legacy reference kernel generate all intra- and inter-cell candidate
         pairs with pure broadcasting; it degrades to O(n_cells * max_count^2)
         on skewed occupancies, which is why the CSR generator in
-        :mod:`repro.md.neighbors` is the production path.
+        :mod:`repro.md.neighbors` is the production path and the padded
+        benchmark is retired behind ``--include-legacy``.
         """
         if sort is None:
             sort = self.cell_sort(positions)

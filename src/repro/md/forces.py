@@ -2,81 +2,24 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from ..errors import ConfigurationError, SimulationError
 from ..obs.profiler import scope
 from .celllist import CellList
+from .kernels import (  # noqa: F401 -- re-exported; historically defined here
+    ForceResult,
+    create_kernel,
+    forces_from_pairs,
+    resolve_kernel_name,
+)
 from .neighbors import NeighborStats, VerletList, pairs_celllist, pairs_kdtree
-from .pbc import minimum_image, minimum_image_inplace
+from .pbc import minimum_image
 from .potential import LennardJones
 from .system import ParticleSystem
 
 #: Pair-search backends understood by :class:`ForceField`.
 BACKENDS = ("kdtree", "cells", "verlet")
-
-
-@dataclass(frozen=True)
-class ForceResult:
-    """Output of one force evaluation.
-
-    Attributes
-    ----------
-    forces:
-        ``(N, 3)`` force array.
-    potential_energy:
-        Total potential energy (pairs + external attraction).
-    virial:
-        Pair virial ``sum(f_ij . r_ij)`` (for the pressure).
-    n_pairs:
-        Number of interacting pairs within the cut-off.
-    """
-
-    forces: np.ndarray
-    potential_energy: float
-    virial: float
-    n_pairs: int
-
-
-def forces_from_pairs(
-    positions: np.ndarray,
-    pairs: np.ndarray,
-    box_length: float,
-    potential: LennardJones,
-    n_particles: int | None = None,
-) -> ForceResult:
-    """Accumulate LJ forces/energy/virial for an explicit pair list.
-
-    ``pairs`` may contain pairs beyond the cut-off (candidate lists); they are
-    filtered here. Newton's third law is applied, so each unordered pair must
-    appear exactly once.
-    """
-    n = len(positions) if n_particles is None else n_particles
-    forces = np.zeros((n, 3), dtype=np.float64)
-    if len(pairs) == 0:
-        return ForceResult(forces, 0.0, 0.0, 0)
-
-    i = pairs[:, 0]
-    j = pairs[:, 1]
-    delta = positions[i] - positions[j]
-    minimum_image_inplace(delta, box_length)
-    r_sq = np.einsum("ij,ij->i", delta, delta)
-    mask = r_sq < potential.cutoff_sq
-    if not mask.all():
-        i, j, delta, r_sq = i[mask], j[mask], delta[mask], r_sq[mask]
-    if len(i) == 0:
-        return ForceResult(forces, 0.0, 0.0, 0)
-
-    energies, f_over_r = potential.energy_force_sq(r_sq)
-    fvec = delta * f_over_r[:, None]
-    for axis in range(3):
-        forces[:, axis] += np.bincount(i, weights=fvec[:, axis], minlength=n)
-        forces[:, axis] -= np.bincount(j, weights=fvec[:, axis], minlength=n)
-    potential_energy = float(energies.sum())
-    virial = float(np.dot(f_over_r, r_sq))
-    return ForceResult(forces, potential_energy, virial, int(len(i)))
 
 
 def apply_attraction(
@@ -149,6 +92,11 @@ class ForceField:
         ``(K, 3)`` nucleation sites; each particle is pulled toward its
         nearest site (minimum image). ``None`` with a positive ``attraction``
         means a single site at the box centre.
+    kernel:
+        Force-kernel tier (see :mod:`repro.md.kernels`): ``"numpy"``,
+        ``"half"``, ``"jit"`` or ``"auto"``. ``None`` defers to the
+        ``REPRO_KERNEL`` environment variable (default ``"numpy"``). The
+        resolved name is available as :attr:`kernel_name`.
     """
 
     def __init__(
@@ -161,6 +109,7 @@ class ForceField:
         skin: float = 0.4,
         max_reuse: int = 20,
         cell_list: CellList | None = None,
+        kernel: str | None = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(f"unknown backend {backend!r}")
@@ -188,6 +137,9 @@ class ForceField:
                     f"attractors must have shape (K, 3) with K >= 1, got {attractors.shape}"
                 )
         self.attractors = attractors
+        #: Resolved kernel-tier name ("numpy", "half" or "jit").
+        self.kernel_name = resolve_kernel_name(kernel)
+        self._kernel = create_kernel(self.kernel_name)
         #: Pair-search instrumentation (rebuilds, reuses, candidate counts).
         self.stats = NeighborStats()
         # The search structures are box-dependent; build lazily on first use
@@ -252,11 +204,13 @@ class ForceField:
     def compute(self, system: ParticleSystem) -> ForceResult:
         """Evaluate forces, writing them into ``system.forces`` as well."""
         pairs = self._candidate_pairs(system)
-        with scope("force.accumulate"):
-            result = forces_from_pairs(
+        with scope("force.accumulate"), scope(f"kernel.{self.kernel_name}"):
+            result = self._kernel.evaluate(
                 system.positions, pairs, system.box_length, self.potential, system.n
             )
         self.stats.record_evaluation(len(pairs), result.n_pairs)
+        if self.kernel_name != "numpy":
+            self.stats.record_half_list(len(pairs), result.n_pairs)
         forces = result.forces
         potential_energy = result.potential_energy
         if self.attraction > 0.0:
@@ -282,6 +236,7 @@ class ForceField:
         return {
             "stats": self.stats.state_dict(),
             "verlet": self._verlet.state_dict() if self._verlet is not None else None,
+            "kernel": self.kernel_name,
         }
 
     def restore_cache_state(self, state: dict, box_length: float) -> None:

@@ -17,8 +17,9 @@ other):
 
 ``candidate_pairs_padded`` keeps the legacy padded-occupancy generator,
 which costs O(n_cells * max_count^2) and blows up on the concentrated
-configurations this paper studies; it remains as a correctness oracle and a
-benchmark baseline (see ``benchmarks/bench_kernels.py``).
+configurations this paper studies; it remains as a correctness oracle only.
+Its benchmark is retired behind ``--include-legacy``
+(see ``benchmarks/bench_kernels.py``).
 """
 
 from __future__ import annotations
@@ -147,8 +148,9 @@ def candidate_pairs_padded(
     Same candidate set as :func:`candidate_pairs_celllist` (up to row order)
     via an ``(n_cells, max_count)`` padded matrix and broadcasting. Cost is
     O(n_cells * max_count^2): fine for uniform gases, catastrophic once a few
-    cells concentrate most of the particles. Kept for cross-checking and as
-    the baseline of the clustered-configuration benchmarks.
+    cells concentrate most of the particles. Kept for cross-checking; its
+    clustered benchmark only runs under ``--include-legacy`` (it costs ~13 s
+    per round at quick scale).
     """
     _check_grid(cell_list)
     if len(positions) == 0:
@@ -248,6 +250,12 @@ class NeighborStats:
         Pairs within the true cut-off at the last force evaluation.
     total_candidates, total_accepted:
         Running sums of the above across the run.
+    half_pairs_evaluated, half_force_rows:
+        Half-neighbour-list accounting (``half``/``jit`` kernel tiers only):
+        candidates the kernel evaluated once each, and force rows written by
+        the Newton-3 scatter (two per accepted pair). Zero under the
+        full-list ``numpy`` tier, keeping acceptance ratios comparable
+        across backends.
     """
 
     rebuilds: int = 0
@@ -256,6 +264,8 @@ class NeighborStats:
     accepted_pairs: int = 0
     total_candidates: int = 0
     total_accepted: int = 0
+    half_pairs_evaluated: int = 0
+    half_force_rows: int = 0
 
     def record_build(self, n_candidates: int) -> None:
         """Account one full pair search producing ``n_candidates``."""
@@ -272,6 +282,12 @@ class NeighborStats:
         self.accepted_pairs = int(n_accepted)
         self.total_candidates += int(n_candidates)
         self.total_accepted += int(n_accepted)
+
+    def record_half_list(self, n_evaluated: int, n_accepted: int) -> None:
+        """Account one half-list kernel pass (one evaluation per pair,
+        two force-row writes per accepted pair)."""
+        self.half_pairs_evaluated += int(n_evaluated)
+        self.half_force_rows += 2 * int(n_accepted)
 
     @property
     def evaluations(self) -> int:
@@ -298,6 +314,10 @@ class NeighborStats:
             "candidate_pairs": self.candidate_pairs,
             "accepted_pairs": self.accepted_pairs,
             "acceptance_ratio": self.acceptance_ratio,
+            "half_list": {
+                "pairs_evaluated": self.half_pairs_evaluated,
+                "force_rows_written": self.half_force_rows,
+            },
         }
 
     def state_dict(self) -> dict[str, int]:
@@ -309,6 +329,8 @@ class NeighborStats:
             "accepted_pairs": self.accepted_pairs,
             "total_candidates": self.total_candidates,
             "total_accepted": self.total_accepted,
+            "half_pairs_evaluated": self.half_pairs_evaluated,
+            "half_force_rows": self.half_force_rows,
         }
 
     def load_state_dict(self, state: dict) -> None:

@@ -32,8 +32,18 @@ def phase_shares(log: TimingLog) -> dict[str, float]:
     }
 
 
-def phase_breakdown(log: TimingLog, title: str | None = None) -> str:
-    """ASCII table of the per-phase mean step time and its share of ``Tt``."""
+def phase_breakdown(
+    log: TimingLog,
+    title: str | None = None,
+    neighbor_stats: dict | None = None,
+) -> str:
+    """ASCII table of the per-phase mean step time and its share of ``Tt``.
+
+    ``neighbor_stats`` (the :meth:`NeighborStats.as_dict` payload surfaced in
+    run metadata) appends a half-neighbour-list footer when a ``half``/``jit``
+    kernel tier did the force work, so pair-acceptance accounting stays
+    comparable across kernel backends.
+    """
     shares = phase_shares(log)
     total = shares["total"]
     rows = []
@@ -42,8 +52,18 @@ def phase_breakdown(log: TimingLog, title: str | None = None) -> str:
         share = seconds / total if total > 0 else np.nan
         rows.append((phase, f"{seconds:.6g}", f"{100.0 * share:5.1f}%"))
     rows.append(("total (Tt)", f"{total:.6g}", "100.0%"))
-    return format_table(
+    table = format_table(
         ["phase", "mean s/step", "share"],
         rows,
         title=title or "Per-phase step-time breakdown",
     )
+    half = (neighbor_stats or {}).get("half_list") or {}
+    evaluated = int(half.get("pairs_evaluated", 0))
+    if evaluated > 0:
+        written = int(half.get("force_rows_written", 0))
+        table += (
+            f"\n  half-list kernel: {evaluated} pairs evaluated once -> "
+            f"{written} force rows written (Newton-3 scatter x"
+            f"{written / evaluated:.2f})"
+        )
+    return table

@@ -1,0 +1,249 @@
+"""Cross-backend equivalence of the force-kernel tiers.
+
+The contract under test (DESIGN.md section 11): every registered backend,
+fed the same candidate pair list, must accept the *same canonical pair set*
+and produce forces matching the ``numpy`` reference -- bit-for-bit for the
+NumPy tiers (``numpy``/``half``), within 1e-12 relative for ``jit``. The
+configurations cover the regimes where backends diverge if they are going
+to: uniform random gases, clustered blobs (the paper's concentration
+regime), and pairs engineered to straddle the cut-off where the accept mask
+itself is the hazard.
+
+The checkpoint tests assert the engine-level consequence: run digests under
+``kernel="half"`` are identical to the reference tier, and a killed-and-
+resumed half-kernel run reproduces the uninterrupted digest bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.config import (
+    DecompositionConfig,
+    DLBConfig,
+    MDConfig,
+    RunConfig,
+    SimulationConfig,
+)
+from repro.md.kernels import HalfListKernel, create_kernel, numba_available
+from repro.md.neighbors import canonical_pairs, pairs_kdtree
+from repro.md.potential import LennardJones
+
+POTENTIAL = LennardJones()
+CUTOFF = POTENTIAL.cutoff
+
+#: NumPy tiers held to bitwise equality with the reference.
+EXACT_TIERS = ("numpy", "half")
+
+
+def candidate_list(positions: np.ndarray, box: float) -> np.ndarray:
+    """A skin-padded candidate list (contains beyond-cut-off pairs)."""
+    return pairs_kdtree(positions, box, CUTOFF + 0.4)
+
+
+def uniform_gas(seed: int, n: int, box: float) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.0, box, (n, 3))
+
+
+def clustered_gas(seed: int, n: int, box: float) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    blob = rng.normal(box / 2.0, box / 12.0, (n // 2, 3))
+    rest = rng.uniform(0.0, box, (n - n // 2, 3))
+    return np.mod(np.vstack([blob, rest]), box)
+
+
+def near_cutoff_gas(seed: int, n: int, box: float) -> np.ndarray:
+    """Pairs deliberately placed a hair inside/outside the cut-off sphere.
+
+    The accept decision ``r_sq < cutoff_sq`` is where a backend with a
+    different distance computation would first diverge, so stress it with
+    separations within +/- 1e-7 of the cut-off.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, box, (n // 2, 3))
+    directions = rng.normal(size=(n // 2, 3))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    radii = CUTOFF + rng.uniform(-1e-7, 1e-7, n // 2)
+    partners = centers + directions * radii[:, None]
+    return np.mod(np.vstack([centers, partners]), box)
+
+
+GENERATORS = {
+    "uniform": uniform_gas,
+    "clustered": clustered_gas,
+    "near_cutoff": near_cutoff_gas,
+}
+
+
+def all_tiers() -> list[str]:
+    tiers = list(EXACT_TIERS)
+    if numba_available():
+        tiers.append("jit")
+    return tiers
+
+
+class TestPairSetEquality:
+    """Every backend accepts exactly the same canonical pair set."""
+
+    @given(
+        regime=st.sampled_from(sorted(GENERATORS)),
+        seed=st.integers(min_value=0, max_value=1_000),
+        n=st.integers(min_value=16, max_value=160),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_accepted_pairs_identical(self, regime, seed, n):
+        box = max((n / 0.25) ** (1.0 / 3.0), 3.0 * CUTOFF)
+        positions = GENERATORS[regime](seed, n, box)
+        candidates = candidate_list(positions, box)
+        reference = canonical_pairs(
+            create_kernel("numpy").accepted_pairs(positions, candidates, box, POTENTIAL)
+        )
+        for tier in all_tiers():
+            accepted = create_kernel(tier).accepted_pairs(
+                positions, candidates, box, POTENTIAL
+            )
+            assert np.array_equal(canonical_pairs(accepted), reference), (
+                f"{tier} accepted a different pair set on the {regime} config"
+            )
+
+    def test_half_preserves_candidate_order_across_blocks(self):
+        """The surviving pairs come back in original candidate order even
+        when the list spans many blocks (order is the FP-accumulation
+        contract, not just the set)."""
+        box = 12.0
+        positions = clustered_gas(7, 256, box)
+        candidates = candidate_list(positions, box)
+        tiny_blocks = HalfListKernel(block_pairs=17)
+        i, j, *_ = tiny_blocks.pair_terms(positions, candidates, box, POTENTIAL)
+        ref_i, ref_j, *_ = create_kernel("numpy").pair_terms(
+            positions, candidates, box, POTENTIAL
+        )
+        assert np.array_equal(i, ref_i)
+        assert np.array_equal(j, ref_j)
+
+
+class TestForceEquality:
+    @given(
+        regime=st.sampled_from(sorted(GENERATORS)),
+        seed=st.integers(min_value=0, max_value=1_000),
+        n=st.integers(min_value=16, max_value=160),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_numpy_and_half_are_bit_identical(self, regime, seed, n):
+        box = max((n / 0.25) ** (1.0 / 3.0), 3.0 * CUTOFF)
+        positions = GENERATORS[regime](seed, n, box)
+        candidates = candidate_list(positions, box)
+        reference = create_kernel("numpy").evaluate(
+            positions, candidates, box, POTENTIAL, n
+        )
+        half = create_kernel("half").evaluate(positions, candidates, box, POTENTIAL, n)
+        assert half.n_pairs == reference.n_pairs
+        assert np.array_equal(half.forces, reference.forces)
+        assert half.potential_energy == reference.potential_energy
+        assert half.virial == reference.virial
+
+    @given(block=st.integers(min_value=1, max_value=70_000))
+    @settings(max_examples=15, deadline=None)
+    def test_half_exact_for_any_block_size(self, block):
+        """Bit-identity must not depend on where the block boundaries fall."""
+        box = 14.0
+        positions = uniform_gas(11, 300, box)
+        candidates = candidate_list(positions, box)
+        reference = create_kernel("numpy").evaluate(
+            positions, candidates, box, POTENTIAL
+        )
+        half = HalfListKernel(block_pairs=block).evaluate(
+            positions, candidates, box, POTENTIAL
+        )
+        assert np.array_equal(half.forces, reference.forces)
+        assert half.potential_energy == reference.potential_energy
+
+    @pytest.mark.skipif(not numba_available(), reason="numba unavailable")
+    @given(
+        regime=st.sampled_from(sorted(GENERATORS)),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_jit_matches_within_documented_tolerance(self, regime, seed):
+        box = 12.0
+        positions = GENERATORS[regime](seed, 128, box)
+        candidates = candidate_list(positions, box)
+        reference = create_kernel("numpy").evaluate(
+            positions, candidates, box, POTENTIAL
+        )
+        jit = create_kernel("jit").evaluate(positions, candidates, box, POTENTIAL)
+        assert jit.n_pairs == reference.n_pairs
+        np.testing.assert_allclose(
+            jit.forces, reference.forces, rtol=1e-12, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            jit.potential_energy, reference.potential_energy, rtol=1e-12
+        )
+        np.testing.assert_allclose(jit.virial, reference.virial, rtol=1e-12)
+
+    def test_empty_and_all_rejected_candidates(self):
+        box = 20.0
+        positions = np.array([[1.0, 1.0, 1.0], [9.0, 9.0, 9.0]])
+        empty = np.zeros((0, 2), dtype=np.int64)
+        far = np.array([[0, 1]], dtype=np.int64)
+        for tier in all_tiers():
+            kernel = create_kernel(tier)
+            for candidates in (empty, far):
+                result = kernel.evaluate(positions, candidates, box, POTENTIAL)
+                assert result.n_pairs == 0
+                assert result.potential_energy == 0.0
+                assert not result.forces.any()
+
+
+def fig5_config() -> SimulationConfig:
+    """The fig5(b)-shaped workload at test scale (paper's m=2 DLB regime)."""
+    return SimulationConfig(
+        md=MDConfig(n_particles=1000, density=0.256),
+        decomposition=DecompositionConfig(cells_per_side=6, n_pes=9),
+        dlb=DLBConfig(enabled=True),
+    )
+
+
+class TestEngineDigests:
+    """The kernel tier must be invisible in the run digest."""
+
+    def test_half_digest_matches_numpy_digest(self):
+        base = api.simulate(fig5_config(), run=RunConfig(steps=4, seed=5))
+        half = api.simulate(
+            fig5_config(), run=RunConfig(steps=4, seed=5, kernel="half")
+        )
+        assert half.digest() == base.digest()
+        assert half.meta["kernel"] == "half"
+        assert base.meta["kernel"] == "numpy"
+
+    def test_half_digest_matches_on_engines(self):
+        run = RunConfig(steps=4, seed=5)
+        run_half = RunConfig(steps=4, seed=5, kernel="half")
+        seq = api.simulate(fig5_config(), run=run, engine="sequential")
+        seq_half = api.simulate(fig5_config(), run=run_half, engine="sequential")
+        assert seq_half.digest() == seq.digest()
+        par_half = api.simulate(
+            fig5_config(), run=run_half, engine="multiprocess", engine_workers=2
+        )
+        assert par_half.digest() == seq.digest()
+
+    def test_kill_and_resume_under_half_kernel(self, tmp_path):
+        """Crash-safety contract survives the tier swap: kill at step 2,
+        resume from the snapshot, and land on the uninterrupted digest."""
+        run = RunConfig(steps=6, seed=9, kernel="half")
+        full = api.simulate(fig5_config(), run=run)
+        api.simulate(
+            fig5_config(),
+            run=run,
+            checkpoints=api.CheckpointPolicy(directory=tmp_path, every=2),
+            stop_after=2,
+        )
+        resumed = api.simulate(
+            fig5_config(),
+            run=run,
+            checkpoints=api.CheckpointPolicy(directory=tmp_path, resume=True),
+        )
+        assert resumed.meta["resumed_at"] == 2
+        assert resumed.digest() == full.digest()
