@@ -291,6 +291,45 @@ def test_parallel_step_obs_on(benchmark, kernel_log):
     assert len(obs.trace) > 0
 
 
+def test_parallel_step_events_off(benchmark, kernel_log):
+    """Ten steps with an observability bundle but the flight recorder off.
+
+    This is the events-disabled contract: a runner that carries metrics but
+    no EventLog must stay within the overhead gate of the fully-dark
+    ``parallel_step_obs_off`` baseline — every event hook is one ``None``
+    check (see ``check_regression.py``'s ``--overhead-kernels``).
+    """
+    from repro.obs import MetricsRegistry, Observability
+
+    obs = Observability(metrics=MetricsRegistry())
+    runner = _parallel_runner(observability=obs)
+
+    def ten_steps():
+        for _ in range(10):
+            runner.step()
+
+    benchmark.pedantic(ten_steps, rounds=3, iterations=1)
+    record_kernel(kernel_log, benchmark, "parallel_step_events_off")
+    assert runner.events is None
+
+
+def test_parallel_step_events_on(benchmark, kernel_log):
+    """The same ten steps with the flight recorder live."""
+    from repro.obs import Observability
+
+    obs = Observability.create(trace=False, metrics=False, profiler=False,
+                               events=True)
+    runner = _parallel_runner(observability=obs)
+
+    def ten_steps():
+        for _ in range(10):
+            runner.step()
+
+    benchmark.pedantic(ten_steps, rounds=3, iterations=1)
+    record_kernel(kernel_log, benchmark, "parallel_step_events_on")
+    assert len(obs.events) > 0
+
+
 def test_accounted_step(benchmark, positions, kernel_log):
     cell_list = CellList(BOX, 12)
     assignment = CellAssignment(12, 9)

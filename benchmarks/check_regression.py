@@ -41,8 +41,11 @@ DEFAULT_THRESHOLD = 1.3
 #: factor of the baseline's disabled path (the "<5% when off" guarantee).
 DEFAULT_OVERHEAD_THRESHOLD = 1.05
 
-#: Kernels covered by the tighter overhead threshold.
-DEFAULT_OVERHEAD_KERNELS = ("parallel_step_obs_off",)
+#: Kernels covered by the tighter overhead threshold. ``obs_off`` guards the
+#: fully-dark runner; ``events_off`` guards a runner carrying an
+#: observability bundle whose flight recorder is disabled (every event hook
+#: must stay one ``None`` check).
+DEFAULT_OVERHEAD_KERNELS = ("parallel_step_obs_off", "parallel_step_events_off")
 
 
 def compare_kernels(

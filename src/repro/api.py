@@ -209,6 +209,9 @@ def simulate(
     """
     sim_config, preset_name = _resolve_config(config, dlb)
     injector = _resolve_faults(faults, sim_config.decomposition.n_pes)
+    events = observability.events if observability is not None else None
+    if injector is not None and events is not None:
+        injector.events = events
     resolved_engine = create_engine(engine, workers=engine_workers)
     owns_engine = resolved_engine is not None and not isinstance(engine, Engine)
     try:
@@ -229,6 +232,7 @@ def simulate(
                 every=audit.every,
                 policy=audit.policy,
                 metrics=observability.metrics if observability is not None else None,
+                events=events,
             )
             runner.auditor = auditor
         manager = _checkpoint_manager(checkpoints)
@@ -237,6 +241,8 @@ def simulate(
         if checkpoints is not None and checkpoints.resume:
             partial = runner.restore(manager.load_latest()["state"])
             resumed_at = runner.step_count
+            if events is not None:
+                events.emit_host(runner.step_count, "checkpoint.resume")
         remaining = run.steps - runner.step_count
         if remaining < 0:
             raise ConfigurationError(
@@ -267,6 +273,10 @@ def simulate(
                 "audit": auditor.summary() if auditor is not None else None,
                 "neighbor_stats": runner.neighbor_stats.as_dict(),
                 "kernel": runner.kernel_name,
+                "imbalance": (
+                    runner.imbalance.summary() if runner.imbalance is not None else None
+                ),
+                "events": len(events) if events is not None else None,
             }
         )
         return result
@@ -297,6 +307,9 @@ def simulate_driven(
     """
     sim_config, preset_name = _resolve_config(config, dlb)
     injector = _resolve_faults(faults, sim_config.decomposition.n_pes)
+    events = observability.events if observability is not None else None
+    if injector is not None and events is not None:
+        injector.events = events
     runner = DrivenLoadRunner(
         sim_config,
         rounds_per_config=rounds_per_config,
@@ -311,6 +324,7 @@ def simulate_driven(
             every=audit.every,
             policy=audit.policy,
             metrics=observability.metrics if observability is not None else None,
+            events=events,
         )
         runner.auditor = auditor
     manager = _checkpoint_manager(checkpoints)
@@ -319,6 +333,8 @@ def simulate_driven(
     if checkpoints is not None and checkpoints.resume:
         partial = runner.restore(manager.load_latest()["state"])
         resumed_at = runner.configs_done
+        if events is not None:
+            events.emit_host(runner.step_count, "checkpoint.resume")
     if observability is not None:
         with observability.activate():
             result = runner.run(configurations, checkpoint=manager, result=partial)
@@ -333,6 +349,10 @@ def simulate_driven(
             "engine_workers": None,
             "resumed_at": resumed_at,
             "audit": auditor.summary() if auditor is not None else None,
+            "imbalance": (
+                runner.imbalance.summary() if runner.imbalance is not None else None
+            ),
+            "events": len(events) if events is not None else None,
         }
     )
     return result

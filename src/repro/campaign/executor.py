@@ -49,7 +49,34 @@ ProgressCallback = Callable[[str, str, RunSpec], None]
 # -- run functions (execute in the worker process) --------------------------
 
 
-def _execute_boundary(spec: RunSpec) -> dict:
+def _build_events(events_path: str | None):
+    """A fresh flight recorder when the campaign asked for one (else None)."""
+    if events_path is None:
+        return None
+    from ..obs import EventLog, Observability
+
+    return Observability(events=EventLog())
+
+
+def _write_events(observability, events_path: str | None) -> None:
+    """Write a run's recorded channels next to the campaign store."""
+    if observability is None or observability.events is None:
+        return
+    from pathlib import Path
+
+    path = Path(events_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    observability.events.write(path, channel="sim")
+    observability.events.write(
+        path.with_name(path.stem + ".host" + (path.suffix or ".jsonl")),
+        channel="host",
+    )
+
+
+def _execute_boundary(spec: RunSpec, events_path: str | None = None) -> dict:
+    # Boundary repetitions run many internal simulations per repetition;
+    # there is no single canonical event stream to record, so the flight
+    # recorder is a documented no-op for this run kind.
     outcome = run_boundary_repetition(
         spec.m,
         spec.n_pes,
@@ -96,7 +123,7 @@ def _probe_configurations(schedule, index: int, hold: int):
         yield last
 
 
-def _execute_probe(spec: RunSpec) -> dict:
+def _execute_probe(spec: RunSpec, events_path: str | None = None) -> dict:
     from .. import api
     from ..experiments.common import droplets_for, geometry_for, simulation_config_for
     from ..experiments.fig10 import auto_rounds
@@ -115,9 +142,14 @@ def _execute_probe(spec: RunSpec) -> dict:
         seed=spec.seed,
     )
     index, hold = int(spec.probe_index), int(spec.probe_hold)
+    observability = _build_events(events_path)
     result = api.simulate_driven(
-        config, _probe_configurations(schedule, index, hold), rounds_per_config=rounds
+        config,
+        _probe_configurations(schedule, index, hold),
+        rounds_per_config=rounds,
+        observability=observability,
     )
+    _write_events(observability, events_path)
     # Divergence oracle: after holding the level, is the (smoothed) spread
     # still pinned above the balanced-prefix baseline?  Thresholds mirror
     # the boundary detector's (factor 2.5 over the baseline median, 5%
@@ -144,9 +176,10 @@ def _execute_probe(spec: RunSpec) -> dict:
     }
 
 
-def _execute_preset(spec: RunSpec) -> dict:
+def _execute_preset(spec: RunSpec, events_path: str | None = None) -> dict:
     from .. import api
 
+    observability = _build_events(events_path)
     result = api.simulate(
         spec.preset,
         run=RunConfig(
@@ -158,7 +191,9 @@ def _execute_preset(spec: RunSpec) -> dict:
         dlb=spec.mode == "dlb",
         engine=spec.engine,
         engine_workers=spec.engine_workers,
+        observability=observability,
     )
+    _write_events(observability, events_path)
     payload = {
         "kind": "preset",
         "preset": spec.preset,
@@ -170,45 +205,54 @@ def _execute_preset(spec: RunSpec) -> dict:
     return payload
 
 
-_KIND_EXECUTORS: dict[str, Callable[[RunSpec], dict]] = {
+_KIND_EXECUTORS: dict[str, Callable[[RunSpec, str | None], dict]] = {
     "boundary": _execute_boundary,
     "probe": _execute_probe,
     "preset": _execute_preset,
 }
 
 
-def execute_run(spec: RunSpec) -> dict:
-    """Execute one run synchronously and return its JSON payload."""
+def execute_run(spec: RunSpec, events_path: str | None = None) -> dict:
+    """Execute one run synchronously and return its JSON payload.
+
+    ``events_path`` (when given) records the run's flight-recorder sim
+    channel there, with host events in a ``.host`` sidecar; boundary runs
+    ignore it (no single canonical event stream).
+    """
     try:
         run = _KIND_EXECUTORS[spec.kind]
     except KeyError:
         raise CampaignError(f"no executor for run kind {spec.kind!r}") from None
-    return run(spec)
+    return run(spec, events_path)
 
 
 def _raise_timeout(signum, frame):  # pragma: no cover - exercised via alarm
     raise CampaignError("run exceeded its time budget")
 
 
-def _execute_with_timeout(spec: RunSpec, timeout: float | None) -> dict:
+def _execute_with_timeout(
+    spec: RunSpec, timeout: float | None, events_path: str | None = None
+) -> dict:
     """Execute a run under a ``SIGALRM`` deadline (no-op without one)."""
     if timeout is None or not hasattr(signal, "SIGALRM"):
-        return execute_run(spec)
+        return execute_run(spec, events_path)
     previous = signal.signal(signal.SIGALRM, _raise_timeout)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return execute_run(spec)
+        return execute_run(spec, events_path)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
 
 
-def _pool_worker(spec_dict: dict, timeout: float | None) -> dict:
+def _pool_worker(
+    spec_dict: dict, timeout: float | None, events_path: str | None = None
+) -> dict:
     """Top-level (picklable) worker entry: never raises across the pool."""
     spec = RunSpec.from_dict(spec_dict)
     started = time.perf_counter()
     try:
-        payload = _execute_with_timeout(spec, timeout)
+        payload = _execute_with_timeout(spec, timeout, events_path)
         return {"ok": True, "payload": payload,
                 "duration_s": time.perf_counter() - started}
     except Exception:
@@ -294,6 +338,7 @@ def run_campaign(
     progress: ProgressCallback | None = None,
     metrics=None,
     stop_after: int | None = None,
+    events_dir: str | None = None,
 ) -> CampaignSummary:
     """Execute a campaign through the store; returns the invocation summary.
 
@@ -314,12 +359,26 @@ def run_campaign(
     stop_after:
         Stop scheduling after this many *newly completed* runs (the
         interruption hook the resume tests and the CI smoke job use).
+    events_dir:
+        Directory for per-run flight-recorder logs; each executed run
+        writes ``<run_hash>.events.jsonl`` there (cache hits write
+        nothing — their events were recorded when they first ran).
     """
     if retries < 0:
         raise CampaignError(f"retries must be non-negative, got {retries}")
     started = time.perf_counter()
     summary = CampaignSummary(campaign=campaign.name, total=len(campaign))
     hook = _MetricsHook(metrics, campaign.name)
+
+    def pool_args(run_hash: str, spec: RunSpec) -> tuple:
+        """``_pool_worker`` arguments; the events path only when recording.
+
+        Kept two-positional without ``events_dir`` so tests (and older
+        callers) stubbing ``_pool_worker(spec_dict, timeout)`` still work.
+        """
+        if events_dir is None:
+            return (spec.to_dict(), timeout)
+        return (spec.to_dict(), timeout, f"{events_dir}/{run_hash}.events.jsonl")
 
     def report(event: str, run_hash: str, spec: RunSpec) -> None:
         if progress is not None:
@@ -421,7 +480,7 @@ def run_campaign(
                 attempt = 0
                 report("start", run_hash, spec)
                 while True:
-                    outcome = _pool_worker(spec.to_dict(), timeout)
+                    outcome = _pool_worker(*pool_args(run_hash, spec))
                     if outcome["ok"]:
                         record_success(run_hash, spec, outcome["payload"],
                                        outcome["duration_s"])
@@ -440,7 +499,7 @@ def run_campaign(
         else:
             _run_pool(campaign, store, work, workers, timeout, retries, backoff,
                       summary, hook, report, reached_stop, claim,
-                      record_success, record_failure)
+                      record_success, record_failure, pool_args)
     except KeyboardInterrupt:
         summary.interrupted = True
     finally:
@@ -459,7 +518,7 @@ def run_campaign(
 
 def _run_pool(campaign, store, work, workers, timeout, retries, backoff,
               summary, hook, report, reached_stop, claim,
-              record_success, record_failure) -> None:
+              record_success, record_failure, pool_args) -> None:
     """The parallel drain loop (extracted for readability)."""
     pending: dict = {}
     retry_at: list[tuple[float, str, RunSpec, int]] = []
@@ -491,7 +550,7 @@ def _run_pool(campaign, store, work, workers, timeout, retries, backoff,
                     elif not claim(run_hash, spec):
                         continue
                     report("start", run_hash, spec)
-                    future = pool.submit(_pool_worker, spec.to_dict(), timeout)
+                    future = pool.submit(_pool_worker, *pool_args(run_hash, spec))
                     pending[future] = (run_hash, spec)
                 if not pending:
                     if retry_at:

@@ -26,6 +26,7 @@ import argparse
 import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
@@ -43,12 +44,39 @@ from .campaign import (
 from .config import KERNEL_NAMES, RunConfig
 from .core.results import write_result_json
 from .engine import ENGINE_NAMES
-from .errors import ConfigurationError, FaultInjectionError
-from .obs import MetricsRegistry, Observability, Profiler, TraceRecorder
+from .errors import AnalysisError, ConfigurationError, FaultInjectionError, SchemaError
+from .obs import (
+    EventLog,
+    MetricsRegistry,
+    Observability,
+    Profiler,
+    TraceRecorder,
+    read_events,
+    summarize_events,
+    validate_events,
+)
 from .parallel.costmodel import calibrate_tau_pair
-from .reporting import comparison_report, format_table, phase_breakdown, series_preview
+from .reporting import (
+    comparison_report,
+    flight_report,
+    format_table,
+    phase_breakdown,
+    series_preview,
+)
 from .theory.bounds import upper_bound
 from .workloads.presets import PRESETS, get_preset
+
+
+def host_events_path(path: str | Path) -> Path:
+    """The sidecar file holding the host channel of an events log.
+
+    ``run.events.jsonl`` -> ``run.events.host.jsonl``: the sim channel is
+    the canonical, backend-independent record; host events (engine worker
+    lifecycle, checkpoint writes) are real but machine-specific, so they
+    live next door instead of breaking the sim file's byte-identity.
+    """
+    path = Path(path)
+    return path.with_name(path.stem + ".host" + (path.suffix or ".jsonl"))
 
 
 def _cmd_presets(_: argparse.Namespace) -> int:
@@ -65,12 +93,22 @@ def _build_observability(args: argparse.Namespace) -> Observability | None:
     want_trace = getattr(args, "trace", None) is not None
     want_metrics = getattr(args, "metrics", None) is not None
     want_profile = bool(getattr(args, "profile", False))
-    if not (want_trace or want_metrics or want_profile):
+    want_events = getattr(args, "events", None) is not None
+    if not (want_trace or want_metrics or want_profile or want_events):
         return None
     recorder = TraceRecorder() if want_trace else None
     registry = MetricsRegistry() if want_metrics else None
     profiler = Profiler(trace=recorder, registry=registry)
-    return Observability(trace=recorder, metrics=registry, profiler=profiler)
+    obs = Observability(
+        trace=recorder,
+        metrics=registry,
+        profiler=profiler,
+        events=EventLog() if want_events else None,
+    )
+    if want_metrics and getattr(args, "metrics_every", 0):
+        obs.metrics_path = args.metrics
+        obs.metrics_every = args.metrics_every
+    return obs
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -89,6 +127,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "need a single mode (--mode ddm or --mode dlb)",
             file=sys.stderr,
         )
+        return 2
+    if args.events and len(selected) != 1:
+        # A second runner would restart the (step, seq) clock at step 0 and
+        # break the log's non-decreasing-step contract.
+        print(
+            "error: --events records one run per file; pick a single mode "
+            "(--mode ddm or --mode dlb)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.metrics_every and not args.metrics:
+        print("error: --metrics-every needs --metrics FILE", file=sys.stderr)
         return 2
     fault_plan = None
     if args.faults:
@@ -180,6 +230,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         }
         write_result_json(args.result_json, payload)
         print(f"wrote result summary to {args.result_json}", file=sys.stderr)
+    events = obs.events if obs is not None else None
+    if events is not None:
+        # Written even on the --kill-after path: the partial file is a valid
+        # prefix, and the resumed run rewrites it byte-identically complete.
+        events.write(args.events, channel="sim")
+        host_path = host_events_path(args.events)
+        events.write(host_path, channel="host")
+        print(
+            f"wrote {len(events)} events to {args.events} "
+            f"(+{len(events.host_records)} host events to {host_path})",
+            file=sys.stderr,
+        )
     if killed_at is not None:
         print(
             f"killed after step {killed_at} (simulated crash for chaos testing); "
@@ -198,9 +260,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"  {key}: {value:.6g}")
     for label, result in results.items():
         print()
-        print(phase_breakdown(result.timing,
-                              title=f"{label}: per-phase step-time breakdown",
-                              neighbor_stats=result.meta.get("neighbor_stats")))
+        print(phase_breakdown(
+            result.timing,
+            title=f"{label}: per-phase step-time breakdown",
+            neighbor_stats=result.meta.get("neighbor_stats"),
+            profiler=obs.profiler if obs is not None and args.profile else None,
+        ))
+    if events is not None:
+        print()
+        print(flight_report(events.records))
     if obs is not None:
         if obs.trace is not None:
             obs.trace.write(args.trace)
@@ -353,6 +421,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 retries=args.retries,
                 stop_after=args.max_runs,
                 progress=None if args.json else _progress_printer(len(campaign)),
+                events_dir=args.events_dir,
             )
             if args.json:
                 print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
@@ -462,6 +531,45 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_events(args: argparse.Namespace) -> int:
+    try:
+        records = read_events(args.file)
+        validate_events(records, source=args.file)
+    except (OSError, SchemaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.verb == "tail":
+        for record in records[-args.lines:] if args.lines > 0 else []:
+            print(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        return 0
+    if args.json:
+        print(json.dumps(summarize_events(records), indent=2, sort_keys=True))
+    else:
+        print(flight_report(records, title=f"Flight recorder: {args.file}"))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .dlb.explain import explain_events, render_explanation
+
+    try:
+        records = read_events(args.events)
+        validate_events(records, source=args.events)
+        decisions = explain_events(records, step=args.step)
+    except (OSError, SchemaError, AnalysisError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not decisions:
+        print("no balancer decisions recorded "
+              "(DDM run, or the balancer never fired)")
+        return 0
+    for index, decision in enumerate(decisions):
+        if index:
+            print()
+        print(render_explanation(decision))
+    return 0 if all(decision.matches for decision in decisions) else 1
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     tau = calibrate_tau_pair(n_particles=args.particles, repeats=args.repeats)
     print(f"measured tau_pair on this host: {tau:.3e} s per candidate pair")
@@ -543,6 +651,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print the host kernel wall-clock profile after the run",
+    )
+    run.add_argument(
+        "--metrics-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also flush the metrics registry to the --metrics file every N "
+        "steps (live telemetry for long runs; 0 = final write only)",
+    )
+    run.add_argument(
+        "--events",
+        metavar="FILE",
+        default=None,
+        help="record the flight recorder to FILE as JSONL (sim channel; host "
+        "events go to a .host sidecar); single mode only — inspect with "
+        "`repro events` and `repro explain`",
     )
     run.add_argument(
         "--faults",
@@ -656,6 +780,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="extra attempts per failing run")
         p.add_argument("--max-runs", type=int, default=None,
                        help="stop after this many new completions (CI smoke)")
+        p.add_argument("--events-dir", metavar="DIR", default=None,
+                       help="record each run's flight-recorder log as "
+                       "DIR/<run_hash>.events.jsonl (boundary runs excluded)")
         _store_args(p)
         p.set_defaults(func=_cmd_campaign)
     status = campaign_sub.add_parser("status", help="run-store status counts")
@@ -677,6 +804,37 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--seed", type=int, default=0)
     _store_args(search)
     search.set_defaults(func=_cmd_campaign)
+
+    events = sub.add_parser(
+        "events", help="inspect a flight-recorder event log (JSONL)"
+    )
+    events_sub = events.add_subparsers(dest="verb", required=True)
+    tail = events_sub.add_parser("tail", help="print the last N event records")
+    tail.add_argument("file", help="events JSONL file (from `repro run --events`)")
+    tail.add_argument("-n", "--lines", type=int, default=10,
+                      help="records to print (default: 10)")
+    tail.set_defaults(func=_cmd_events)
+    ev_summary = events_sub.add_parser(
+        "summary", help="validate and aggregate an event log"
+    )
+    ev_summary.add_argument("file",
+                            help="events JSONL file (from `repro run --events`)")
+    ev_summary.add_argument("--json", action="store_true",
+                            help="emit machine-readable JSON instead of a table")
+    ev_summary.set_defaults(func=_cmd_events)
+
+    explain = sub.add_parser(
+        "explain",
+        help="replay logged balancer decisions and explain why cells moved",
+    )
+    explain.add_argument("events",
+                         help="events JSONL file (from `repro run --events`)")
+    explain.add_argument(
+        "--step", type=int, default=None, metavar="K",
+        help="explain only the decision at step K (default: every decision); "
+        "exit code 1 when any replay diverges from the log",
+    )
+    explain.set_defaults(func=_cmd_explain)
 
     bounds = sub.add_parser("bounds", help="print the theoretical bounds f(m, n)")
     bounds.add_argument("--n-min", type=float, default=1.0)

@@ -178,6 +178,53 @@ class StepAccountant:
             )
             return timing, totals
 
+    def counterfactual_step_time(
+        self, step: int, counts_grid: np.ndarray, assignment: CellAssignment
+    ) -> float:
+        """Barrier time of this step had every cell stayed at its home PE.
+
+        A pure side computation for the imbalance analytics: the same cost
+        model, halo accounting and fault perturbations as
+        :meth:`account_step` (the injector is stateless, so re-drawing the
+        step's faults is exact), but over ``assignment.home`` instead of the
+        holder map, with no DLB overhead, no traffic recording and no
+        pending-migration mutation. Fault-event emission is suppressed for
+        the duration — the counterfactual world must not write to the flight
+        recorder.
+        """
+        faults = self.faults
+        saved_events = None
+        if faults is not None:
+            saved_events = faults.events
+            faults.events = None
+        try:
+            owner = assignment.home
+            work = self.cost_model.per_pe_work(counts_grid, owner, self.n_pes)
+            force_times = work.force_times
+            other_times = work.integrate_times + work.cell_times
+            if faults is not None:
+                force_times, other_times = faults.perturb_compute(
+                    step, force_times, other_times
+                )
+            counts_flat = counts_grid.reshape(-1)
+            halo = compute_halo(owner, self.cell_list, counts_flat, self.n_pes)
+            comm_times = np.array(
+                [
+                    self.network.particles_time(halo.messages[p], halo.ghost_particles[p])
+                    for p in range(self.n_pes)
+                ]
+            )
+            if faults is not None:
+                for p in range(self.n_pes):
+                    if halo.messages[p]:
+                        pert = faults.perturb_message(step, p, p, "halo")
+                        comm_times[p] = pert.perturbed_time(float(comm_times[p]))
+            totals = force_times + comm_times + other_times
+            return float(totals.max())
+        finally:
+            if faults is not None:
+                faults.events = saved_events
+
     # -- checkpointing -------------------------------------------------------
 
     def state_dict(self) -> dict:

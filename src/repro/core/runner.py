@@ -33,12 +33,15 @@ from ..md.simulation import attractor_sites, build_system
 from ..md.system import ParticleSystem
 from ..md.thermostat import VelocityRescale
 from ..obs import (
+    ImbalanceTracker,
     Observability,
     collect_balancer,
+    collect_imbalance,
     collect_neighbor_stats,
     collect_timing,
     collect_traffic,
 )
+from ..obs.events import EventLog
 from ..parallel.instrumentation import StepTiming
 from ..rng import generator
 from ..theory.concentration import measure_concentration
@@ -70,7 +73,12 @@ class _ObservedRunner:
     accountant: StepAccountant
 
     def _init_observability(
-        self, observability: Observability | None, trace_pid: int, dlb_enabled: bool
+        self,
+        observability: Observability | None,
+        trace_pid: int,
+        dlb_enabled: bool,
+        n_pes: int,
+        kind: str,
     ) -> None:
         if trace_pid < 0:
             raise ConfigurationError(
@@ -85,6 +93,85 @@ class _ObservedRunner:
         #: Simulated-clock position (sum of barrier times so far).
         self.sim_time = 0.0
         self._mode_label = "dlb" if dlb_enabled else "ddm"
+        #: Nullable flight recorder (the bundle's, shared with the injector
+        #: and auditor) and the imbalance analytics fed from every step.
+        self.events: EventLog | None = (
+            observability.events if observability is not None else None
+        )
+        self.imbalance: ImbalanceTracker | None = None
+        if observability is not None and (
+            observability.metrics is not None or observability.events is not None
+        ):
+            self.imbalance = ImbalanceTracker(n_pes)
+        self._emit_run_start(kind)
+
+    def _emit_run_start(self, kind: str) -> None:
+        events = self.events
+        if events is None:
+            return
+        dec = self.config.decomposition
+        dlb = self.config.dlb
+        events.emit(
+            0, "run.start",
+            runner=kind,
+            mode=self._mode_label,
+            n_pes=dec.n_pes,
+            cells_per_side=dec.cells_per_side,
+            dlb={
+                "enabled": dlb.enabled,
+                "policy": dlb.policy,
+                "threshold": dlb.threshold,
+                "max_sends_per_step": dlb.max_sends_per_step,
+                "interval": dlb.interval,
+            },
+        )
+
+    def _lent_pairs(self) -> list[list[int]]:
+        """``[cell, holder]`` pairs of every currently-lent cell."""
+        holder = self.assignment.holder
+        away = np.flatnonzero(holder != self.assignment.home)
+        return [[int(cell), int(holder[cell])] for cell in away]
+
+    def _emit_decision(
+        self,
+        step: int,
+        times: np.ndarray,
+        lent_before: list[list[int]],
+        moves: list,
+    ) -> None:
+        """Record one balancer round: its full inputs and the chosen moves.
+
+        ``times`` and the timing-view snapshot are exactly what
+        :meth:`~repro.dlb.balancer.DynamicLoadBalancer.decide` consumed
+        (the view is captured *after* the round's refresh), so the decision
+        can be replayed offline from the event alone — see
+        :mod:`repro.dlb.explain`.
+        """
+        events = self.events
+        if events is None:
+            return
+        view = self.balancer.view
+        events.emit(
+            step, "dlb.decision",
+            times=[float(t) for t in times],
+            lent=lent_before,
+            view=view.state_dict() if view is not None else None,
+            moves=[
+                {
+                    "cell": int(m.cell),
+                    "src": int(m.src),
+                    "dst": int(m.dst),
+                    "case": getattr(m.kind, "value", m.kind),
+                }
+                for m in moves
+            ],
+        )
+        for m in moves:
+            events.emit(
+                step, "cell.migrate",
+                cell=int(m.cell), src=int(m.src), dst=int(m.dst),
+                case=getattr(m.kind, "value", m.kind),
+            )
 
     def _observe_step(self, timing: StepTiming, moves: list) -> None:
         """Emit one step's trace spans, migration instants and step metrics.
@@ -128,6 +215,45 @@ class _ObservedRunner:
                 registry.counter(
                     "repro_cell_migrations_total", "cells moved by the balancer"
                 ).inc(len(moves), mode=mode)
+        obs.maybe_flush(timing.step)
+
+    def _observe_totals(
+        self, timing: StepTiming, totals: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Feed the imbalance analytics (and its DLB counterfactual) one step."""
+        tracker = self.imbalance
+        if tracker is None:
+            return
+        counterfactual = None
+        if self.dlb_enabled:
+            counterfactual = self.accountant.counterfactual_step_time(
+                timing.step, counts, self.assignment
+            )
+        tracker.observe(timing.step, totals, timing.tt, counterfactual)
+
+    def _emit_run_end(self) -> None:
+        events = self.events
+        if events is None:
+            return
+        events.emit(
+            self.step_count, "run.end",
+            steps=self.step_count,
+            sim_time=self.sim_time,
+            imbalance=self.imbalance.summary() if self.imbalance is not None else None,
+        )
+
+    def _restore_observed(self, state: dict) -> None:
+        """Restore the flight recorder and analytics from a runner snapshot.
+
+        The sim buffer is replaced wholesale: the resumed run inherits the
+        killed run's events — including its original ``run.start`` — and
+        drops anything this runner emitted at construction, so the final
+        file is byte-identical to an uninterrupted run's.
+        """
+        if self.events is not None and state.get("events") is not None:
+            self.events.load_state_dict(state["events"])
+        if self.imbalance is not None and state.get("imbalance") is not None:
+            self.imbalance.load_state_dict(state["imbalance"])
 
     def collect_metrics(self, result: RunResult | None = None) -> None:
         """Snapshot the run's stats objects into the metrics registry.
@@ -150,6 +276,8 @@ class _ObservedRunner:
             collect_balancer(registry, balancer.stats, mode=mode)
         if result is not None and len(result.timing):
             collect_timing(registry, result.timing, mode=mode)
+        if self.imbalance is not None:
+            collect_imbalance(registry, self.imbalance, mode=mode)
 
 
 class ParallelMDRunner(_ObservedRunner):
@@ -223,6 +351,9 @@ class ParallelMDRunner(_ObservedRunner):
                     "kd-tree pair search; force_backend must be 'kdtree', "
                     f"got {run_config.force_backend!r}"
                 )
+            # Observability must be attached before bind so the engine's
+            # bind-time lifecycle events (worker spawns) reach the recorder.
+            engine.attach_observability(observability)
             engine.bind(
                 EngineContext(
                     n_particles=self.system.n,
@@ -233,7 +364,6 @@ class ParallelMDRunner(_ObservedRunner):
                     kernel=self.kernel_name,
                 )
             )
-            engine.attach_observability(observability)
             self.force_field = EngineForceField(
                 engine,
                 self.assignment.cell_owner_map,
@@ -261,7 +391,9 @@ class ParallelMDRunner(_ObservedRunner):
         self._last_times = np.zeros(dec.n_pes, dtype=np.float64)
         self._last_counts = self.cell_list.counts(self.system.positions)
         self.step_count = 0
-        self._init_observability(observability, trace_pid, config.dlb.enabled)
+        self._init_observability(
+            observability, trace_pid, config.dlb.enabled, dec.n_pes, "parallel_md"
+        )
 
     @property
     def dlb_enabled(self) -> bool:
@@ -278,7 +410,12 @@ class ParallelMDRunner(_ObservedRunner):
             return []
         if self.step_count % self.config.dlb.interval != 0:
             return []
+        # The pre-round lent set must be captured before apply() mutates the
+        # holder map; the decision event records the round's exact inputs.
+        lent_before = self._lent_pairs() if self.events is not None else []
         moves = self.balancer.step(self._last_times, step=self.step_count)
+        if self.events is not None:
+            self._emit_decision(self.step_count, self._last_times, lent_before, moves)
         self.accountant.charge_moves(
             moves, self._last_counts, self.assignment, step=self.step_count
         )
@@ -321,6 +458,7 @@ class ParallelMDRunner(_ObservedRunner):
         timing, totals = self.accountant.account_step(
             self.step_count, counts, self.assignment, self.dlb_enabled, override
         )
+        self._observe_totals(timing, totals, counts)
         if self.auditor is not None:
             self.auditor.maybe_audit(
                 self.step_count,
@@ -366,6 +504,9 @@ class ParallelMDRunner(_ObservedRunner):
                 result.append(record)
             if checkpoint is not None and checkpoint.due(self.step_count):
                 checkpoint.save(self.step_count, self.state_dict(result))
+                if self.events is not None:
+                    self.events.emit_host(self.step_count, "checkpoint.save")
+        self._emit_run_end()
         self.collect_metrics(result)
         return result
 
@@ -397,6 +538,10 @@ class ParallelMDRunner(_ObservedRunner):
             "balancer": self.balancer.state_dict() if self.balancer is not None else None,
             "accountant": self.accountant.state_dict(),
             "force_cache": self.force_field.cache_state(),
+            "events": self.events.state_dict() if self.events is not None else None,
+            "imbalance": (
+                self.imbalance.state_dict() if self.imbalance is not None else None
+            ),
             "records": list(result.records) if result is not None else [],
         }
 
@@ -429,6 +574,7 @@ class ParallelMDRunner(_ObservedRunner):
         self.force_field.restore_cache_state(
             state["force_cache"], self.system.box_length
         )
+        self._restore_observed(state)
         result = RunResult(dlb_enabled=self.dlb_enabled)
         for record in state["records"]:
             result.append(record)
@@ -489,7 +635,9 @@ class DrivenLoadRunner(_ObservedRunner):
         self.step_count = 0
         #: Configurations already fully processed (resume skips this many).
         self.configs_done = 0
-        self._init_observability(observability, trace_pid, config.dlb.enabled)
+        self._init_observability(
+            observability, trace_pid, config.dlb.enabled, dec.n_pes, "driven_load"
+        )
 
     @property
     def dlb_enabled(self) -> bool:
@@ -526,7 +674,12 @@ class DrivenLoadRunner(_ObservedRunner):
                     and self.step_count > 0
                     and self.step_count % self.config.dlb.interval == 0
                 ):
+                    lent_before = self._lent_pairs() if self.events is not None else []
                     moves = self.balancer.step(self._last_times, step=self.step_count)
+                    if self.events is not None:
+                        self._emit_decision(
+                            self.step_count, self._last_times, lent_before, moves
+                        )
                     base = self._last_counts if self._last_counts is not None else counts
                     self.accountant.charge_moves(
                         moves, base, self.assignment, step=self.step_count
@@ -536,6 +689,7 @@ class DrivenLoadRunner(_ObservedRunner):
                 timing, totals = self.accountant.account_step(
                     self.step_count, counts, self.assignment, self.dlb_enabled
                 )
+                self._observe_totals(timing, totals, counts)
                 if self.auditor is not None:
                     self.auditor.maybe_audit(self.step_count, counts=counts, moves=moves)
                 if self.observability is not None:
@@ -556,6 +710,9 @@ class DrivenLoadRunner(_ObservedRunner):
             self.configs_done = index + 1
             if checkpoint is not None and checkpoint.due(self.configs_done):
                 checkpoint.save(self.step_count, self.state_dict(result))
+                if self.events is not None:
+                    self.events.emit_host(self.step_count, "checkpoint.save")
+        self._emit_run_end()
         self.collect_metrics(result)
         return result
 
@@ -579,6 +736,10 @@ class DrivenLoadRunner(_ObservedRunner):
             ),
             "balancer": self.balancer.state_dict() if self.balancer is not None else None,
             "accountant": self.accountant.state_dict(),
+            "events": self.events.state_dict() if self.events is not None else None,
+            "imbalance": (
+                self.imbalance.state_dict() if self.imbalance is not None else None
+            ),
             "records": list(result.records) if result is not None else [],
         }
 
@@ -605,6 +766,7 @@ class DrivenLoadRunner(_ObservedRunner):
         if state["balancer"] is not None and self.balancer is not None:
             self.balancer.load_state_dict(state["balancer"])
         self.accountant.load_state_dict(state["accountant"])
+        self._restore_observed(state)
         result = RunResult(dlb_enabled=self.dlb_enabled)
         for record in state["records"]:
             result.append(record)

@@ -73,6 +73,16 @@ class DynamicLoadBalancer:
         if injector is not None:
             self._view = TimingView(assignment.n_pes, injector.max_staleness)
 
+    @property
+    def view(self) -> TimingView | None:
+        """The bounded-staleness timing view (None without fault injection).
+
+        After :meth:`decide` this holds exactly the per-observer knowledge
+        the decision was made from — the flight recorder snapshots it into
+        ``dlb.decision`` events so ``repro explain`` can replay the round.
+        """
+        return self._view
+
     def _wants_rebalance(self, my_time: float, fast_time: float) -> bool:
         if self.config.policy == "fastest":
             return True

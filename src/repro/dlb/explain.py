@@ -1,0 +1,203 @@
+"""Offline replay of balancer decisions from the flight recorder.
+
+A ``dlb.decision`` event records the round's complete inputs: the per-PE
+times the balancer consumed, the pre-round lent-cell set (enough to rebuild
+the holder map), and — under fault injection — the post-refresh
+:class:`~repro.dlb.views.TimingView` matrices. The decision logic itself
+(:func:`~repro.dlb.protocol.decide_move` plus the policy gate) is pure, so
+the round can be replayed bit-exactly long after the run finished, and the
+replay cross-checked against the moves the log says were made.
+
+``repro explain <events.jsonl> --step K`` renders the replay as a
+human-readable "why cells moved" narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..decomp.assignment import CellAssignment
+from ..errors import AnalysisError
+from ..parallel.topology import Torus2D
+from .protocol import decide_move
+from .views import TimingView
+
+__all__ = [
+    "ReplayedDecision",
+    "explain_events",
+    "find_run_start",
+    "render_explanation",
+    "replay_decision",
+]
+
+
+def find_run_start(records: list[dict]) -> dict:
+    """The log's ``run.start`` record (the replay's static context)."""
+    for record in records:
+        if record.get("kind") == "run.start":
+            return record
+    raise AnalysisError("event log has no run.start record")
+
+
+def _wants_rebalance(
+    policy: str, threshold: float, my_time: float, fast_time: float
+) -> bool:
+    """The policy gate, mirroring ``DynamicLoadBalancer._wants_rebalance``."""
+    if policy == "fastest":
+        return True
+    if fast_time <= 0:
+        return my_time > 0
+    return (my_time - fast_time) / fast_time > threshold
+
+
+@dataclass
+class ReplayedDecision:
+    """One replayed balancer round and its cross-check against the log."""
+
+    step: int
+    replayed_moves: list[dict]
+    logged_moves: list[dict]
+    narrative: list[str]
+
+    @property
+    def matches(self) -> bool:
+        """Whether the replay reproduced the logged moves exactly, in order."""
+        return self.replayed_moves == self.logged_moves
+
+
+def replay_decision(run_start: dict, event: dict) -> ReplayedDecision:
+    """Re-run one logged balancer round from its recorded inputs.
+
+    Rebuilds the pre-round assignment from the event's lent set, the timing
+    view from its logged matrices (when present), and walks PEs in rank
+    order exactly as :meth:`~repro.dlb.balancer.DynamicLoadBalancer.decide`
+    does. The returned narrative explains each PE's choice.
+    """
+    dlb = run_start.get("dlb") or {}
+    n_pes = int(run_start["n_pes"])
+    assignment = CellAssignment(int(run_start["cells_per_side"]), n_pes)
+    for cell, holder in event.get("lent") or []:
+        # Mirror runner.restore: the holder map is data, not a protocol step.
+        assignment.holder[int(cell)] = int(holder)
+    topology = Torus2D(assignment.pe_side)
+    times = np.asarray(event["times"], dtype=np.float64)
+    if times.shape != (n_pes,):
+        raise AnalysisError(
+            f"decision at step {event.get('step')} logged {times.shape} times "
+            f"for a {n_pes}-PE machine"
+        )
+    view: TimingView | None = None
+    view_state = event.get("view")
+    if view_state is not None:
+        view = TimingView(n_pes, int(view_state["max_staleness"]))
+        view.times[...] = np.asarray(view_state["times"], dtype=np.float64)
+        view.age[...] = np.asarray(view_state["age"], dtype=np.int64)
+    policy = dlb.get("policy", "fastest")
+    threshold = float(dlb.get("threshold", 0.0))
+    max_sends = int(dlb.get("max_sends_per_step", 1))
+
+    replayed: list[dict] = []
+    narrative: list[str] = []
+    committed: dict[int, set[int]] = {}
+    for pe in range(n_pes):
+        if view is not None:
+            fastest = int(view.fastest_known(pe, times, topology))
+            believed = view.effective(pe, fastest)
+            assert believed is not None  # fastest_known only picks usable views
+            fast_time = believed
+        else:
+            neighborhood = topology.neighborhood(pe)
+            fastest = int(neighborhood[int(np.argmin(times[neighborhood]))])
+            fast_time = float(times[fastest])
+        my_time = float(times[pe])
+        if fastest == pe:
+            continue
+        if not _wants_rebalance(policy, threshold, my_time, fast_time):
+            narrative.append(
+                f"PE {pe} ({my_time:.4g} s) saw fastest neighbour PE {fastest} "
+                f"({fast_time:.4g} s) but stayed under the {threshold:g} "
+                f"imbalance threshold — no move"
+            )
+            continue
+        exclude = committed.setdefault(pe, set())
+        sent = 0
+        for _ in range(max_sends):
+            move = decide_move(assignment, topology, pe, fastest, exclude)
+            if move is None:
+                break
+            exclude.add(move.cell)
+            replayed.append(
+                {
+                    "cell": int(move.cell),
+                    "src": int(move.src),
+                    "dst": int(move.dst),
+                    "case": move.kind.value,
+                }
+            )
+            verb = "lent" if move.kind.value == "send_own" else "returned"
+            narrative.append(
+                f"PE {pe} ({my_time:.4g} s) {verb} cell {int(move.cell)} to "
+                f"PE {fastest} ({fast_time:.4g} s"
+                + (", last-known report" if view is not None else "")
+                + ")"
+            )
+            sent += 1
+        if sent == 0:
+            narrative.append(
+                f"PE {pe} ({my_time:.4g} s) wanted to offload toward fastest "
+                f"PE {fastest} ({fast_time:.4g} s) but had no eligible cell "
+                f"(permanent wall or nothing left to lend/return)"
+            )
+    return ReplayedDecision(
+        step=int(event["step"]),
+        replayed_moves=replayed,
+        logged_moves=list(event.get("moves") or []),
+        narrative=narrative,
+    )
+
+
+def explain_events(
+    records: list[dict], step: int | None = None
+) -> list[ReplayedDecision]:
+    """Replay the log's balancer rounds (all, or only the one at ``step``).
+
+    Raises :class:`~repro.errors.AnalysisError` when ``step`` names a step
+    with no recorded decision.
+    """
+    run_start = find_run_start(records)
+    decisions = [
+        record
+        for record in records
+        if record.get("kind") == "dlb.decision"
+        and (step is None or int(record["step"]) == step)
+    ]
+    if step is not None and not decisions:
+        recorded = sorted(
+            {int(r["step"]) for r in records if r.get("kind") == "dlb.decision"}
+        )
+        raise AnalysisError(
+            f"no balancer decision recorded at step {step} "
+            f"(decisions at steps {recorded[:12]}{'...' if len(recorded) > 12 else ''})"
+        )
+    return [replay_decision(run_start, event) for event in decisions]
+
+
+def render_explanation(decision: ReplayedDecision) -> str:
+    """The human-readable block ``repro explain`` prints for one round."""
+    check = (
+        "replay matches the log"
+        if decision.matches
+        else "REPLAY DIVERGES FROM THE LOG"
+    )
+    lines = [
+        f"step {decision.step}: {len(decision.logged_moves)} move(s) — {check}"
+    ]
+    lines.extend(f"  {line}" for line in decision.narrative)
+    if not decision.narrative:
+        lines.append("  every PE already saw itself as fastest — nothing to move")
+    if not decision.matches:
+        lines.append(f"  logged:   {decision.logged_moves}")
+        lines.append(f"  replayed: {decision.replayed_moves}")
+    return "\n".join(lines)

@@ -34,6 +34,11 @@ ENGINE_NAMES = ("sequential", "multiprocess")
 #: Router tag under which per-PE force-pass scalars travel.
 FORCE_RESULT_TAG = "force-result"
 
+#: Router tag under which engine lifecycle notices travel. They are posted
+#: and drained at lifecycle points only (bind/close), when no force-pass
+#: traffic is pending, so :meth:`Engine._fold` never sees them.
+LIFECYCLE_TAG = "engine-lifecycle"
+
 
 @dataclass(frozen=True)
 class EngineContext:
@@ -109,6 +114,8 @@ class Engine(abc.ABC):
         self._context: EngineContext | None = None
         self._closed = False
         self._observability: "Observability | None" = None
+        #: Last folded simulation step (stamps the ``engine.stop`` events).
+        self._last_step = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -136,16 +143,23 @@ class Engine(abc.ABC):
             return
         self._context = context
         self._start()
+        self._emit_lifecycle(0, "engine.start", self._lifecycle_entries())
 
     def attach_observability(self, observability: "Observability | None") -> None:
-        """Give the engine a sink for metrics/profiler output (nullable)."""
+        """Give the engine a sink for metrics/profiler output (nullable).
+
+        Attach *before* :meth:`bind` so the bind-time ``engine.start``
+        lifecycle events reach the flight recorder.
+        """
         self._observability = observability
 
     def close(self) -> None:
         """Release backend resources; further passes raise ``EngineError``."""
         if not self._closed:
+            entries = self._lifecycle_entries() if self._context is not None else []
             self._closed = True
             self._shutdown()
+            self._emit_lifecycle(self._last_step, "engine.stop", entries)
 
     def __enter__(self) -> "Engine":
         return self
@@ -160,6 +174,34 @@ class Engine(abc.ABC):
 
     def _shutdown(self) -> None:
         """Backend hook: release resources (must be safe to call once)."""
+
+    def _lifecycle_entries(self) -> list[tuple[int, dict]]:
+        """``(src, fields)`` rows describing this engine's execution units.
+
+        One row per unit of execution (the multiprocess backend overrides
+        this with one row per worker, carrying its PE shard).
+        """
+        return [(0, {"engine": self.name})]
+
+    def _emit_lifecycle(
+        self, step: int, kind: str, entries: list[tuple[int, dict]]
+    ) -> None:
+        """Record lifecycle notices through the router into the host channel.
+
+        Entries are posted under :data:`LIFECYCLE_TAG` and the router is
+        drained immediately, so the recorded order is the router's canonical
+        ``(step, tag, src)`` sort — independent of worker completion order.
+        Must only be called at lifecycle points, when no force-pass traffic
+        is pending (``_fold`` would otherwise reject the foreign tag).
+        """
+        obs = self._observability
+        events = obs.events if obs is not None else None
+        if events is None or not events.enabled or not entries:
+            return
+        for src, fields in entries:
+            self.router.post(step, LIFECYCLE_TAG, src, 0, fields)
+        for message in self.router.drain():
+            events.emit_host(message.step, kind, src=message.src, **message.payload)
 
     @abc.abstractmethod
     def force_pass(
@@ -213,6 +255,7 @@ class Engine(abc.ABC):
             raise EngineError(
                 f"force pass folded {delivered} PE results, expected {n_pes}"
             )
+        self._last_step = step
         return DecomposedForceResult(
             forces=forces,
             potential_energy=energy,

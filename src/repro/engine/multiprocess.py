@@ -226,6 +226,13 @@ class MultiprocessEngine(Engine):
             ).set(len(self._workers), engine=self.name)
         return result
 
+    def _lifecycle_entries(self) -> list[tuple[int, dict]]:
+        """One row per worker process, carrying its strided PE shard."""
+        return [
+            (w, {"engine": self.name, "workers": len(self._shards), "shard": shard})
+            for w, shard in enumerate(self._shards)
+        ]
+
     def _recv(self, w: int, pipe: Connection):
         try:
             return pipe.recv()

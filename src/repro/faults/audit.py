@@ -51,6 +51,9 @@ class InvariantAuditor:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`; violations
         increment ``repro_invariant_violations_total{invariant=...}`` and
         audits increment ``repro_invariant_audits_total``.
+    events:
+        Optional :class:`~repro.obs.events.EventLog`; every executed audit
+        is recorded as an ``audit`` event carrying its problem count.
     """
 
     def __init__(
@@ -60,6 +63,7 @@ class InvariantAuditor:
         every: int = 1,
         policy: str = "raise",
         metrics: "MetricsRegistry | None" = None,
+        events=None,
     ) -> None:
         if every <= 0:
             raise ConfigurationError(f"audit cadence must be positive, got {every}")
@@ -72,6 +76,7 @@ class InvariantAuditor:
         self.every = int(every)
         self.policy = policy
         self.metrics = metrics
+        self.events = events
         self.audits = 0
         self.violation_count = 0
         self.violations: list[str] = []
@@ -189,6 +194,13 @@ class InvariantAuditor:
             self.metrics.counter(
                 "repro_invariant_audits_total", "Invariant audits executed"
             ).inc()
+        if self.events is not None:
+            self.events.emit(
+                step, "audit",
+                ok=not problems,
+                problems=len(problems),
+                messages=problems[:8],
+            )
         if problems:
             self._handle(step, problems)
         return problems

@@ -97,6 +97,11 @@ class FaultInjector:
         self.plan = plan
         self.n_pes = int(n_pes)
         self._seed = int(plan.seed)
+        #: Nullable :class:`~repro.obs.events.EventLog`; when set, every
+        #: perturbation that actually happened is recorded as a
+        #: ``fault.message`` / ``fault.compute`` event. The injector itself
+        #: stays stateless — emission is a side record, never an input.
+        self.events = None
         # Per-step memo of the timing-report delivery matrix (pure function
         # of the step; cached so P^2 draws happen once per step, not per PE).
         self._report_step: int | None = None
@@ -141,6 +146,13 @@ class FaultInjector:
         extra = self.compute_extra(step)
         if extra is not None and out:
             out[0][...] += extra
+            if self.events is not None:
+                stalled = np.flatnonzero(extra > 0.0)
+                self.events.emit(
+                    step, "fault.compute",
+                    pes=stalled.tolist(),
+                    extra_seconds=extra[stalled].tolist(),
+                )
         return out
 
     # -- message faults ----------------------------------------------------
@@ -164,6 +176,12 @@ class FaultInjector:
         copies = 2 if rng.random() < rule.duplicate else 1
         if retransmits == 0 and delay == 0.0 and copies == 1:
             return NO_PERTURBATION
+        if self.events is not None:
+            self.events.emit(
+                step, "fault.message",
+                src=int(src), dst=int(dst), tag=tag,
+                retransmits=retransmits, delay=delay, copies=copies,
+            )
         return MessagePerturbation(
             copies=copies,
             retransmits=retransmits,

@@ -1,0 +1,281 @@
+"""The run flight recorder: a schema-versioned, append-only JSONL event log.
+
+Every consequential run event — balancer decisions with their full
+:class:`~repro.dlb.views.TimingView` inputs, cell migrations, fault
+injections, invariant-audit outcomes and run boundaries — is recorded as one
+JSON object with deterministic ``(step, seq)`` ordering. The log is split
+into two channels:
+
+``sim`` (the canonical channel)
+    Events of the *simulated* machine. Every emission happens on the driver
+    in program order, so the serialised sim channel is byte-identical across
+    execution backends: a sequential and a multiprocess run of the same
+    workload write the same file, including under fault injection and across
+    kill/resume (the buffer rides in the runner's checkpoint state).
+
+``host``
+    Events of the *host* execution environment — engine worker lifecycle,
+    checkpoint writes/resumes. These are real and recorded, but inherently
+    backend-dependent (a sequential engine has no worker processes), so they
+    are excluded from the determinism contract and written to a separate
+    sidecar file.
+
+Like the profiler and trace recorder, the disabled path is allocation-free:
+runners hold a nullable log and every hook is a single ``None``/``enabled``
+check (the ``parallel_step_events_off`` perf gate enforces ≤1.05× overhead).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..errors import ConfigurationError, SchemaError
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "EventLog",
+    "read_events",
+    "summarize_events",
+    "validate_events",
+]
+
+#: Version of the event-record schema (the ``v`` field of every record).
+EVENT_SCHEMA_VERSION = 1
+
+#: Known event kinds of the sim channel (host-channel kinds are prefixed
+#: ``engine.`` / ``checkpoint.`` and validated only loosely).
+EVENT_KINDS = frozenset(
+    {
+        "run.start",
+        "run.end",
+        "dlb.decision",
+        "cell.migrate",
+        "fault.message",
+        "fault.compute",
+        "audit",
+    }
+)
+
+#: Fields every record carries, in serialisation-independent terms.
+_REQUIRED_FIELDS = ("v", "step", "seq", "kind")
+
+
+def _json_default(value: Any) -> Any:
+    """Serialise numpy scalars/arrays that leak into event fields."""
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "ndim", 1) == 0:
+        return item()
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    raise TypeError(f"event field of type {type(value)!r} is not JSON-serialisable")
+
+
+def _dump(record: dict) -> str:
+    """The canonical one-line serialisation (sorted keys, no whitespace)."""
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
+
+
+class EventLog:
+    """Append-only event buffer with two channels and monotone sequencing.
+
+    Events accumulate in memory (like the run's step records) and are
+    written once at the end of a run; a killed run's partial file is simply
+    superseded by the resumed run's complete one, which — because the buffer
+    and the sequence counter are checkpointed with the runner — is
+    byte-identical to an uninterrupted run's.
+    """
+
+    __slots__ = ("enabled", "_records", "_host", "_seq", "_host_seq")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._records: list[dict] = []
+        self._host: list[dict] = []
+        self._seq = 0
+        self._host_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> list[dict]:
+        """The sim-channel records, in ``(step, seq)`` emission order."""
+        return list(self._records)
+
+    @property
+    def host_records(self) -> list[dict]:
+        """The host-channel records (backend-dependent, non-canonical)."""
+        return list(self._host)
+
+    def emit(self, step: int, kind: str, **fields: Any) -> None:
+        """Append one sim-channel event (no-op when disabled).
+
+        ``step`` is the simulation step the event belongs to; emissions must
+        happen in non-decreasing step order (they do, because every sim
+        emission is a driver-side program point inside the step loop).
+        """
+        if not self.enabled:
+            return
+        record = {"v": EVENT_SCHEMA_VERSION, "step": int(step), "seq": self._seq,
+                  "kind": kind}
+        record.update(fields)
+        self._records.append(record)
+        self._seq += 1
+
+    def emit_host(self, step: int, kind: str, **fields: Any) -> None:
+        """Append one host-channel event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        record = {"v": EVENT_SCHEMA_VERSION, "step": int(step),
+                  "seq": self._host_seq, "kind": kind}
+        record.update(fields)
+        self._host.append(record)
+        self._host_seq += 1
+
+    # -- serialisation -------------------------------------------------------
+
+    def lines(self, channel: str = "sim") -> list[str]:
+        """Canonical JSONL lines of one channel."""
+        if channel == "sim":
+            records: Iterable[dict] = self._records
+        elif channel == "host":
+            records = self._host
+        else:
+            raise ConfigurationError(f"unknown event channel {channel!r}")
+        return [_dump(record) for record in records]
+
+    def write(self, path: str | Path, channel: str = "sim") -> Path:
+        """Write one channel as JSONL; returns the path written."""
+        path = Path(path)
+        lines = self.lines(channel)
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of the canonical (sim) channel and its sequence counter.
+
+        Host events are deliberately excluded: they describe *this
+        process's* execution environment and must not leak into a resumed
+        run on a different host.
+        """
+        return {"seq": self._seq, "records": [dict(r) for r in self._records]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self._seq = int(state["seq"])
+        self._records = [dict(r) for r in state["records"]]
+
+
+# -- reading and validation --------------------------------------------------
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Load an events JSONL file written by :meth:`EventLog.write`."""
+    path = Path(path)
+    records: list[dict] = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"{path}:{number}: not valid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise SchemaError(f"{path}:{number}: event must be a JSON object")
+        records.append(record)
+    return records
+
+
+def validate_events(records: list[dict], source: str = "event log") -> None:
+    """Check schema version, required fields and ``(step, seq)`` ordering.
+
+    Raises :class:`~repro.errors.SchemaError` on the first problem. Unknown
+    kinds are rejected for the sim-channel vocabulary; host-channel files
+    (``engine.*`` / ``checkpoint.*`` kinds) pass the same structural checks.
+    """
+    previous: tuple[int, int] | None = None
+    for index, record in enumerate(records):
+        where = f"{source} record {index}"
+        for field in _REQUIRED_FIELDS:
+            if field not in record:
+                raise SchemaError(f"{where}: missing required field {field!r}")
+        if record["v"] != EVENT_SCHEMA_VERSION:
+            raise SchemaError(
+                f"{where}: schema version {record['v']!r} != {EVENT_SCHEMA_VERSION}"
+            )
+        if not isinstance(record["step"], int) or not isinstance(record["seq"], int):
+            raise SchemaError(f"{where}: step/seq must be integers")
+        kind = record["kind"]
+        if not isinstance(kind, str) or not kind:
+            raise SchemaError(f"{where}: kind must be a non-empty string")
+        if kind not in EVENT_KINDS and not kind.startswith(("engine.", "checkpoint.")):
+            raise SchemaError(f"{where}: unknown event kind {kind!r}")
+        key = (record["step"], record["seq"])
+        if previous is not None:
+            if record["seq"] != previous[1] + 1:
+                raise SchemaError(
+                    f"{where}: sequence number {record['seq']} does not follow "
+                    f"{previous[1]} (the log is append-only and gap-free)"
+                )
+            if record["step"] < previous[0]:
+                raise SchemaError(
+                    f"{where}: step {record['step']} goes backwards from "
+                    f"{previous[0]} (events are emitted in step order)"
+                )
+        elif record["seq"] != 0:
+            raise SchemaError(f"{where}: first record must have seq 0")
+        previous = key
+
+
+def summarize_events(records: list[dict]) -> dict:
+    """Aggregate a record list into a JSON-friendly summary.
+
+    Counts per kind, the step span, total cells moved (lends/returns),
+    fault and audit tallies — the data behind ``repro events summary``.
+    """
+    kinds: dict[str, int] = {}
+    steps: list[int] = []
+    lends = returns = 0
+    fault_messages = fault_stalls = 0
+    audits = violations = 0
+    imbalance: dict | None = None
+    for record in records:
+        kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+        steps.append(int(record.get("step", 0)))
+        kind = record["kind"]
+        if kind == "cell.migrate":
+            if record.get("case") == "send_own":
+                lends += 1
+            else:
+                returns += 1
+        elif kind == "fault.message":
+            fault_messages += 1
+        elif kind == "fault.compute":
+            fault_stalls += 1
+        elif kind == "audit":
+            audits += 1
+            violations += int(record.get("problems", 0))
+        elif kind == "run.end" and isinstance(record.get("imbalance"), dict):
+            imbalance = record["imbalance"]
+    return {
+        "events": len(records),
+        "kinds": dict(sorted(kinds.items())),
+        "first_step": min(steps) if steps else None,
+        "last_step": max(steps) if steps else None,
+        "lends": lends,
+        "returns": returns,
+        "fault_messages": fault_messages,
+        "fault_stalls": fault_stalls,
+        "audits": audits,
+        "audit_violations": violations,
+        "imbalance": imbalance,
+    }

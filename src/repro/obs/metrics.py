@@ -59,8 +59,22 @@ def _label_key(labels: dict[str, str]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline must be escaped (in that order, so
+    the escaping backslashes are not themselves re-escaped).
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text per the exposition format (backslash and newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(key: LabelKey, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in key]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in key]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -292,7 +306,7 @@ class MetricsRegistry:
         lines: list[str] = []
         for metric in self._metrics.values():
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             for sample_name, label_str, value in metric.samples():
                 lines.append(f"{sample_name}{label_str} {value:g}")

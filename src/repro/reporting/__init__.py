@@ -1,15 +1,18 @@
 """Reporting helpers: ASCII tables, CSV series, experiment summaries."""
 
+from .flight import flight_report
 from .loadmap import imbalance_summary, load_map
-from .phases import phase_breakdown, phase_shares
+from .phases import kernel_scope_rows, phase_breakdown, phase_shares
 from .report import comparison_report, series_preview
 from .series import write_csv
 from .tables import format_table
 
 __all__ = [
     "comparison_report",
+    "flight_report",
     "format_table",
     "imbalance_summary",
+    "kernel_scope_rows",
     "load_map",
     "phase_breakdown",
     "phase_shares",

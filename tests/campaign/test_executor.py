@@ -164,3 +164,46 @@ class TestParallelExecution:
         assert resumed.cached == partial.completed
         assert resumed.completed + resumed.cached == len(campaign)
         store.close()
+
+
+class TestFlightRecorderPassthrough:
+    def preset_campaign(self) -> CampaignSpec:
+        runs = tuple(
+            RunSpec(kind="preset", preset="bench-m2", mode=mode,
+                    n_steps=5, seed=7)
+            for mode in ("ddm", "dlb")
+        )
+        return CampaignSpec(name="tiny-preset", runs=runs)
+
+    def test_events_dir_records_each_preset_run(self, tmp_path):
+        from repro.obs import read_events, validate_events
+
+        campaign = self.preset_campaign()
+        with RunStore() as store:
+            run_campaign(campaign, store, events_dir=str(tmp_path))
+        for run_hash in campaign.hashes():
+            path = tmp_path / f"{run_hash}.events.jsonl"
+            assert path.exists()
+            records = read_events(path)
+            validate_events(records)
+            assert records[0]["kind"] == "run.start"
+            assert records[-1]["kind"] == "run.end"
+            assert (tmp_path / f"{run_hash}.events.host.jsonl").exists()
+
+    def test_boundary_runs_record_nothing(self, tmp_path):
+        campaign = tiny_campaign(n_runs=1)
+        with RunStore() as store:
+            run_campaign(campaign, store, events_dir=str(tmp_path))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_cache_hits_do_not_rewrite(self, tmp_path):
+        campaign = self.preset_campaign()
+        with RunStore() as store:
+            run_campaign(campaign, store, events_dir=str(tmp_path))
+            before = {
+                p.name: p.read_bytes() for p in sorted(tmp_path.iterdir())
+            }
+            again = run_campaign(campaign, store, events_dir=str(tmp_path))
+            assert again.cached == len(campaign)
+        after = {p.name: p.read_bytes() for p in sorted(tmp_path.iterdir())}
+        assert after == before

@@ -1,0 +1,97 @@
+"""Imbalance analytics: ratio/efficiency accumulation, stragglers, benefit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import ImbalanceTracker, MetricsRegistry, collect_imbalance
+
+
+class TestImbalanceTracker:
+    def test_rejects_nonpositive_pe_count(self):
+        with pytest.raises(ConfigurationError):
+            ImbalanceTracker(0)
+
+    def test_single_step_ratio_and_efficiency(self):
+        tracker = ImbalanceTracker(4)
+        totals = np.array([1.0, 1.0, 1.0, 2.0])
+        tracker.observe(0, totals, tt=2.0)
+        # mean = 1.25, peak = 2.0
+        assert tracker.mean_ratio == pytest.approx(2.0 / 1.25)
+        assert tracker.mean_efficiency == pytest.approx(1.25 / 2.0)
+        assert tracker.top_straggler == 3
+        assert tracker.worst_step == 0
+
+    def test_worst_step_tracks_the_peak_ratio(self):
+        tracker = ImbalanceTracker(2)
+        tracker.observe(0, np.array([1.0, 1.1]), tt=1.1)
+        tracker.observe(1, np.array([1.0, 3.0]), tt=3.0)
+        tracker.observe(2, np.array([1.0, 1.2]), tt=1.2)
+        assert tracker.worst_step == 1
+        assert tracker.worst_ratio == pytest.approx(3.0 / 2.0)
+
+    def test_counterfactual_benefit_accumulates(self):
+        tracker = ImbalanceTracker(2)
+        tracker.observe(0, np.array([1.0, 1.0]), tt=1.0, counterfactual_tt=1.5)
+        tracker.observe(1, np.array([1.0, 1.0]), tt=1.0, counterfactual_tt=1.2)
+        summary = tracker.summary()
+        assert summary["dlb_benefit_seconds"] == pytest.approx(0.7)
+        assert summary["counterfactual_seconds"] == pytest.approx(2.7)
+        assert summary["actual_seconds"] == pytest.approx(2.0)
+
+    def test_summary_without_counterfactual_reports_none(self):
+        tracker = ImbalanceTracker(2)
+        tracker.observe(0, np.array([1.0, 2.0]), tt=2.0)
+        summary = tracker.summary()
+        assert summary["counterfactual_seconds"] is None
+        assert summary["dlb_benefit_seconds"] is None
+
+    def test_empty_tracker_defaults(self):
+        tracker = ImbalanceTracker(3)
+        assert tracker.mean_ratio == 1.0
+        assert tracker.mean_efficiency == 1.0
+        assert tracker.top_straggler is None
+
+    def test_state_dict_round_trip(self):
+        tracker = ImbalanceTracker(3)
+        tracker.observe(0, np.array([1.0, 2.0, 3.0]), tt=3.0,
+                        counterfactual_tt=3.5)
+        tracker.observe(1, np.array([2.0, 1.0, 1.0]), tt=2.0)
+        fresh = ImbalanceTracker(3)
+        fresh.load_state_dict(tracker.state_dict())
+        assert fresh.summary() == tracker.summary()
+        # Continue observing: the accumulators keep extending seamlessly.
+        fresh.observe(2, np.array([1.0, 1.0, 1.0]), tt=1.0)
+        assert fresh.steps == 3
+
+
+class TestCollectImbalance:
+    def tracker(self):
+        tracker = ImbalanceTracker(2)
+        tracker.observe(0, np.array([1.0, 2.0]), tt=2.0, counterfactual_tt=2.5)
+        tracker.observe(1, np.array([2.0, 1.0]), tt=2.0, counterfactual_tt=2.5)
+        return tracker
+
+    def test_exports_gauges_and_straggler_counter(self):
+        registry = MetricsRegistry()
+        collect_imbalance(registry, self.tracker(), mode="dlb")
+        text = registry.to_prometheus_text()
+        assert "repro_imbalance_ratio_mean" in text
+        assert "repro_imbalance_efficiency_mean" in text
+        assert "repro_imbalance_ratio_worst" in text
+        assert "repro_dlb_benefit_seconds" in text
+        assert 'repro_straggler_steps_total{mode="dlb",pe="0"} 1' in text
+        assert 'repro_straggler_steps_total{mode="dlb",pe="1"} 1' in text
+
+    def test_recollection_never_double_counts(self):
+        registry = MetricsRegistry()
+        tracker = self.tracker()
+        collect_imbalance(registry, tracker, mode="dlb")
+        collect_imbalance(registry, tracker, mode="dlb")
+        text = registry.to_prometheus_text()
+        assert 'repro_straggler_steps_total{mode="dlb",pe="0"} 1' in text
+
+    def test_empty_tracker_exports_nothing(self):
+        registry = MetricsRegistry()
+        collect_imbalance(registry, ImbalanceTracker(2), mode="dlb")
+        assert len(registry) == 0

@@ -99,6 +99,37 @@ class TestMetricsRegistry:
         assert 'repro_runs_total{mode="dlb"} 2' in text
         assert "repro_level 1.5" in text
 
+    def test_prometheus_escapes_label_values(self):
+        """Exposition-format round trip for backslash, quote and newline.
+
+        The escaped line must parse back to the original value under the
+        format's unescaping rules (\\\\ -> \\, \\" -> ", \\n -> newline) —
+        the property a Prometheus scraper relies on.
+        """
+        registry = MetricsRegistry()
+        hostile = 'pa\\th "quoted"\nnext'
+        registry.counter("repro_runs_total").inc(1, source=hostile)
+        text = registry.to_prometheus_text()
+        (sample_line,) = [
+            line for line in text.splitlines() if line.startswith("repro_runs_total{")
+        ]
+        escaped = sample_line.split('source="', 1)[1].rsplit('"}', 1)[0]
+        # One physical line: the raw newline must not split the sample.
+        assert "\n" not in sample_line
+        unescaped = (
+            escaped.replace("\\\\", "\x00")
+            .replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\x00", "\\")
+        )
+        assert unescaped == hostile
+
+    def test_prometheus_escapes_help_text(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_level", "line one\nline \\ two").set(1.0)
+        text = registry.to_prometheus_text()
+        assert "# HELP repro_level line one\\nline \\\\ two" in text
+
     def test_jsonl_roundtrip(self):
         registry = MetricsRegistry()
         registry.counter("repro_runs_total").inc(2, mode="dlb")

@@ -66,6 +66,80 @@ class TestProfiler:
         assert "kernel" in profiler.table()
 
 
+class TestStateMerging:
+    def profiler_with(self, samples: dict[str, list[float]]) -> Profiler:
+        profiler = Profiler()
+        for name, values in samples.items():
+            for value in values:
+                profiler.record(name, value)
+        return profiler
+
+    def test_empty_state_merge_is_a_noop(self):
+        profiler = self.profiler_with({"a": [1.0]})
+        profiler.merge_state({})
+        assert set(profiler.stats) == {"a"}
+        assert profiler.stats["a"].count == 1
+
+    def test_merge_into_empty_profiler(self):
+        source = self.profiler_with({"a": [1.0, 3.0]})
+        target = Profiler()
+        target.merge_state(source.state_dict())
+        assert target.stats["a"].count == 2
+        assert target.stats["a"].total == pytest.approx(4.0)
+        assert target.stats["a"].min == pytest.approx(1.0)
+        assert target.stats["a"].max == pytest.approx(3.0)
+
+    def test_disjoint_scope_sets_union(self):
+        target = self.profiler_with({"a": [1.0]})
+        source = self.profiler_with({"b": [2.0]})
+        target.merge_state(source.state_dict())
+        assert set(target.stats) == {"a", "b"}
+        assert target.stats["a"].count == 1 and target.stats["b"].count == 1
+
+    def test_overlapping_scopes_accumulate(self):
+        target = self.profiler_with({"a": [1.0]})
+        source = self.profiler_with({"a": [3.0]})
+        target.merge_state(source.state_dict())
+        stat = target.stats["a"]
+        assert stat.count == 2
+        assert stat.total == pytest.approx(4.0)
+        assert (stat.min, stat.max) == (pytest.approx(1.0), pytest.approx(3.0))
+
+    def test_repeated_merge_accumulates_additively(self):
+        """merge_state is additive by design: merging the same snapshot twice
+        doubles the counts (the engine merges each worker exactly once)."""
+        target = Profiler()
+        state = self.profiler_with({"a": [1.0]}).state_dict()
+        target.merge_state(state)
+        target.merge_state(state)
+        stat = target.stats["a"]
+        assert stat.count == 2
+        assert stat.total == pytest.approx(2.0)
+        # min/max are idempotent even though count/total are not.
+        assert (stat.min, stat.max) == (pytest.approx(1.0), pytest.approx(1.0))
+
+    def test_prefix_namespaces_worker_scopes(self):
+        target = self.profiler_with({"kernel.half": [1.0]})
+        source = self.profiler_with({"kernel.half": [2.0]})
+        target.merge_state(source.state_dict(), prefix="worker0.")
+        assert set(target.stats) == {"kernel.half", "worker0.kernel.half"}
+        assert target.stats["kernel.half"].total == pytest.approx(1.0)
+
+    def test_zero_count_scope_round_trips_infinite_min(self):
+        """A never-fired stat snapshots min=inf and merges without poisoning."""
+        from repro.obs.profiler import TimerStat
+
+        profiler = Profiler()
+        profiler.stats["idle"] = TimerStat()
+        state = profiler.state_dict()
+        assert state["idle"]["min"] == float("inf")
+        target = self.profiler_with({"idle": [2.0]})
+        target.merge_state(state)
+        stat = target.stats["idle"]
+        assert stat.count == 1
+        assert stat.min == pytest.approx(2.0)  # inf never wins the min
+
+
 class TestGlobalScope:
     def test_scope_is_null_when_disabled(self):
         assert active() is None

@@ -1,0 +1,61 @@
+"""Flight-recorder report rendering."""
+
+from repro.obs.events import EventLog
+from repro.reporting import flight_report
+
+
+def make_records() -> list[dict]:
+    log = EventLog()
+    log.emit(0, "run.start", mode="dlb", n_pes=4)
+    log.emit(2, "dlb.decision", times=[1.0] * 4, lent=[], view=None, moves=[])
+    log.emit(2, "cell.migrate", cell=3, src=0, dst=1, case="send_own")
+    log.emit(3, "cell.migrate", cell=3, src=1, dst=0, case="return_borrowed")
+    log.emit(3, "fault.message", src=0, dst=1, tag="halo")
+    log.emit(4, "audit", ok=False, problems=1)
+    log.emit(
+        5,
+        "run.end",
+        steps=5,
+        imbalance={
+            "steps": 5,
+            "mean_ratio": 1.2,
+            "mean_efficiency": 0.83,
+            "worst_ratio": 1.5,
+            "worst_step": 2,
+            "actual_seconds": 4.0,
+            "counterfactual_seconds": 5.0,
+            "dlb_benefit_seconds": 1.0,
+            "top_straggler": 2,
+            "straggler_counts": [1, 0, 3, 1],
+        },
+    )
+    return log.records
+
+
+class TestFlightReport:
+    def test_empty_log(self):
+        assert "no events" in flight_report([])
+
+    def test_report_covers_kinds_traffic_faults_audits_imbalance(self):
+        report = flight_report(make_records())
+        assert "cell.migrate" in report and "dlb.decision" in report
+        assert "7 events over steps 0..5" in report
+        assert "1 lend(s), 1 return(s)" in report
+        assert "1 message perturbation(s)" in report
+        assert "1 run, 1 violation(s)" in report
+        assert "mean ratio 1.2000" in report
+        assert "worst 1.5000 @ step 2" in report
+        assert "PE 2 set the barrier on 3/5 step(s)" in report
+        assert "1 s saved" in report
+
+    def test_custom_title(self):
+        assert "my flight" in flight_report(make_records(), title="my flight")
+
+    def test_sections_absent_without_data(self):
+        log = EventLog()
+        log.emit(0, "run.start")
+        log.emit(1, "run.end", steps=1)
+        report = flight_report(log.records)
+        assert "faults" not in report
+        assert "audits" not in report
+        assert "imbalance" not in report

@@ -26,6 +26,13 @@ class TestParser:
             ["campaign", "status"],
             ["campaign", "report", "smoke", "--json"],
             ["campaign", "search", "--m", "2", "--stride", "5"],
+            ["run", "bench-m2", "--mode", "dlb", "--events", "ev.jsonl",
+             "--metrics", "m.prom", "--metrics-every", "5"],
+            ["events", "tail", "ev.jsonl", "-n", "3"],
+            ["events", "summary", "ev.jsonl", "--json"],
+            ["explain", "ev.jsonl", "--step", "4"],
+            ["campaign", "run", "smoke", "--events-dir", "d"],
+            ["campaign", "resume", "smoke", "--dir", "d", "--events-dir", "e"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -307,3 +314,89 @@ class TestChaosFlags:
         resumed = json.loads(resumed_json.read_text())
         assert full["runs"]["dlb"]["digest"] == resumed["runs"]["dlb"]["digest"]
         assert resumed["runs"]["dlb"]["audit"]["violations"] == 0
+
+
+class TestFlightRecorderFlags:
+    """The --events/--metrics-every surface plus the events/explain verbs."""
+
+    def record(self, tmp_path, steps=6):
+        events = tmp_path / "ev.jsonl"
+        code = main(["run", "bench-m2", "--mode", "dlb", "--steps", str(steps),
+                     "--record-interval", "1", "--events", str(events)])
+        assert code == 0
+        return events
+
+    def test_events_requires_single_mode(self, tmp_path, capsys):
+        code = main(["run", "bench-m2", "--steps", "3",
+                     "--events", str(tmp_path / "ev.jsonl")])
+        assert code == 2
+        assert "single mode" in capsys.readouterr().err
+
+    def test_metrics_every_requires_metrics(self, capsys):
+        code = main(["run", "bench-m2", "--mode", "dlb", "--steps", "3",
+                     "--metrics-every", "2"])
+        assert code == 2
+        assert "--metrics" in capsys.readouterr().err
+
+    def test_run_writes_events_and_host_sidecar(self, tmp_path, capsys):
+        from repro.obs import read_events, validate_events
+
+        events = self.record(tmp_path)
+        records = read_events(events)
+        validate_events(records)
+        assert records[0]["kind"] == "run.start"
+        assert records[-1]["kind"] == "run.end"
+        host = tmp_path / "ev.host.jsonl"
+        assert host.exists()
+        captured = capsys.readouterr()
+        assert "wrote" in captured.err and "host" in captured.err
+        assert "Flight recorder" in captured.out
+
+    def test_metrics_every_flushes_mid_run(self, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        code = main(["run", "bench-m2", "--mode", "dlb", "--steps", "4",
+                     "--record-interval", "1", "--metrics", str(metrics),
+                     "--metrics-every", "2"])
+        assert code == 0
+        assert 'repro_steps_total{mode="dlb"} 4' in metrics.read_text()
+
+    def test_events_summary_and_tail(self, tmp_path, capsys):
+        events = self.record(tmp_path)
+        capsys.readouterr()
+
+        assert main(["events", "summary", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "run.start" in out and "events over steps" in out
+
+        assert main(["events", "summary", str(events), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["kinds"]["run.end"] == 1
+
+        assert main(["events", "tail", str(events), "-n", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[-1])["kind"] == "run.end"
+
+    def test_events_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["events", "summary", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_explain_replays_the_log(self, tmp_path, capsys):
+        events = self.record(tmp_path, steps=8)
+        capsys.readouterr()
+        assert main(["explain", str(events)]) == 0
+        assert "replay matches the log" in capsys.readouterr().out
+
+    def test_explain_flags_divergence(self, tmp_path, capsys):
+        events = self.record(tmp_path, steps=8)
+        records = [json.loads(line) for line in events.read_text().splitlines()]
+        tampered = False
+        for record in records:
+            if record["kind"] == "dlb.decision" and record["moves"]:
+                record["moves"][0]["cell"] += 1
+                tampered = True
+                break
+        assert tampered, "expected at least one balancer move to tamper with"
+        events.write_text("".join(json.dumps(r) + "\n" for r in records))
+        capsys.readouterr()
+        assert main(["explain", str(events)]) == 1
+        assert "DIVERGES" in capsys.readouterr().out
