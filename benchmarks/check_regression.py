@@ -33,6 +33,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_RESULTS = REPO_ROOT / "BENCH_kernels.json"
 DEFAULT_CAMPAIGN_RESULTS = REPO_ROOT / "BENCH_campaign.json"
 DEFAULT_ENGINE_RESULTS = REPO_ROOT / "BENCH_engine.json"
+DEFAULT_SERVICE_RESULTS = REPO_ROOT / "BENCH_service.json"
 
 #: Allowed slowdown factor before the check fails.
 DEFAULT_THRESHOLD = 1.3
@@ -264,6 +265,74 @@ def check_engine(
     return failures, notes
 
 
+#: Allowed service-over-direct wall-clock ratio (the service PR's
+#: acceptance gate: submission -> result must cost <= 1.15x a direct
+#: ``repro.api`` execution of the same spec).
+SERVICE_OVERHEAD_THRESHOLD = 1.15
+
+#: Allowed slowdown of the direct-path wall-clock before the check fails
+#: (guards the workload itself, not the service).
+DEFAULT_SERVICE_THRESHOLD = 1.5
+
+
+def check_service(
+    baseline: dict | None,
+    fresh: dict,
+    threshold: float = DEFAULT_SERVICE_THRESHOLD,
+) -> tuple[list[str], list[str]]:
+    """Guard the simulation service's invariants recorded in BENCH_service.json.
+
+    Always enforced on the fresh payload:
+
+    * the served payload's digest matched a direct ``repro.api`` execution
+      of the same spec (the service never changes the computation);
+    * every recorded ``service_over_direct_*`` ratio stays within
+      ``SERVICE_OVERHEAD_THRESHOLD`` (submission -> result overhead).
+
+    With a baseline, each workload's direct wall-clock additionally must
+    not grow beyond ``threshold`` x the baseline.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    entries = fresh.get("service", {})
+
+    for name in sorted(entries):
+        if entries[name].get("digest_match"):
+            notes.append(f"DIGEST OK       service {name}: served == direct")
+        else:
+            failures.append(
+                f"DIGEST MISMATCH service {name}: served payload != direct "
+                "api.simulate (bit-exactness contract broken)"
+            )
+
+    for key, ratio in sorted(fresh.get("derived", {}).items()):
+        if not key.startswith("service_over_direct_"):
+            continue
+        line = f"{key}: {ratio:.3f}x (limit {SERVICE_OVERHEAD_THRESHOLD:.2f}x)"
+        if ratio <= SERVICE_OVERHEAD_THRESHOLD:
+            notes.append(f"SERVICE OK      {line}")
+        else:
+            failures.append(f"SERVICE SLOW    {line}")
+
+    if baseline is not None:
+        for name in sorted(entries):
+            old = baseline.get("service", {}).get(name, {}).get("direct_wall_s")
+            new = entries[name].get("direct_wall_s")
+            if old and new and old > 0:
+                ratio = float(new) / float(old)
+                line = (f"service {name} direct: {old:.2f} s -> "
+                        f"{new:.2f} s ({ratio:.2f}x)")
+                if ratio > threshold:
+                    failures.append(f"SERVICE SLOWER  {line} "
+                                    f"(limit {threshold:.2f}x)")
+                else:
+                    notes.append(f"SERVICE OK      {line}")
+            else:
+                notes.append(f"SERVICE SKIP    {name}: direct wall-clock "
+                             "missing on one side")
+    return failures, notes
+
+
 #: Required speedup of the half-list kernel over the clustered CSR pair
 #: search (the tentpole's NumPy-tier floor).
 KERNEL_HALF_THRESHOLD = 2.0
@@ -405,6 +474,26 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed slowdown of the sequential engine step loop "
         f"(default {DEFAULT_ENGINE_THRESHOLD})",
     )
+    parser.add_argument(
+        "--service-baseline",
+        type=Path,
+        default=None,
+        help="committed baseline BENCH_service.json to compare against",
+    )
+    parser.add_argument(
+        "--service-fresh",
+        type=Path,
+        default=DEFAULT_SERVICE_RESULTS,
+        help="freshly generated service results "
+        f"(default {DEFAULT_SERVICE_RESULTS})",
+    )
+    parser.add_argument(
+        "--service-threshold",
+        type=float,
+        default=DEFAULT_SERVICE_THRESHOLD,
+        help="allowed slowdown of the service benchmark's direct path "
+        f"(default {DEFAULT_SERVICE_THRESHOLD})",
+    )
     args = parser.parse_args(argv)
 
     if not args.fresh.exists():
@@ -463,7 +552,25 @@ def main(argv: list[str] | None = None) -> int:
             f"ENGINE SKIP     {args.engine_fresh} not found "
             "(run benchmarks/bench_engine.py to generate it)"
         ]
-    for line in notes + overhead_notes + tier_notes + campaign_notes + engine_notes:
+    service_failures: list[str] = []
+    service_notes: list[str] = []
+    if args.service_fresh.exists():
+        service_baseline = (
+            load(args.service_baseline)
+            if args.service_baseline is not None and args.service_baseline.exists()
+            else None
+        )
+        service_failures, service_notes = check_service(
+            service_baseline, load(args.service_fresh),
+            threshold=args.service_threshold,
+        )
+    else:
+        service_notes = [
+            f"SERVICE SKIP    {args.service_fresh} not found "
+            "(run benchmarks/bench_service.py to generate it)"
+        ]
+    for line in (notes + overhead_notes + tier_notes + campaign_notes
+                 + engine_notes + service_notes):
         print(line)
     failures = (
         regressions
@@ -471,6 +578,7 @@ def main(argv: list[str] | None = None) -> int:
         + tier_failures
         + campaign_failures
         + engine_failures
+        + service_failures
     )
     for line in failures:
         print(line)

@@ -33,6 +33,9 @@ CAMPAIGN_RESULTS_PATH = Path(__file__).parent.parent / "BENCH_campaign.json"
 #: Machine-readable execution-engine timings tracked across PRs (repo root).
 ENGINE_RESULTS_PATH = Path(__file__).parent.parent / "BENCH_engine.json"
 
+#: Machine-readable simulation-service timings tracked across PRs (repo root).
+SERVICE_RESULTS_PATH = Path(__file__).parent.parent / "BENCH_service.json"
+
 
 def pytest_addoption(parser: pytest.Parser) -> None:
     parser.addoption(
@@ -172,6 +175,44 @@ def engine_log():
     if derived:
         payload["derived"] = derived
     ENGINE_RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="session")
+def service_log():
+    """Collector for simulation-service benchmarks, flushed to BENCH_service.json.
+
+    ``benchmarks/bench_service.py`` files the submission->result wall-clock
+    against a direct ``repro.api`` execution of the same spec; at session
+    end the ratio lands in a machine-readable file at the repo root so
+    ``benchmarks/check_regression.py`` can gate the service overhead across
+    PRs.
+    """
+    entries: dict[str, dict] = {}
+    yield entries
+    if not entries:
+        return
+    payload = {
+        "schema": 1,
+        "scale": bench_scale(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "service": entries,
+    }
+    derived: dict[str, float] = {}
+    for name, entry in entries.items():
+        direct = entry.get("direct_wall_s")
+        served = entry.get("service_wall_s")
+        if direct and served and direct > 0:
+            derived[f"service_over_direct_{name}"] = served / direct
+        cached = entry.get("cached_wall_s")
+        if cached is not None:
+            derived[f"cached_hit_s_{name}"] = cached
+    if derived:
+        payload["derived"] = derived
+    SERVICE_RESULTS_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def record_kernel(kernel_log: dict, benchmark, name: str) -> None:

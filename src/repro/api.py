@@ -44,12 +44,13 @@ from .core.results import (
     RESULT_SCHEMA_VERSION,
     RunResult,
     attach_schema_version,
+    check_schema_version,
     read_result_json,
     write_result_json,
 )
 from .core.runner import DrivenLoadRunner, ParallelMDRunner
 from .engine.base import Engine, EngineSpec, create_engine
-from .errors import ConfigurationError, SchemaError
+from .errors import ConfigurationError, ReproError, SchemaError
 from .faults.audit import InvariantAuditor
 from .faults.injector import FaultInjector
 from .faults.plan import FaultPlan
@@ -59,11 +60,13 @@ from .workloads.presets import get_preset
 
 __all__ = [
     "AuditPolicy",
+    "CanonicalSubmission",
     "CheckpointPolicy",
     "EngineSpec",
     "RunConfig",
     "RunResult",
     "SimulationConfig",
+    "canonicalize_submission",
     "load_config",
     "load_faults",
     "load_result",
@@ -369,6 +372,68 @@ def result_payload(result: RunResult) -> dict[str, Any]:
             "meta": dict(result.meta),
         }
     )
+
+
+# -- submissions ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CanonicalSubmission:
+    """What :func:`canonicalize_submission` resolves a raw submission into.
+
+    ``spec`` is the validated, executable run description; ``run_hash`` is
+    the deterministic content hash of its *resolved* configuration — the key
+    the campaign engine and the simulation service dedupe on, so two
+    submissions that describe the same physics share one execution no matter
+    how they were spelled.
+    """
+
+    spec: Any
+    run_hash: str
+    content: dict[str, Any]
+
+
+def canonicalize_submission(submission: dict[str, Any]) -> CanonicalSubmission:
+    """Validate and canonicalise a raw run-submission mapping.
+
+    The input is an untyped mapping (typically a decoded JSON body): run
+    kind, preset/geometry parameters, steps, seed — the fields of
+    :class:`~repro.campaign.spec.RunSpec`. An optional ``schema_version``
+    entry is checked against the library's result schema (an unknown major
+    version is rejected, see :func:`repro.core.results.check_schema_version`);
+    unknown fields and invalid values raise
+    :class:`~repro.errors.ConfigurationError` with an actionable message
+    rather than being silently dropped, because a typo'd field would
+    otherwise canonicalise to a *different* run than the caller intended.
+
+    The returned hash is exactly :meth:`RunSpec.spec_hash`, so service
+    submissions, campaign grids and ad-hoc sweeps all dedupe against the
+    same stored runs.
+    """
+    from .campaign.spec import RunSpec
+
+    if not isinstance(submission, dict):
+        raise ConfigurationError(
+            f"submission must be a JSON object, got {type(submission).__name__}"
+        )
+    if "schema_version" in submission:
+        check_schema_version(submission, source="submission")
+    known = {f.name for f in dataclasses.fields(RunSpec)}
+    unknown = sorted(set(submission) - known - {"schema_version"})
+    if unknown:
+        raise ConfigurationError(
+            f"unknown submission field(s) {', '.join(map(repr, unknown))}; "
+            f"expected a subset of {sorted(known)}"
+        )
+    try:
+        spec = RunSpec(**{k: v for k, v in submission.items() if k in known})
+        content = spec.content()
+        run_hash = spec.spec_hash()
+    except ConfigurationError:
+        raise
+    except (ReproError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"invalid submission: {exc}") from exc
+    return CanonicalSubmission(spec=spec, run_hash=run_hash, content=content)
 
 
 # -- persisted artifacts ----------------------------------------------------

@@ -200,6 +200,11 @@ def _execute_preset(spec: RunSpec, events_path: str | None = None) -> dict:
         "mode": spec.mode,
         "backend": spec.backend,
         "seed": spec.seed,
+        # Bit-exact provenance: the stored payload carries the run's SHA-256
+        # digest, so a cached service/campaign hit is checkable against a
+        # direct api.simulate of the same spec down to the last IEEE bit.
+        "digest": result.digest(),
+        "steps_run": len(result.records),
     }
     payload.update({key: float(value) for key, value in result.summary().items()})
     return payload

@@ -18,12 +18,16 @@ Commands
     Print the theoretical upper bounds f(m, n) over a range of n.
 ``calibrate``
     Measure this host's per-pair force cost for MachineConfig.tau_pair.
+``serve``
+    Run the simulation service: the asyncio HTTP/JSON API over the
+    exactly-once run store (submit / status / stream / result / metrics).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -44,7 +48,13 @@ from .campaign import (
 from .config import KERNEL_NAMES, RunConfig
 from .core.results import write_result_json
 from .engine import ENGINE_NAMES
-from .errors import AnalysisError, ConfigurationError, FaultInjectionError, SchemaError
+from .errors import (
+    AnalysisError,
+    ConfigurationError,
+    FaultInjectionError,
+    ReproError,
+    SchemaError,
+)
 from .obs import (
     EventLog,
     MetricsRegistry,
@@ -577,6 +587,34 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the service pulls in asyncio plumbing no other
+    # subcommand needs.
+    from .service import ServiceConfig, serve
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    try:
+        serve(ServiceConfig(
+            host=args.host,
+            port=args.port,
+            store_dir=args.dir,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            run_timeout=args.timeout,
+            retries=args.retries,
+            events_dir=args.events_dir,
+        ))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive convenience
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -850,6 +888,30 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--particles", type=int, default=4096)
     calibrate.add_argument("--repeats", type=int, default=3)
     calibrate.set_defaults(func=_cmd_calibrate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation service (HTTP/JSON API over the run store)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="listen port (0 = ephemeral; default: 8321)")
+    serve.add_argument("--dir", default=".campaigns/service",
+                       help="run-store directory (default: .campaigns/service)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent worker slots (default: 2)")
+    serve.add_argument("--queue-size", type=int, default=64,
+                       help="bounded submission queue; a full queue answers "
+                       "429 with Retry-After (default: 64)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-run wall-clock budget in seconds")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="extra attempts per failing run (default: 1)")
+    serve.add_argument("--events-dir", metavar="DIR", default=None,
+                       help="record flight-recorder logs for submissions "
+                       "that ask (record_events: true), served from "
+                       "/v1/runs/<id>/events")
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -69,6 +69,12 @@ class EngineError(ReproError):
     or use of an engine after :meth:`close`)."""
 
 
+class ServiceError(ReproError):
+    """Raised by the simulation service layer (malformed HTTP request, a
+    route that does not exist, a worker pool used after shutdown, or a
+    submission the queue cannot accept)."""
+
+
 class SchemaError(ReproError):
     """Raised when a persisted artifact (result JSON, campaign payload,
     checkpoint metadata) declares a schema version this library cannot

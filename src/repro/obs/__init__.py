@@ -49,6 +49,7 @@ from .metrics import (
     MetricsRegistry,
     collect_balancer,
     collect_neighbor_stats,
+    collect_service,
     collect_timing,
     collect_traffic,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "collect_balancer",
     "collect_imbalance",
     "collect_neighbor_stats",
+    "collect_service",
     "collect_timing",
     "collect_traffic",
     "profiled",

@@ -36,6 +36,7 @@ __all__ = [
     "TIME_BUCKETS",
     "collect_balancer",
     "collect_neighbor_stats",
+    "collect_service",
     "collect_timing",
     "collect_traffic",
 ]
@@ -472,3 +473,25 @@ def collect_timing(
     # re-collection idempotent.
     for value in spread[histogram.count(**labels):]:
         histogram.observe(float(value), **labels)
+
+
+def collect_service(registry: MetricsRegistry, snapshot: dict, **labels: str) -> None:
+    """File a simulation-service snapshot: queue depth and run states.
+
+    ``snapshot`` is the plain-dict view the service exposes (queue depth,
+    in-flight claims, active streams, drain flag); the point-in-time values
+    land as gauges on every scrape, while the service's request/dedup
+    counters increment live and are not re-collected here.
+    """
+    registry.gauge(
+        "repro_service_queue_depth", "runs waiting in the service queue"
+    ).set(float(snapshot.get("queue_depth", 0)), **labels)
+    registry.gauge(
+        "repro_service_inflight_runs", "runs this service has claimed and not resolved"
+    ).set(float(snapshot.get("inflight", 0)), **labels)
+    registry.gauge(
+        "repro_service_active_streams", "open progress-stream connections"
+    ).set(float(snapshot.get("streams", 0)), **labels)
+    registry.gauge(
+        "repro_service_draining", "1 while a SIGTERM drain is in progress"
+    ).set(1.0 if snapshot.get("draining") else 0.0, **labels)

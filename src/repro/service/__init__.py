@@ -1,0 +1,51 @@
+"""repro.service — simulation-as-a-service over the exactly-once run store.
+
+An asyncio HTTP/JSON API (stdlib only, no web framework) that accepts run
+submissions, dedupes them onto the campaign engine's content-hash-keyed
+SQLite :class:`~repro.campaign.store.RunStore`, executes them on a bounded
+worker pool, and serves status, progress streams, results, flight-recorder
+events and Prometheus metrics. See DESIGN.md §13 and the "Simulation
+service" section of the README.
+
+Public surface:
+
+:class:`ServiceConfig` / :class:`SimulationService` / :func:`serve`
+    Server construction and the blocking CLI entry point.
+:class:`ServiceClient`
+    A stdlib HTTP client for the API (used by the tests, the benchmark and
+    the CI smoke job — and handy from a notebook).
+:func:`validate_submission` and friends
+    The submission/response schema layer.
+"""
+
+from __future__ import annotations
+
+from .client import ServiceClient
+from .queue import QueuedRun, RunQueue, RunRegistry, RunState, TERMINAL_STATES
+from .schemas import (
+    SERVICE_KEYS,
+    Submission,
+    error_body,
+    response_body,
+    validate_submission,
+)
+from .server import ServiceConfig, SimulationService, serve
+from .worker import WorkerPool
+
+__all__ = [
+    "SERVICE_KEYS",
+    "TERMINAL_STATES",
+    "QueuedRun",
+    "RunQueue",
+    "RunRegistry",
+    "RunState",
+    "ServiceClient",
+    "ServiceConfig",
+    "SimulationService",
+    "Submission",
+    "WorkerPool",
+    "error_body",
+    "response_body",
+    "serve",
+    "validate_submission",
+]

@@ -1,0 +1,95 @@
+"""Typed submission and response schemas of the simulation service.
+
+A *submission* is a decoded JSON object describing one run — the fields of
+:class:`~repro.campaign.spec.RunSpec` (kind, preset/geometry, steps, seed,
+engine …) plus two service-level keys:
+
+``schema_version``
+    Optional declaration of the layout the client wrote the submission
+    under; an unknown *major* version is rejected up front (HTTP 400) with
+    the actionable :class:`~repro.errors.SchemaError` message instead of
+    being misinterpreted.
+``record_events``
+    Ask the worker to record the run's flight-recorder log (PR 7), served
+    afterwards from ``GET /v1/runs/<id>/events``. Needs the service to be
+    started with an events directory.
+
+Validation and canonicalisation delegate to
+:func:`repro.api.canonicalize_submission`, so the hash a submission dedupes
+on is *exactly* the campaign engine's content hash: a spec submitted over
+HTTP, expanded from a campaign grid, or swept from the CLI is one run.
+
+Every HTTP response body is built by :func:`response_body`, which stamps the
+result schema version through the single writer in :mod:`repro.core.results`
+— the service never hand-rolls an envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .. import api
+from ..core.results import attach_schema_version
+from ..errors import ConfigurationError
+
+__all__ = [
+    "SERVICE_KEYS",
+    "Submission",
+    "error_body",
+    "response_body",
+    "validate_submission",
+]
+
+#: Submission keys consumed by the service itself (not part of the spec).
+SERVICE_KEYS = ("record_events",)
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One validated, canonicalised run submission.
+
+    ``run_hash`` keys the run store; ``spec`` is the executable
+    :class:`~repro.campaign.spec.RunSpec`; ``record_events`` carries the
+    client's flight-recorder request through to the worker.
+    """
+
+    spec: Any
+    run_hash: str
+    record_events: bool = False
+
+
+def validate_submission(payload: Any) -> Submission:
+    """Parse a decoded request body into a :class:`Submission`.
+
+    Raises :class:`~repro.errors.ConfigurationError` (or
+    :class:`~repro.errors.SchemaError` for an unreadable ``schema_version``)
+    with a message fit to return verbatim in a 400 response.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"submission body must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    record_events = payload.get("record_events", False)
+    if not isinstance(record_events, bool):
+        raise ConfigurationError(
+            f"record_events must be true or false, got {record_events!r}"
+        )
+    spec_fields = {k: v for k, v in payload.items() if k not in SERVICE_KEYS}
+    canonical = api.canonicalize_submission(spec_fields)
+    return Submission(
+        spec=canonical.spec,
+        run_hash=canonical.run_hash,
+        record_events=record_events,
+    )
+
+
+def response_body(body: dict[str, Any]) -> dict[str, Any]:
+    """A response payload with the schema version stamped (single writer)."""
+    return attach_schema_version(body)
+
+
+def error_body(message: str, status: int) -> dict[str, Any]:
+    """The uniform JSON error payload (also schema-versioned)."""
+    return response_body({"error": str(message), "status": int(status)})

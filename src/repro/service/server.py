@@ -1,0 +1,698 @@
+"""The asyncio HTTP/JSON simulation service.
+
+One process, one event loop, no web framework: :class:`SimulationService`
+binds :func:`asyncio.start_server`, parses HTTP/1.1 by hand (short-lived
+``Connection: close`` exchanges), and exposes the campaign engine's
+exactly-once run store as a service:
+
+====== =============================== =========================================
+Method Route                           Meaning
+====== =============================== =========================================
+POST   ``/v1/runs``                    Submit a run spec (202 queued,
+                                       202 deduplicated, 200 cached,
+                                       429 backpressure, 503 draining)
+GET    ``/v1/runs/<id>``               Point-in-time status
+GET    ``/v1/runs/<id>/stream``        Progress stream: chunked JSONL of state
+                                       transitions + heartbeats until terminal
+GET    ``/v1/runs/<id>/result``        The stored payload (409 until done)
+GET    ``/v1/runs/<id>/events``        The run's flight-recorder JSONL
+GET    ``/healthz``                    Liveness (always 200 while serving)
+GET    ``/readyz``                     Readiness (503 once draining)
+GET    ``/metrics``                    Prometheus text exposition
+====== =============================== =========================================
+
+Submissions are validated against the typed :mod:`repro.api` surface and
+keyed by the campaign engine's resolved-config hash, so duplicates — across
+clients, restarts, or a concurrently-running campaign sharing the store —
+dedupe to one execution. A SIGTERM starts a drain: new submissions get 503
+with ``Retry-After``, in-flight claims are demoted back to ``pending``
+(never double-executed), open streams are given a grace period to observe
+the terminal ``demoted`` state, and the process exits cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..campaign.store import RunStore
+from ..errors import ConfigurationError, ReproError, SchemaError, ServiceError
+from ..obs import Observability, collect_service, scope
+from .queue import QueuedRun, RunQueue, RunRegistry
+from .schemas import error_body, response_body, validate_submission
+from .worker import Runner, WorkerPool
+
+__all__ = ["ServiceConfig", "SimulationService", "serve"]
+
+log = logging.getLogger("repro.service")
+
+#: Seconds a client is told to wait before retrying a 429/503.
+RETRY_AFTER_S = 2
+
+#: Cap on request-head reads (request line + each header line).
+_MAX_LINE = 8192
+
+#: Seconds to wait for a complete request head + body before giving up.
+_READ_TIMEOUT_S = 10.0
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a :class:`SimulationService` needs to run."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (the bound port lands on ``service.port``).
+    port: int = 8321
+    #: Campaign directory holding the SQLite run store (None = in-memory,
+    #: which forfeits restart-resume but is handy for tests and demos).
+    store_dir: str | None = None
+    #: Concurrent worker slots (the service-level parallelism).
+    workers: int = 2
+    #: Bounded submission queue; a full queue answers 429.
+    queue_size: int = 64
+    #: Per-run wall-clock timeout (None = no limit).
+    run_timeout: float | None = None
+    #: Extra attempts after a failed run before recording ``failed``.
+    retries: int = 1
+    #: Base of the exponential retry backoff, in seconds.
+    backoff: float = 0.5
+    #: Directory for flight-recorder event logs (None disables
+    #: ``record_events`` submissions).
+    events_dir: str | None = None
+    #: Campaign name service submissions are registered under.
+    campaign: str = "service"
+    #: Seconds to let open progress streams finish after a drain.
+    drain_grace_s: float = 3.0
+    #: Largest accepted request body, in bytes (413 beyond).
+    max_body: int = 1 << 20
+    #: Test seam: run specs through this callable instead of the process
+    #: pool (see :data:`repro.service.worker.Runner`).
+    runner: Runner | None = field(default=None, repr=False)
+
+
+class SimulationService:
+    """The service instance: store + queue + registry + workers + listener."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.store: RunStore | None = None
+        self.queue = RunQueue(self.config.queue_size)
+        self.registry = RunRegistry()
+        self.pool: WorkerPool | None = None
+        self.obs = Observability.create(trace=False, metrics=True, profiler=True)
+        self.metrics = self.obs.metrics
+        self.port: int | None = None
+        self.draining = False
+        self._server: asyncio.Server | None = None
+        self._stopped = asyncio.Event()
+        self._streams = 0
+        self._obs_cm = None
+        # Pre-create the counters so /metrics exposes zeros from request one.
+        self.metrics.counter(
+            "repro_service_requests_total", "HTTP requests by route/method/code"
+        )
+        self.metrics.counter(
+            "repro_service_dedup_hits_total",
+            "submissions answered by an existing execution of the same hash",
+        )
+        self.metrics.counter(
+            "repro_service_submissions_total", "submissions by outcome"
+        )
+        self.metrics.counter(
+            "repro_service_demoted_runs_total",
+            "stale running rows demoted to pending at startup",
+        )
+        self.metrics.counter(
+            "repro_service_runs_total", "runs resolved by this instance, by status"
+        )
+        self.metrics.histogram(
+            "repro_service_request_seconds", "request handling latency by route"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Open the store, recover stale state, start workers and listener."""
+        if self._server is not None:
+            raise ServiceError("service already started")
+        # takeover=False: a sibling process (campaign drainer, second
+        # service) may legitimately be mid-run on a shared store. The
+        # *explicit* sweep below is this instance's own crash recovery,
+        # counted so operators can see ungraceful shutdowns.
+        self.store = RunStore(self.config.store_dir, takeover=False)
+        demoted = self.store.reset_running()
+        self.metrics.counter("repro_service_demoted_runs_total").inc(float(demoted))
+        if demoted:
+            log.warning(
+                "startup sweep: demoted %d stale running row(s) to pending",
+                demoted,
+            )
+        if self.config.events_dir is not None:
+            Path(self.config.events_dir).mkdir(parents=True, exist_ok=True)
+        self._obs_cm = self.obs.activate()
+        self._obs_cm.__enter__()
+        self.pool = WorkerPool(
+            self.store,
+            self.queue,
+            self.registry,
+            workers=self.config.workers,
+            run_timeout=self.config.run_timeout,
+            retries=self.config.retries,
+            backoff=self.config.backoff,
+            runner=self.config.runner,
+            events_dir=self.config.events_dir,
+            on_resolved=self._on_resolved,
+        )
+        self.pool.start()
+        await self._requeue_pending()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info(
+            "repro service listening on %s:%d (store=%s, workers=%d)",
+            self.config.host, self.port,
+            self.config.store_dir or ":memory:", self.config.workers,
+        )
+
+    async def _requeue_pending(self) -> None:
+        """Re-enqueue the store's pending service runs (restart resume)."""
+        assert self.store is not None
+        for stored in self.store.runs(self.config.campaign):
+            if stored.status != "pending":
+                continue
+            try:
+                spec = stored.run_spec()
+            except ReproError as exc:  # pragma: no cover - corrupt row
+                log.warning("cannot requeue run %s: %s", stored.hash, exc)
+                continue
+            if self.queue.try_put(QueuedRun(run_hash=stored.hash, spec=spec)):
+                await self.registry.transition(stored.hash, "queued")
+                log.info("resume: requeued pending run %s", stored.hash)
+            else:  # pragma: no cover - queue smaller than backlog
+                log.warning("resume: queue full, run %s stays pending", stored.hash)
+
+    async def serve_forever(self) -> None:
+        """Run until a drain completes (SIGTERM/SIGINT trigger one)."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        installed: list[signal.Signals] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.initiate_drain)
+                installed.append(sig)
+            except (NotImplementedError, ValueError, RuntimeError):
+                # Non-main-thread loop (the test harness) or a platform
+                # without signal support; drains are triggered directly.
+                break
+        try:
+            await self._stopped.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            await self.stop()
+
+    def initiate_drain(self) -> None:
+        """Begin a graceful shutdown; safe to call repeatedly."""
+        if self.draining:
+            return
+        self.draining = True
+        log.info("drain: rejecting new submissions, demoting in-flight runs")
+        asyncio.get_running_loop().create_task(self._drain_and_stop())
+
+    async def _drain_and_stop(self) -> None:
+        assert self.pool is not None
+        await self.pool.drain()
+        # Hold the listener open for the whole grace window — open streams
+        # get to observe their terminal record, and late clients get an
+        # explicit 503 + Retry-After instead of a connection refusal.
+        deadline = time.monotonic() + self.config.drain_grace_s
+        while time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        self._stopped.set()
+
+    async def stop(self) -> None:
+        """Close the listener, workers and store (idempotent)."""
+        if self.pool is not None:
+            await self.pool.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+        if self._obs_cm is not None:
+            self._obs_cm.__exit__(None, None, None)
+            self._obs_cm = None
+        self._stopped.set()
+
+    async def _on_resolved(self, run_hash: str, status: str) -> None:
+        self.metrics.counter("repro_service_runs_total").inc(1.0, status=status)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time service state (feeds the ``/metrics`` gauges)."""
+        return {
+            "queue_depth": self.queue.depth,
+            "inflight": len(self.pool.inflight) if self.pool is not None else 0,
+            "streams": self._streams,
+            "draining": self.draining,
+        }
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await asyncio.wait_for(
+                    self._read_request(reader, writer), timeout=_READ_TIMEOUT_S
+                )
+            except asyncio.TimeoutError:
+                await self._send_json(
+                    writer, 408, error_body("request read timed out", 408)
+                )
+                return
+            if method is None:  # _read_request already answered
+                return
+            await self._dispatch(writer, method, path, body)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        except Exception:  # pragma: no cover - last-ditch 500
+            log.exception("unhandled error serving request")
+            try:
+                await self._send_json(
+                    writer, 500, error_body("internal server error", 500)
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> tuple[str | None, str, bytes]:
+        """Parse one HTTP/1.1 request; (None, ..) means already answered."""
+        request_line = await reader.readline()
+        if not request_line:
+            return None, "", b""
+        if len(request_line) > _MAX_LINE:
+            await self._send_json(
+                writer, 414, error_body("request line too long", 414)
+            )
+            return None, "", b""
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            await self._send_json(
+                writer, 400, error_body("malformed request line", 400)
+            )
+            return None, "", b""
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if len(line) > _MAX_LINE:
+                await self._send_json(writer, 431, error_body("header too long", 431))
+                return None, "", b""
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            await self._send_json(
+                writer, 400, error_body("unreadable Content-Length", 400)
+            )
+            return None, "", b""
+        if length > self.config.max_body:
+            await self._send_json(
+                writer, 413,
+                error_body(
+                    f"request body of {length} bytes exceeds the "
+                    f"{self.config.max_body}-byte limit", 413,
+                ),
+            )
+            return None, "", b""
+        body = await reader.readexactly(length) if length > 0 else b""
+        path = target.split("?", 1)[0]
+        return method, path, body
+
+    async def _dispatch(
+        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+    ) -> None:
+        route, handler, run_id = self._route(method, path)
+        started = time.perf_counter()
+        status = 500
+        try:
+            with scope(f"service.{route}"):
+                if handler is None:
+                    status = await self._send_json(
+                        writer, 404,
+                        error_body(f"no route for {method} {path}", 404),
+                    )
+                elif run_id is not None:
+                    status = await handler(writer, run_id)
+                elif route == "submit":
+                    status = await handler(writer, body)
+                else:
+                    status = await handler(writer)
+        finally:
+            elapsed = time.perf_counter() - started
+            self.metrics.counter("repro_service_requests_total").inc(
+                1.0, route=route, method=method, code=str(status)
+            )
+            self.metrics.histogram("repro_service_request_seconds").observe(
+                elapsed, route=route
+            )
+
+    def _route(self, method: str, path: str):
+        """Resolve (route label, handler, run id) for a request target."""
+        segments = [s for s in path.split("/") if s]
+        if path == "/healthz" and method == "GET":
+            return "healthz", self._handle_health, None
+        if path == "/readyz" and method == "GET":
+            return "readyz", self._handle_ready, None
+        if path == "/metrics" and method == "GET":
+            return "metrics", self._handle_metrics, None
+        if segments[:2] == ["v1", "runs"]:
+            if len(segments) == 2 and method == "POST":
+                return "submit", self._handle_submit, None
+            if len(segments) == 3 and method == "GET":
+                return "status", self._handle_status, segments[2]
+            if len(segments) == 4 and method == "GET":
+                sub = segments[3]
+                handler = {
+                    "result": self._handle_result,
+                    "stream": self._handle_stream,
+                    "events": self._handle_events,
+                }.get(sub)
+                if handler is not None:
+                    return sub, handler, segments[2]
+        return "unknown", None, None
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: dict[str, Any],
+        extra_headers: dict[str, str] | None = None,
+    ) -> int:
+        payload = json.dumps(body, sort_keys=True).encode()
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(payload)),
+            "Connection": "close",
+        }
+        if extra_headers:
+            headers.update(extra_headers)
+        writer.write(_head(status, headers) + payload)
+        await writer.drain()
+        return status
+
+    async def _send_text(
+        self, writer: asyncio.StreamWriter, status: int, text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> int:
+        payload = text.encode()
+        writer.write(
+            _head(status, {
+                "Content-Type": content_type,
+                "Content-Length": str(len(payload)),
+                "Connection": "close",
+            }) + payload
+        )
+        await writer.drain()
+        return status
+
+    # -- route handlers ----------------------------------------------------
+
+    async def _handle_health(self, writer: asyncio.StreamWriter) -> int:
+        return await self._send_json(
+            writer, 200,
+            response_body({"status": "ok", "draining": self.draining}),
+        )
+
+    async def _handle_ready(self, writer: asyncio.StreamWriter) -> int:
+        if self.draining:
+            return await self._send_json(
+                writer, 503, error_body("service is draining", 503),
+                {"Retry-After": str(RETRY_AFTER_S)},
+            )
+        return await self._send_json(
+            writer, 200, response_body({"status": "ready"})
+        )
+
+    async def _handle_metrics(self, writer: asyncio.StreamWriter) -> int:
+        collect_service(self.metrics, self.snapshot())
+        return await self._send_text(
+            writer, 200, self.metrics.to_prometheus_text()
+        )
+
+    async def _handle_submit(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> int:
+        submissions = self.metrics.counter("repro_service_submissions_total")
+        if self.draining:
+            submissions.inc(1.0, outcome="draining")
+            return await self._send_json(
+                writer, 503,
+                error_body("service is draining; resubmit after restart", 503),
+                {"Retry-After": str(RETRY_AFTER_S)},
+            )
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            submissions.inc(1.0, outcome="rejected")
+            return await self._send_json(
+                writer, 400, error_body(f"request body is not JSON: {exc}", 400)
+            )
+        try:
+            submission = validate_submission(payload)
+        except (ConfigurationError, SchemaError) as exc:
+            submissions.inc(1.0, outcome="rejected")
+            return await self._send_json(writer, 400, error_body(str(exc), 400))
+        if submission.record_events and self.config.events_dir is None:
+            submissions.inc(1.0, outcome="rejected")
+            return await self._send_json(
+                writer, 400,
+                error_body(
+                    "record_events requested but the service has no events "
+                    "directory (start with --events-dir)", 400,
+                ),
+            )
+        run_hash = submission.run_hash
+        assert self.store is not None
+        self.store.register(
+            submission.spec, self.config.campaign, run_hash=run_hash
+        )
+        stored = self.store.get(run_hash)
+        if stored is not None and stored.status == "done":
+            # Cache hit: the hash has a payload (this process or any earlier
+            # one). First-ever submission of a hash is never counted here.
+            self.metrics.counter("repro_service_dedup_hits_total").inc()
+            submissions.inc(1.0, outcome="cached")
+            return await self._send_json(
+                writer, 200,
+                response_body(
+                    {"run_id": run_hash, "status": "done", "cached": True}
+                ),
+            )
+        if self.registry.active(run_hash):
+            # In flight here (queued/running) or watched externally: dedupe
+            # to the existing execution.
+            self.metrics.counter("repro_service_dedup_hits_total").inc()
+            submissions.inc(1.0, outcome="deduplicated")
+            state = self.registry.get(run_hash)
+            return await self._send_json(
+                writer, 202,
+                response_body(dict(state.to_dict(), deduplicated=True)),
+            )
+        queued = QueuedRun(
+            run_hash=run_hash,
+            spec=submission.spec,
+            record_events=submission.record_events,
+        )
+        if not self.queue.try_put(queued):
+            submissions.inc(1.0, outcome="backpressure")
+            return await self._send_json(
+                writer, 429,
+                error_body(
+                    f"submission queue is full ({self.queue.maxsize} runs); "
+                    f"retry after {RETRY_AFTER_S}s", 429,
+                ),
+                {"Retry-After": str(RETRY_AFTER_S)},
+            )
+        # mark() is the synchronous half of transition(): no await lands
+        # between the active() check above and this write, so concurrent
+        # submissions of one hash cannot both enqueue it.
+        state = self.registry.mark(run_hash, "queued")
+        submissions.inc(1.0, outcome="accepted")
+        await self.registry.notify()
+        return await self._send_json(
+            writer, 202, response_body(state.to_dict())
+        )
+
+    def _store_view(self, run_hash: str) -> dict[str, Any] | None:
+        """Status dict from the persistent store (for hashes not live here)."""
+        assert self.store is not None
+        stored = self.store.get(run_hash)
+        if stored is None:
+            return None
+        return {
+            "run_id": run_hash,
+            "status": stored.status,
+            "attempts": stored.attempts,
+            "error": stored.error,
+        }
+
+    async def _handle_status(
+        self, writer: asyncio.StreamWriter, run_hash: str
+    ) -> int:
+        state = self.registry.get(run_hash)
+        if state is not None:
+            view = state.to_dict()
+            view["queue_depth"] = self.queue.depth
+            return await self._send_json(writer, 200, response_body(view))
+        view = self._store_view(run_hash)
+        if view is None:
+            return await self._send_json(
+                writer, 404, error_body(f"unknown run {run_hash!r}", 404)
+            )
+        return await self._send_json(writer, 200, response_body(view))
+
+    async def _handle_result(
+        self, writer: asyncio.StreamWriter, run_hash: str
+    ) -> int:
+        assert self.store is not None
+        stored = self.store.get(run_hash)
+        if stored is None:
+            return await self._send_json(
+                writer, 404, error_body(f"unknown run {run_hash!r}", 404)
+            )
+        if stored.status != "done":
+            state = self.registry.get(run_hash)
+            status = state.status if state is not None else stored.status
+            return await self._send_json(
+                writer, 409,
+                error_body(
+                    f"run {run_hash} is {status!r}, not done"
+                    + (f": {stored.error}" if stored.error else ""), 409,
+                ),
+            )
+        return await self._send_json(
+            writer, 200,
+            response_body({
+                "run_id": run_hash,
+                "status": "done",
+                "attempts": stored.attempts,
+                "duration_s": stored.duration_s,
+                "payload": stored.payload,
+            }),
+        )
+
+    async def _handle_events(
+        self, writer: asyncio.StreamWriter, run_hash: str
+    ) -> int:
+        if self.config.events_dir is None:
+            return await self._send_json(
+                writer, 404, error_body("service records no events", 404)
+            )
+        path = Path(self.config.events_dir) / f"{run_hash}.events.jsonl"
+        if not path.exists():
+            return await self._send_json(
+                writer, 404,
+                error_body(f"no recorded events for run {run_hash!r}", 404),
+            )
+        return await self._send_text(
+            writer, 200, path.read_text(), content_type="application/x-ndjson"
+        )
+
+    async def _handle_stream(
+        self, writer: asyncio.StreamWriter, run_hash: str
+    ) -> int:
+        state = self.registry.get(run_hash)
+        stored_view = self._store_view(run_hash)
+        if state is None and stored_view is None:
+            return await self._send_json(
+                writer, 404, error_body(f"unknown run {run_hash!r}", 404)
+            )
+        writer.write(_head(200, {
+            "Content-Type": "application/x-ndjson",
+            "Transfer-Encoding": "chunked",
+            "Connection": "close",
+        }))
+        await writer.drain()
+        self._streams += 1
+        try:
+            if state is None:
+                # Not live on this instance: one terminal line from the store.
+                await self._write_chunk(
+                    writer, dict(stored_view, final=True, source="store")
+                )
+            else:
+                async for update in self.registry.watch(run_hash):
+                    record = (
+                        update.to_dict() if update is not None else
+                        {"run_id": run_hash, "status": "unknown"}
+                    )
+                    record["queue_depth"] = self.queue.depth
+                    record["final"] = update is not None and update.terminal
+                    await self._write_chunk(writer, record)
+                    if self.draining and not record["final"]:
+                        # A drained instance resolves nothing further; end
+                        # the stream instead of out-living the drain grace.
+                        await self._write_chunk(
+                            writer,
+                            {"run_id": run_hash, "status": "demoted",
+                             "final": True, "source": "drain"},
+                        )
+                        break
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        finally:
+            self._streams -= 1
+        return 200
+
+    async def _write_chunk(
+        self, writer: asyncio.StreamWriter, record: dict[str, Any]
+    ) -> None:
+        line = (json.dumps(response_body(record), sort_keys=True) + "\n").encode()
+        writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+        await writer.drain()
+
+
+def _head(status: int, headers: dict[str, str]) -> bytes:
+    reason = {
+        200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+        408: "Request Timeout", 409: "Conflict", 413: "Payload Too Large",
+        414: "URI Too Long", 429: "Too Many Requests",
+        431: "Request Header Fields Too Large", 500: "Internal Server Error",
+        503: "Service Unavailable",
+    }.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines += [f"{name}: {value}" for name, value in headers.items()]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode()
+
+
+def serve(config: ServiceConfig | None = None) -> None:
+    """Blocking entry point: run a service until SIGTERM/SIGINT (the CLI)."""
+
+    async def _main() -> None:
+        service = SimulationService(config)
+        await service.start()
+        await service.serve_forever()
+
+    asyncio.run(_main())

@@ -1,0 +1,281 @@
+"""The service's worker pool: claim, execute, retry, drain.
+
+Workers are asyncio tasks that drain the :class:`~repro.service.queue.RunQueue`
+through the SQLite :class:`~repro.campaign.store.RunStore`'s exactly-once
+primitives — the same :meth:`~repro.campaign.store.RunStore.claim` /
+:meth:`~repro.campaign.store.RunStore.release` compare-and-set pair the
+campaign scheduler uses, so a service instance, a campaign drainer and a
+second service sharing one store never double-execute a hash.
+
+Execution itself happens off the event loop:
+
+* by default on a lazily-created ``ProcessPoolExecutor`` running the
+  campaign engine's picklable :func:`~repro.campaign.executor._pool_worker`
+  (per-run ``SIGALRM`` timeout inside the child, warm workers across runs);
+* or through an injectable ``runner`` callable on a thread pool — the
+  deterministic hook the tests use to block, fail or count executions.
+
+Concurrency respects the host: each multiprocess-engine spec is rewritten
+through :func:`repro.engine.effective_engine_workers` with the pool size as
+the sibling count, so service slots x engine workers never oversubscribes
+the machine (and, since worker count is not part of the content hash, the
+rewrite never invalidates stored runs).
+
+``drain()`` is the graceful-SIGTERM half: stop consuming, cancel the worker
+tasks, demote every still-claimed row back to ``pending`` (resumable by a
+successor process) and tear the executor down without waiting for in-flight
+compute. A run whose claim was released is *never* recorded by this pool —
+late results from an abandoned child are discarded, which is what keeps the
+"never double-executed" contract under restart races.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import replace
+from typing import Awaitable, Callable
+
+from ..campaign.executor import _pool_worker
+from ..campaign.store import RunStore
+from ..engine import effective_engine_workers
+from ..errors import ServiceError
+from .queue import QueuedRun, RunQueue, RunRegistry
+
+__all__ = ["WorkerPool"]
+
+log = logging.getLogger("repro.service")
+
+#: Signature of an injectable runner: ``(spec_dict, timeout, events_path)``
+#: returning the campaign outcome dict ``{"ok", "payload"|"error",
+#: "duration_s"}``. The default is the campaign pool worker itself.
+Runner = Callable[[dict, float | None, str | None], dict]
+
+
+class WorkerPool:
+    """Bounded pool of queue-draining workers over one run store."""
+
+    def __init__(
+        self,
+        store: RunStore,
+        queue: RunQueue,
+        registry: RunRegistry,
+        *,
+        workers: int = 1,
+        run_timeout: float | None = None,
+        retries: int = 1,
+        backoff: float = 0.5,
+        runner: Runner | None = None,
+        events_dir: str | None = None,
+        on_resolved: Callable[[str, str], Awaitable[None]] | None = None,
+    ) -> None:
+        if workers <= 0:
+            raise ServiceError(f"worker count must be positive, got {workers}")
+        if retries < 0:
+            raise ServiceError(f"retries must be non-negative, got {retries}")
+        self.store = store
+        self.queue = queue
+        self.registry = registry
+        self.workers = int(workers)
+        self.run_timeout = run_timeout
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.runner = runner
+        self.events_dir = events_dir
+        #: Optional async hook ``(run_hash, status)`` awaited after every
+        #: terminal resolution (the server bumps metrics there).
+        self.on_resolved = on_resolved
+        self.draining = False
+        #: Hashes this pool has claimed and not yet resolved — exactly what
+        #: a drain demotes, never a sibling process's claims.
+        self.inflight: set[str] = set()
+        self._tasks: list[asyncio.Task] = []
+        self._watchers: set[asyncio.Task] = set()
+        self._executor: Executor | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker tasks on the running event loop."""
+        if self._tasks:
+            raise ServiceError("worker pool already started")
+        self._tasks = [
+            asyncio.create_task(self._worker_loop(), name=f"repro-service-worker-{i}")
+            for i in range(self.workers)
+        ]
+
+    async def drain(self) -> int:
+        """Stop executing, demote in-flight claims; returns the demoted count.
+
+        Idempotent. After a drain the pool accepts no more work; queued
+        items simply stay registered as ``pending`` in the store for a
+        successor process (their in-memory states turn ``demoted`` so open
+        progress streams end cleanly).
+        """
+        if self.draining:
+            return 0
+        self.draining = True
+        for task in self._tasks + list(self._watchers):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self._watchers:
+            await asyncio.gather(*self._watchers, return_exceptions=True)
+        demoted = 0
+        for run_hash in sorted(self.inflight):
+            if self.store.release(run_hash):
+                demoted += 1
+            await self.registry.transition(run_hash, "demoted")
+            log.info("drain: demoted in-flight run %s to pending", run_hash)
+        self.inflight.clear()
+        # Queued-but-unclaimed runs are already 'pending' in the store; end
+        # their streams so clients know to come back after the restart.
+        while True:
+            try:
+                item = self.queue._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            await self.registry.transition(item.run_hash, "demoted")
+            demoted += 0  # pending already; nothing to release
+        self._shutdown_executor()
+        return demoted
+
+    def _shutdown_executor(self) -> None:
+        pool = self._executor
+        self._executor = None
+        if pool is None:
+            return
+        pool.shutdown(wait=False, cancel_futures=True)
+        # A ProcessPoolExecutor cannot cancel a *running* future; its claim
+        # is already released, so terminate the children rather than letting
+        # an abandoned simulation hold up process exit.
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                process.terminate()
+            except (OSError, AttributeError):  # pragma: no cover - best effort
+                pass
+
+    # -- execution ---------------------------------------------------------
+
+    def _events_path(self, item: QueuedRun) -> str | None:
+        if not item.record_events or self.events_dir is None:
+            return None
+        return f"{self.events_dir}/{item.run_hash}.events.jsonl"
+
+    def _guarded_spec(self, spec):
+        """Apply the nested-parallelism guard to multiprocess-engine specs."""
+        if getattr(spec, "engine", None) != "multiprocess":
+            return spec
+        return replace(
+            spec,
+            engine_workers=effective_engine_workers(
+                spec.engine_workers, sibling_processes=self.workers
+            ),
+        )
+
+    async def _execute(self, item: QueuedRun) -> dict:
+        """Run one spec off the event loop; never raises (outcome dict)."""
+        spec = self._guarded_spec(item.spec)
+        loop = asyncio.get_running_loop()
+        if self.runner is not None:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-service-runner",
+                )
+            call = self.runner
+        else:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            call = _pool_worker
+        return await loop.run_in_executor(
+            self._executor,
+            call,
+            spec.to_dict(),
+            self.run_timeout,
+            self._events_path(item),
+        )
+
+    async def _resolved(self, run_hash: str, status: str) -> None:
+        if self.on_resolved is not None:
+            await self.on_resolved(run_hash, status)
+
+    async def _worker_loop(self) -> None:
+        while not self.draining:
+            item = await self.queue.get()
+            try:
+                await self._run_one(item)
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - defensive: keep draining
+                log.exception("worker crashed on run %s", item.run_hash)
+
+    async def _run_one(self, item: QueuedRun) -> None:
+        run_hash = item.run_hash
+        if not self.store.claim(run_hash):
+            # Someone else owns or finished the hash. Serve 'done' straight
+            # from the store; otherwise watch the store until the external
+            # owner resolves it so progress streams still terminate.
+            stored = self.store.get(run_hash)
+            if stored is not None and stored.status == "done":
+                await self.registry.transition(run_hash, "done")
+                await self._resolved(run_hash, "cached")
+            else:
+                await self.registry.transition(run_hash, "external")
+                watcher = asyncio.create_task(self._watch_external(run_hash))
+                self._watchers.add(watcher)
+                watcher.add_done_callback(self._watchers.discard)
+            return
+        self.inflight.add(run_hash)
+        attempt = 1
+        await self.registry.transition(run_hash, "running", attempts=attempt)
+        while True:
+            outcome = await self._execute(item)
+            if run_hash not in self.inflight:
+                # Drained (claim released) while executing: a successor may
+                # already be re-running this hash — discard the late result.
+                log.warning("discarding late result for demoted run %s", run_hash)
+                return
+            if outcome.get("ok"):
+                self.store.complete(
+                    run_hash, outcome["payload"], outcome.get("duration_s", 0.0)
+                )
+                self.inflight.discard(run_hash)
+                await self.registry.transition(run_hash, "done", attempts=attempt)
+                await self._resolved(run_hash, "done")
+                return
+            if attempt <= self.retries:
+                if self.backoff > 0:
+                    await asyncio.sleep(self.backoff * 2 ** (attempt - 1))
+                if self.draining or run_hash not in self.inflight:
+                    return
+                attempt += 1
+                self.store.start(run_hash)
+                await self.registry.transition(run_hash, "running", attempts=attempt)
+                continue
+            self.store.fail(
+                run_hash, outcome.get("error", "unknown error"),
+                outcome.get("duration_s"),
+            )
+            self.inflight.discard(run_hash)
+            await self.registry.transition(
+                run_hash, "failed", attempts=attempt,
+                error=outcome.get("error", "unknown error"),
+            )
+            await self._resolved(run_hash, "failed")
+            return
+
+    async def _watch_external(self, run_hash: str, poll_s: float = 0.25) -> None:
+        """Poll the store while another process executes ``run_hash``."""
+        while not self.draining:
+            stored = self.store.get(run_hash)
+            if stored is None or stored.status in ("done", "failed"):
+                status = stored.status if stored is not None else "failed"
+                await self.registry.transition(
+                    run_hash, status,
+                    error=stored.error if stored is not None else "row vanished",
+                )
+                await self._resolved(run_hash, status)
+                return
+            await asyncio.sleep(poll_s)

@@ -1,0 +1,133 @@
+"""Fixtures for the simulation-service tests.
+
+The service runs its asyncio loop on a background thread (as
+``repro serve`` runs it on the main thread) while the tests act as plain
+blocking HTTP clients — the same vantage point real clients have. Tests
+that need deterministic execution inject a ``runner`` callable instead of
+the process pool: blocking runners hold a run "in flight" on a
+:class:`threading.Event`, counting runners prove exactly-once execution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service import ServiceClient, ServiceConfig, SimulationService
+
+
+class ServiceHandle:
+    """A service on a background event-loop thread, plus client plumbing."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.loop = asyncio.new_event_loop()
+        self.service = SimulationService(config)
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        try:
+            self.loop.run_until_complete(self._main())
+        finally:
+            self.loop.close()
+
+    async def _main(self) -> None:
+        try:
+            await self.service.start()
+        except BaseException as exc:  # surface startup failures to the test
+            self._startup_error = exc
+            self._ready.set()
+            raise
+        self._ready.set()
+        await self.service.serve_forever()
+
+    def start(self) -> "ServiceHandle":
+        self._thread.start()
+        if not self._ready.wait(timeout=15):
+            raise RuntimeError("service did not start within 15s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def client(self, timeout: float = 30.0) -> ServiceClient:
+        return ServiceClient(port=self.port, timeout=timeout)
+
+    def drain(self) -> None:
+        """Trigger the SIGTERM path from outside the loop thread."""
+        self.loop.call_soon_threadsafe(self.service.initiate_drain)
+
+    def join(self, timeout: float = 15.0) -> bool:
+        """Wait for the server to exit; True when it did."""
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self.drain()
+            self._thread.join(timeout=15)
+
+
+@pytest.fixture
+def service_factory(tmp_path):
+    """Build started services; every one is drained at teardown."""
+    handles: list[ServiceHandle] = []
+
+    def make(**kwargs) -> ServiceHandle:
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("drain_grace_s", 0.2)
+        handle = ServiceHandle(ServiceConfig(**kwargs)).start()
+        handles.append(handle)
+        return handle
+
+    yield make
+    for handle in handles:
+        handle.stop()
+
+
+class CountingRunner:
+    """Counts executions; optionally blocks each on an event (in-flight)."""
+
+    def __init__(self, gate: threading.Event | None = None,
+                 fail_first: int = 0) -> None:
+        self.gate = gate
+        self.fail_first = fail_first
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, spec_dict, timeout, events_path):
+        with self._lock:
+            self.calls += 1
+            call = self.calls
+        if self.gate is not None:
+            if not self.gate.wait(timeout=30):
+                return {"ok": False, "error": "gate never opened",
+                        "duration_s": 0.0}
+        if call <= self.fail_first:
+            return {"ok": False, "error": f"injected failure #{call}",
+                    "duration_s": 0.0}
+        return {
+            "ok": True,
+            "payload": {"kind": spec_dict.get("kind"),
+                        "preset": spec_dict.get("preset"),
+                        "seed": spec_dict.get("seed"),
+                        "calls": call},
+            "duration_s": 0.001,
+        }
+
+
+@pytest.fixture
+def gate():
+    """An event the test opens to let blocked runners finish; always opened
+    at teardown so no executor thread outlives the test."""
+    event = threading.Event()
+    yield event
+    event.set()

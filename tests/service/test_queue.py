@@ -1,0 +1,108 @@
+"""RunQueue backpressure and RunRegistry state/watch semantics."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import QueuedRun, RunQueue, RunRegistry
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestRunQueue:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ServiceError, match="positive"):
+            RunQueue(0)
+
+    def test_try_put_signals_backpressure_without_blocking(self):
+        async def scenario():
+            queue = RunQueue(2)
+            a, b, c = (QueuedRun(run_hash=h, spec=None) for h in "abc")
+            assert queue.try_put(a)
+            assert queue.try_put(b)
+            assert queue.full
+            assert not queue.try_put(c)  # full: immediate False, no await
+            assert queue.depth == 2
+            assert (await queue.get()).run_hash == "a"
+            assert queue.try_put(c)  # space freed
+
+        _run(scenario())
+
+
+class TestRunRegistry:
+    def test_transitions_and_terminality(self):
+        async def scenario():
+            registry = RunRegistry()
+            state = await registry.transition("h1", "queued")
+            assert registry.active("h1")
+            assert not state.terminal
+            await registry.transition("h1", "running", attempts=1)
+            state = await registry.transition("h1", "done", attempts=1)
+            assert state.terminal
+            assert not registry.active("h1")
+            view = state.to_dict()
+            assert view["run_id"] == "h1"
+            assert view["status"] == "done"
+            assert view["attempts"] == 1
+
+        _run(scenario())
+
+    def test_rejects_unknown_state(self):
+        async def scenario():
+            registry = RunRegistry()
+            with pytest.raises(ServiceError, match="unknown run state"):
+                await registry.transition("h1", "levitating")
+
+        _run(scenario())
+
+    def test_mark_is_synchronous_and_notify_wakes_watchers(self):
+        # The submit handler relies on mark() not yielding: check-and-set
+        # must be atomic under asyncio for concurrent-dedup correctness.
+        async def scenario():
+            registry = RunRegistry()
+            state = registry.mark("h1", "queued")  # no await required
+            assert registry.active("h1")
+            assert state.status == "queued"
+            await registry.notify()
+
+        _run(scenario())
+
+    def test_watch_sees_every_transition_and_ends_terminal(self):
+        async def scenario():
+            registry = RunRegistry()
+            await registry.transition("h1", "queued")
+            seen: list[str] = []
+
+            async def watcher():
+                async for state in registry.watch("h1", heartbeat_s=5.0):
+                    seen.append(state.status if state else "unknown")
+
+            task = asyncio.create_task(watcher())
+            await asyncio.sleep(0.01)
+            await registry.transition("h1", "running", attempts=1)
+            await asyncio.sleep(0.01)
+            await registry.transition("h1", "done")
+            await asyncio.wait_for(task, timeout=5)
+            assert seen[0] == "queued"
+            assert seen[-1] == "done"
+            assert "running" in seen
+
+        _run(scenario())
+
+    def test_watch_heartbeats_while_nothing_changes(self):
+        async def scenario():
+            registry = RunRegistry()
+            await registry.transition("h1", "queued")
+            updates = 0
+            async for _state in registry.watch("h1", heartbeat_s=0.02):
+                updates += 1
+                if updates >= 3:  # initial + two heartbeat re-yields
+                    break
+            assert updates == 3
+
+        _run(scenario())

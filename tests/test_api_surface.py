@@ -14,11 +14,13 @@ from repro import api
 
 EXPECTED_ALL = [
     "AuditPolicy",
+    "CanonicalSubmission",
     "CheckpointPolicy",
     "EngineSpec",
     "RunConfig",
     "RunResult",
     "SimulationConfig",
+    "canonicalize_submission",
     "load_config",
     "load_faults",
     "load_result",
@@ -61,6 +63,9 @@ EXPECTED_SIGNATURES = {
     "load_config": "(path: 'str | Path') -> 'LoadedConfig'",
     "load_result": "(path: 'str | Path') -> 'dict[str, Any]'",
     "load_faults": "(path: 'str | Path') -> 'FaultPlan'",
+    "canonicalize_submission": (
+        "(submission: 'dict[str, Any]') -> 'CanonicalSubmission'"
+    ),
 }
 
 

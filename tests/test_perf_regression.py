@@ -264,3 +264,55 @@ class TestCheckEngine:
         checker = _load_checker()
         failures, _ = checker.check_engine(payload, payload)
         assert not failures
+
+
+SERVICE_RESULTS = REPO_ROOT / "BENCH_service.json"
+
+
+class TestCheckService:
+    """Unit coverage of the simulation-service gate (cheap, still opt-in)."""
+
+    def test_digest_mismatch_always_fails(self):
+        checker = _load_checker()
+        fresh = {"service": {"fig5b": {"digest_match": False}}}
+        failures, _ = checker.check_service(None, fresh)
+        assert len(failures) == 1
+        fresh["service"]["fig5b"]["digest_match"] = True
+        failures, notes = checker.check_service(None, fresh)
+        assert not failures
+        assert any("DIGEST OK" in n for n in notes)
+
+    def test_overhead_gate_enforced(self):
+        checker = _load_checker()
+        fresh = {"service": {"fig5b": {"digest_match": True}},
+                 "derived": {"service_over_direct_fig5b": 1.4}}
+        failures, _ = checker.check_service(None, fresh)
+        assert len(failures) == 1
+        fresh["derived"]["service_over_direct_fig5b"] = 1.05
+        failures, notes = checker.check_service(None, fresh)
+        assert not failures
+        assert any("SERVICE OK" in n for n in notes)
+
+    def test_direct_wall_regression_against_baseline(self):
+        checker = _load_checker()
+        base = {"service": {"fig5b": {"digest_match": True,
+                                      "direct_wall_s": 1.0}}}
+        fresh = {"service": {"fig5b": {"digest_match": True,
+                                       "direct_wall_s": 2.0}}}
+        failures, _ = checker.check_service(base, fresh, threshold=1.5)
+        assert len(failures) == 1
+        fresh["service"]["fig5b"]["direct_wall_s"] = 1.2
+        failures, _ = checker.check_service(base, fresh, threshold=1.5)
+        assert not failures
+
+    def test_committed_service_baseline_is_wellformed(self):
+        assert SERVICE_RESULTS.exists(), (
+            "run benchmarks/bench_service.py to create BENCH_service.json"
+        )
+        payload = json.loads(SERVICE_RESULTS.read_text())
+        assert payload["schema"] == 1
+        assert payload["service"]["fig5b"]["digest_match"] is True
+        assert payload["derived"]["service_over_direct_fig5b"] <= 1.15
+        checker = _load_checker()
+        failures, _ = checker.check_service(payload, payload)
+        assert not failures
