@@ -73,10 +73,16 @@ def _write_events(observability, events_path: str | None) -> None:
     )
 
 
-def _execute_boundary(spec: RunSpec, events_path: str | None = None) -> dict:
+def _execute_boundary(
+    spec: RunSpec,
+    events_path: str | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+) -> dict:
     # Boundary repetitions run many internal simulations per repetition;
-    # there is no single canonical event stream to record, so the flight
-    # recorder is a documented no-op for this run kind.
+    # there is no single canonical event stream to record (and no single
+    # runner state to snapshot), so the flight recorder and mid-run
+    # checkpointing are documented no-ops for this run kind.
     outcome = run_boundary_repetition(
         spec.m,
         spec.n_pes,
@@ -123,7 +129,14 @@ def _probe_configurations(schedule, index: int, hold: int):
         yield last
 
 
-def _execute_probe(spec: RunSpec, events_path: str | None = None) -> dict:
+def _execute_probe(
+    spec: RunSpec,
+    events_path: str | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+) -> dict:
+    # Probes drive many short configuration holds; like boundary runs they
+    # have no single resumable runner state, so checkpointing is a no-op.
     from .. import api
     from ..experiments.common import droplets_for, geometry_for, simulation_config_for
     from ..experiments.fig10 import auto_rounds
@@ -176,7 +189,33 @@ def _execute_probe(spec: RunSpec, events_path: str | None = None) -> dict:
     }
 
 
-def _execute_preset(spec: RunSpec, events_path: str | None = None) -> dict:
+def _checkpoint_policy(checkpoint_dir: str | None, checkpoint_every: int):
+    """A resume-aware checkpoint policy, or None when checkpointing is off.
+
+    ``resume`` is computed from the directory: snapshots present means a
+    previous attempt of this exact run hash died mid-flight, and PR 4's
+    bit-identical restore guarantees the resumed run's digest matches an
+    uninterrupted one.
+    """
+    if checkpoint_dir is None or checkpoint_every <= 0:
+        return None
+    from ..api import CheckpointPolicy
+    from ..core.checkpoint import CheckpointManager
+
+    manager = CheckpointManager(checkpoint_dir, every=checkpoint_every)
+    return CheckpointPolicy(
+        directory=checkpoint_dir,
+        every=checkpoint_every,
+        resume=bool(manager.snapshots()),
+    )
+
+
+def _execute_preset(
+    spec: RunSpec,
+    events_path: str | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+) -> dict:
     from .. import api
 
     observability = _build_events(events_path)
@@ -192,6 +231,7 @@ def _execute_preset(spec: RunSpec, events_path: str | None = None) -> dict:
         engine=spec.engine,
         engine_workers=spec.engine_workers,
         observability=observability,
+        checkpoints=_checkpoint_policy(checkpoint_dir, checkpoint_every),
     )
     _write_events(observability, events_path)
     payload = {
@@ -210,25 +250,33 @@ def _execute_preset(spec: RunSpec, events_path: str | None = None) -> dict:
     return payload
 
 
-_KIND_EXECUTORS: dict[str, Callable[[RunSpec, str | None], dict]] = {
+_KIND_EXECUTORS: dict[str, Callable[..., dict]] = {
     "boundary": _execute_boundary,
     "probe": _execute_probe,
     "preset": _execute_preset,
 }
 
 
-def execute_run(spec: RunSpec, events_path: str | None = None) -> dict:
+def execute_run(
+    spec: RunSpec,
+    events_path: str | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+) -> dict:
     """Execute one run synchronously and return its JSON payload.
 
     ``events_path`` (when given) records the run's flight-recorder sim
     channel there, with host events in a ``.host`` sidecar; boundary runs
-    ignore it (no single canonical event stream).
+    ignore it (no single canonical event stream).  ``checkpoint_dir`` +
+    ``checkpoint_every`` arm crash-safe mid-run snapshots for preset runs
+    (the service fleet's failover-resume path); existing snapshots in the
+    directory make the run resume from the latest one, bit-identically.
     """
     try:
         run = _KIND_EXECUTORS[spec.kind]
     except KeyError:
         raise CampaignError(f"no executor for run kind {spec.kind!r}") from None
-    return run(spec, events_path)
+    return run(spec, events_path, checkpoint_dir, checkpoint_every)
 
 
 def _raise_timeout(signum, frame):  # pragma: no cover - exercised via alarm
@@ -236,28 +284,38 @@ def _raise_timeout(signum, frame):  # pragma: no cover - exercised via alarm
 
 
 def _execute_with_timeout(
-    spec: RunSpec, timeout: float | None, events_path: str | None = None
+    spec: RunSpec,
+    timeout: float | None,
+    events_path: str | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
 ) -> dict:
     """Execute a run under a ``SIGALRM`` deadline (no-op without one)."""
     if timeout is None or not hasattr(signal, "SIGALRM"):
-        return execute_run(spec, events_path)
+        return execute_run(spec, events_path, checkpoint_dir, checkpoint_every)
     previous = signal.signal(signal.SIGALRM, _raise_timeout)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return execute_run(spec, events_path)
+        return execute_run(spec, events_path, checkpoint_dir, checkpoint_every)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
 
 
 def _pool_worker(
-    spec_dict: dict, timeout: float | None, events_path: str | None = None
+    spec_dict: dict,
+    timeout: float | None,
+    events_path: str | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
 ) -> dict:
     """Top-level (picklable) worker entry: never raises across the pool."""
     spec = RunSpec.from_dict(spec_dict)
     started = time.perf_counter()
     try:
-        payload = _execute_with_timeout(spec, timeout, events_path)
+        payload = _execute_with_timeout(
+            spec, timeout, events_path, checkpoint_dir, checkpoint_every
+        )
         return {"ok": True, "payload": payload,
                 "duration_s": time.perf_counter() - started}
     except Exception:
@@ -420,15 +478,18 @@ def run_campaign(
         else:
             work.append((run_hash, spec))
 
-    # Hashes this invocation has claimed but not yet resolved. On a clean
-    # interrupt (KeyboardInterrupt / SIGTERM) exactly these are demoted back
-    # to pending -- never a sibling process's in-flight rows.
-    inflight: set[str] = set()
+    # Leases this invocation holds but has not yet resolved, keyed by run
+    # hash. Campaign drainers take unmonitored leases (no deadline -- there
+    # is no heartbeat task here), so a sibling can never steal them; on a
+    # clean interrupt (KeyboardInterrupt / SIGTERM) exactly these rows are
+    # demoted back to pending -- never a sibling process's in-flight runs.
+    leases: dict = {}
 
     def claim(run_hash: str, spec: RunSpec) -> bool:
-        """Claim a run or report why it cannot be executed here."""
-        if store.claim(run_hash):
-            inflight.add(run_hash)
+        """Lease a run or report why it cannot be executed here."""
+        lease = store.acquire_lease(run_hash)
+        if lease is not None:
+            leases[run_hash] = lease
             return True
         stored = store.get(run_hash)
         if stored is not None and stored.status == "done":
@@ -441,17 +502,40 @@ def run_campaign(
             report("skipped", run_hash, spec)
         return False
 
+    def retry(run_hash: str) -> bool:
+        """Start another attempt under our lease; False when it was lost."""
+        lease = store.retry_lease(leases[run_hash])
+        if lease is None:
+            leases.pop(run_hash, None)
+            return False
+        leases[run_hash] = lease
+        return True
+
     def record_success(run_hash: str, spec: RunSpec, payload: dict, duration: float):
-        store.complete(run_hash, payload, duration)
-        inflight.discard(run_hash)
+        committed = store.complete(
+            run_hash, payload, duration, lease=leases.pop(run_hash, None)
+        )
+        if not committed:
+            # Our lease was taken over (a sweep demoted us mid-run); the
+            # result belongs to whoever owns the row now, not us.
+            summary.skipped += 1
+            hook.count("skipped")
+            report("skipped", run_hash, spec)
+            return
         summary.completed += 1
         hook.count("completed")
         hook.duration(duration)
         report("done", run_hash, spec)
 
     def record_failure(run_hash: str, spec: RunSpec, error: str, duration):
-        store.fail(run_hash, error, duration)
-        inflight.discard(run_hash)
+        recorded = store.fail(
+            run_hash, error, duration, lease=leases.pop(run_hash, None)
+        )
+        if recorded is None:
+            summary.skipped += 1
+            hook.count("skipped")
+            report("skipped", run_hash, spec)
+            return
         summary.failed += 1
         summary.failures[run_hash] = error
         hook.count("failed")
@@ -490,10 +574,9 @@ def run_campaign(
                         record_success(run_hash, spec, outcome["payload"],
                                        outcome["duration_s"])
                         break
-                    if attempt < retries:
+                    if attempt < retries and retry(run_hash):
                         attempt += 1
                         summary.retries += 1
-                        store.start(run_hash)
                         report("retry", run_hash, spec)
                         if backoff > 0:
                             time.sleep(backoff * 2 ** (attempt - 1))
@@ -503,18 +586,18 @@ def run_campaign(
                     break
         else:
             _run_pool(campaign, store, work, workers, timeout, retries, backoff,
-                      summary, hook, report, reached_stop, claim,
+                      summary, hook, report, reached_stop, claim, retry,
                       record_success, record_failure, pool_args)
     except KeyboardInterrupt:
         summary.interrupted = True
     finally:
         if previous_sigterm is not None:
             signal.signal(signal.SIGTERM, previous_sigterm)
-        # Exactly the rows this invocation still has in flight (cancelled
-        # futures, the interrupted run) become pending again, so a resume
-        # re-executes exactly those.
-        for run_hash in inflight:
-            store.release(run_hash)
+        # Exactly the leases this invocation still holds (cancelled futures,
+        # the interrupted run) are released back to pending, so a resume
+        # re-executes exactly those -- and only rows we still own.
+        for lease in leases.values():
+            store.release_lease(lease)
         summary.wall_s = time.perf_counter() - started
     if stop_after is not None and summary.cancelled:
         summary.interrupted = True
@@ -522,7 +605,7 @@ def run_campaign(
 
 
 def _run_pool(campaign, store, work, workers, timeout, retries, backoff,
-              summary, hook, report, reached_stop, claim,
+              summary, hook, report, reached_stop, claim, retry,
               record_success, record_failure, pool_args) -> None:
     """The parallel drain loop (extracted for readability)."""
     pending: dict = {}
@@ -550,8 +633,14 @@ def _run_pool(campaign, store, work, workers, timeout, retries, backoff,
                 while queue and len(pending) < workers:
                     run_hash, spec = queue.pop(0)
                     if run_hash in attempts:
-                        # Retry of a run this invocation already owns.
-                        store.start(run_hash)
+                        # Retry of a run this invocation already owns; a
+                        # lost lease means the row was swept out from under
+                        # us and the retry must not run here.
+                        if not retry(run_hash):
+                            summary.skipped += 1
+                            hook.count("skipped")
+                            report("skipped", run_hash, spec)
+                            continue
                     elif not claim(run_hash, spec):
                         continue
                     report("start", run_hash, spec)

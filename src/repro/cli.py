@@ -451,11 +451,47 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(json.dumps(counts, indent=2, sort_keys=True))
         else:
             rows = [
-                (name, c["done"], c["pending"], c["failed"], sum(c.values()))
+                (name, c["done"], c["pending"], c["failed"],
+                 c["quarantined"], sum(c.values()))
                 for name, c in counts.items()
             ]
-            print(format_table(["campaign", "done", "pending", "failed", "total"],
-                               rows, title="run store status"))
+            print(format_table(
+                ["campaign", "done", "pending", "failed", "quarantined",
+                 "total"],
+                rows, title="run store status",
+            ))
+        return 0
+
+    if verb == "gc":
+        statuses = tuple(
+            status.strip() for status in args.status.split(",") if status.strip()
+        )
+        try:
+            age_s = _parse_duration(args.older_than)
+            with RunStore(args.dir) as store:
+                evicted = store.evict_older_than(
+                    age_s, statuses=statuses, campaign=args.name
+                )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        removed_artifacts = 0
+        for run_hash in evicted:
+            removed_artifacts += _remove_run_artifacts(
+                args.dir, run_hash, events_dir=args.events_dir
+            )
+        if args.json:
+            print(json.dumps(
+                {"evicted": evicted, "count": len(evicted),
+                 "artifacts_removed": removed_artifacts},
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(
+                f"evicted {len(evicted)} run(s) older than {args.older_than} "
+                f"({removed_artifacts} artifact file(s) removed); evicted "
+                f"runs re-execute on resubmission"
+            )
         return 0
 
     if verb == "report":
@@ -514,6 +550,104 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled campaign verb {verb!r}")  # pragma: no cover
+
+
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def _parse_duration(text: str) -> float:
+    """Parse ``90``/``90s``/``15m``/``2h``/``7d`` into seconds."""
+    text = text.strip().lower()
+    unit = 1.0
+    if text and text[-1] in _DURATION_UNITS:
+        unit = _DURATION_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ReproError(
+            f"unreadable duration {text!r} (use e.g. 90, 90s, 15m, 2h, 7d)"
+        ) from None
+    if value < 0:
+        raise ReproError(f"duration must be >= 0, got {value}")
+    return value * unit
+
+
+def _remove_run_artifacts(
+    store_dir: str, run_hash: str, events_dir: str | None = None
+) -> int:
+    """Delete an evicted run's checkpoint/event files; returns files removed."""
+    from pathlib import Path
+
+    removed = 0
+    checkpoint_dir = Path(store_dir) / "checkpoints" / run_hash
+    if checkpoint_dir.is_dir():
+        for path in checkpoint_dir.iterdir():
+            path.unlink(missing_ok=True)
+            removed += 1
+        try:
+            checkpoint_dir.rmdir()
+        except OSError:  # pragma: no cover - non-empty leftovers
+            pass
+    if events_dir is not None:
+        base = Path(events_dir) / f"{run_hash}.events.jsonl"
+        for path in (base, base.with_name(f"{run_hash}.events.host.jsonl")):
+            if path.exists():
+                path.unlink()
+                removed += 1
+    return removed
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    """The ``repro runs`` group: quarantine inspection and requeue."""
+    verb = args.verb
+    if verb == "quarantine":
+        with RunStore(args.dir) as store:
+            rows = store.quarantined_runs(args.name)
+        if args.json:
+            print(json.dumps(
+                [
+                    {
+                        "run_id": stored.hash,
+                        "campaign": stored.campaign,
+                        "attempts": stored.attempts,
+                        "failed_owners": list(stored.failed_owners),
+                        "quarantine": stored.error_payload,
+                    }
+                    for stored in rows
+                ],
+                indent=2, sort_keys=True,
+            ))
+        else:
+            table = [
+                (
+                    stored.hash,
+                    stored.campaign,
+                    stored.attempts,
+                    len(stored.failed_owners),
+                    (stored.error_payload or {}).get("reason", ""),
+                )
+                for stored in rows
+            ]
+            print(format_table(
+                ["run", "campaign", "attempts", "instances", "reason"],
+                table, title="quarantined runs",
+            ))
+        return 0
+
+    if verb == "requeue":
+        with RunStore(args.dir) as store:
+            ok = store.requeue_quarantined(args.hash)
+        if not ok:
+            print(
+                f"error: run {args.hash!r} is not quarantined in {args.dir}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"run {args.hash} requeued as pending (failure history cleared)")
+        return 0
+
+    raise AssertionError(f"unhandled runs verb {verb!r}")  # pragma: no cover
 
 
 def _bounds_grid(args: argparse.Namespace) -> tuple[np.ndarray, dict[int, list[float]]]:
@@ -606,6 +740,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             run_timeout=args.timeout,
             retries=args.retries,
             events_dir=args.events_dir,
+            lease_ttl=args.lease_ttl if args.lease_ttl > 0 else None,
+            reap_interval=args.reap_interval,
+            max_attempts=args.max_attempts,
+            checkpoint_every=args.checkpoint_every,
+            result_ttl_s=(
+                _parse_duration(args.result_ttl)
+                if args.result_ttl is not None else None
+            ),
+            gc_interval_s=args.gc_interval,
         ))
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -831,6 +974,21 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("name")
     _store_args(report)
     report.set_defaults(func=_cmd_campaign)
+    gc = campaign_sub.add_parser(
+        "gc", help="evict stored results older than a cutoff (result TTL)"
+    )
+    gc.add_argument("name", nargs="?", default=None,
+                    help="restrict eviction to one campaign")
+    gc.add_argument("--older-than", required=True, metavar="AGE",
+                    help="evict terminal runs not updated for AGE "
+                    "(e.g. 90s, 15m, 2h, 7d)")
+    gc.add_argument("--status", default="done",
+                    help="comma-separated terminal statuses to evict "
+                    "(default: done)")
+    gc.add_argument("--events-dir", metavar="DIR", default=None,
+                    help="also delete the evicted runs' event logs from DIR")
+    _store_args(gc)
+    gc.set_defaults(func=_cmd_campaign)
     search = campaign_sub.add_parser(
         "search", help="bisect the DLB effective-range boundary"
     )
@@ -911,7 +1069,50 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record flight-recorder logs for submissions "
                        "that ask (record_events: true), served from "
                        "/v1/runs/<id>/events")
+    serve.add_argument("--lease-ttl", type=float, default=30.0,
+                       help="run-lease TTL in seconds; siblings sharing the "
+                       "store reclaim runs whose lease expires (0 disables "
+                       "leases and fleet failover; default: 30)")
+    serve.add_argument("--reap-interval", type=float, default=None,
+                       help="lease renewal / reaper cadence in seconds "
+                       "(default: lease TTL / 3)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="distinct instances that must fail a run before "
+                       "it is quarantined terminally (default: 3)")
+    serve.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                       help="checkpoint preset runs every N steps so a "
+                       "reclaimed run resumes mid-flight (default: 0 = off)")
+    serve.add_argument("--result-ttl", metavar="AGE", default=None,
+                       help="evict stored results older than AGE (e.g. 2h, "
+                       "7d) on a periodic sweep (default: keep forever)")
+    serve.add_argument("--gc-interval", type=float, default=60.0,
+                       help="seconds between result-TTL sweeps (default: 60)")
     serve.set_defaults(func=_cmd_serve)
+
+    runs = sub.add_parser(
+        "runs", help="inspect and manage individual stored runs"
+    )
+    runs_sub = runs.add_subparsers(dest="verb", required=True)
+    quarantine = runs_sub.add_parser(
+        "quarantine",
+        help="list quarantined runs with their structured error payloads",
+    )
+    quarantine.add_argument("name", nargs="?", default=None,
+                            help="restrict to one campaign")
+    quarantine.add_argument("--dir", default=".campaigns/service",
+                            help="run-store directory "
+                            "(default: .campaigns/service)")
+    quarantine.add_argument("--json", action="store_true",
+                            help="emit machine-readable JSON instead of a table")
+    quarantine.set_defaults(func=_cmd_runs)
+    requeue = runs_sub.add_parser(
+        "requeue", help="lift a run's quarantine (back to pending)"
+    )
+    requeue.add_argument("hash", help="the quarantined run's hash")
+    requeue.add_argument("--dir", default=".campaigns/service",
+                         help="run-store directory "
+                         "(default: .campaigns/service)")
+    requeue.set_defaults(func=_cmd_runs)
 
     return parser
 

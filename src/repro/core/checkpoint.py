@@ -126,6 +126,22 @@ class CheckpointManager:
             return None
         return int(snaps[-1].name[len(_PREFIX) : -len(_SUFFIX)])
 
+    def clear(self) -> int:
+        """Delete every snapshot (and stray tmp file); returns the count.
+
+        Called once a run's result is durably committed -- the snapshots
+        have served their purpose and a later re-execution of the same hash
+        (after eviction) must start from step 0, not a stale state.
+        """
+        removed = 0
+        for path in self.snapshots():
+            path.unlink(missing_ok=True)
+            removed += 1
+        if self.directory.is_dir():
+            for tmp in self.directory.glob(f"{_TMP_PREFIX}{_PREFIX}*"):
+                tmp.unlink(missing_ok=True)
+        return removed
+
     def load_latest(self) -> dict:
         """The newest readable snapshot payload (``version``/``step``/``state``).
 

@@ -495,3 +495,7 @@ def collect_service(registry: MetricsRegistry, snapshot: dict, **labels: str) ->
     registry.gauge(
         "repro_service_draining", "1 while a SIGTERM drain is in progress"
     ).set(1.0 if snapshot.get("draining") else 0.0, **labels)
+    registry.gauge(
+        "repro_service_fleet_instances",
+        "service instances with a live heartbeat on this run store",
+    ).set(float(snapshot.get("instances", 0)), **labels)

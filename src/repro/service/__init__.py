@@ -13,14 +13,20 @@ Public surface:
     Server construction and the blocking CLI entry point.
 :class:`ServiceClient`
     A stdlib HTTP client for the API (used by the tests, the benchmark and
-    the CI smoke job — and handy from a notebook).
+    the CI smoke job — and handy from a notebook), with full-jitter retry
+    helpers (:func:`full_jitter_backoff`).
+:class:`LeaseKeeper` / :class:`Reaper`
+    The fleet layer: per-instance lease heartbeats and the expired-lease
+    reaper that make N instances over one store a self-healing service
+    (DESIGN.md §14).
 :func:`validate_submission` and friends
     The submission/response schema layer.
 """
 
 from __future__ import annotations
 
-from .client import ServiceClient
+from .client import ServiceClient, full_jitter_backoff
+from .fleet import LeaseKeeper, Reaper
 from .queue import QueuedRun, RunQueue, RunRegistry, RunState, TERMINAL_STATES
 from .schemas import (
     SERVICE_KEYS,
@@ -35,7 +41,9 @@ from .worker import WorkerPool
 __all__ = [
     "SERVICE_KEYS",
     "TERMINAL_STATES",
+    "LeaseKeeper",
     "QueuedRun",
+    "Reaper",
     "RunQueue",
     "RunRegistry",
     "RunState",
@@ -45,6 +53,7 @@ __all__ = [
     "Submission",
     "WorkerPool",
     "error_body",
+    "full_jitter_backoff",
     "response_body",
     "serve",
     "validate_submission",

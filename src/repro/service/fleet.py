@@ -1,0 +1,211 @@
+"""Fleet coordination: lease heartbeats and the failed-instance reaper.
+
+N ``repro serve`` processes sharing one SQLite :class:`RunStore` behave as a
+single self-healing service through two per-instance background tasks:
+
+:class:`LeaseKeeper`
+    Renews every lease this instance's :class:`~repro.service.worker.WorkerPool`
+    holds, on a cadence well inside the lease TTL.  A renewal that fails
+    means a sibling reclaimed the run (this process was paused or overloaded
+    past its deadline); the keeper makes the pool surrender the run
+    immediately, so its in-flight result is discarded and can never be
+    committed — the store's ownership CAS would reject the write anyway, but
+    surrendering early also frees the worker slot and flips open progress
+    streams to watch the new owner.
+
+:class:`Reaper`
+    Heartbeats this instance into the store's ``instances`` table, then
+    scans for runs whose lease deadline has passed — the signature of a
+    SIGKILLed/partitioned sibling.  Each expired run is either *reclaimed*
+    (re-leased to this instance and enqueued locally with ``resume=True``,
+    so the worker continues from the latest crash-safe checkpoint — PR 4's
+    bit-identical restore keeps the final digest equal to an uninterrupted
+    run) or, once ``max_attempts`` distinct instances have failed it,
+    *quarantined* terminally with a structured error payload.  The reaper
+    also adopts orphaned ``pending`` rows (submitted to a sibling that died
+    before claiming them), which closes the last gap in "any run submitted
+    to any instance eventually resolves".
+
+Both tasks are pure asyncio; the store calls they make are sub-millisecond
+SQLite statements, safe on the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Callable
+
+from ..errors import ReproError
+from .queue import QueuedRun
+
+__all__ = ["LeaseKeeper", "Reaper"]
+
+log = logging.getLogger("repro.service")
+
+#: Renewals per TTL window. 3 means a lease is refreshed when a third of its
+#: TTL has elapsed — two consecutive missed renewals still leave slack
+#: before the deadline, so transient event-loop stalls don't lose leases.
+RENEWALS_PER_TTL = 3
+
+
+class LeaseKeeper:
+    """Heartbeats the worker pool's leases; surrenders the lost ones."""
+
+    def __init__(self, pool, interval: float) -> None:
+        self.pool = pool
+        self.interval = float(interval)
+        self._task: asyncio.Task | None = None
+
+    def start(self) -> None:
+        self._task = asyncio.create_task(self._loop(), name="repro-lease-keeper")
+
+    async def stop(self) -> None:
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+
+    async def _loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval)
+            try:
+                for run_hash in self.pool.renew_leases():
+                    await self.pool.surrender(run_hash)
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - keep heartbeating
+                log.exception("lease renewal pass failed")
+
+
+class Reaper:
+    """Reclaims expired siblings' runs and adopts orphaned pending rows."""
+
+    def __init__(
+        self,
+        store,
+        queue,
+        registry,
+        pool,
+        *,
+        lease_ttl: float,
+        interval: float,
+        max_attempts: int | None = None,
+        campaign: str = "service",
+        on_reclaimed: Callable[[], None] | None = None,
+        on_quarantined: Callable[[], None] | None = None,
+    ) -> None:
+        self.store = store
+        self.queue = queue
+        self.registry = registry
+        self.pool = pool
+        self.lease_ttl = float(lease_ttl)
+        self.interval = float(interval)
+        self.max_attempts = max_attempts
+        self.campaign = campaign
+        self.on_reclaimed = on_reclaimed
+        self.on_quarantined = on_quarantined
+        self._task: asyncio.Task | None = None
+
+    def start(self) -> None:
+        self._task = asyncio.create_task(self._loop(), name="repro-reaper")
+
+    async def stop(self) -> None:
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+
+    async def _loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval)
+            try:
+                await self.sweep()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - keep reaping
+                log.exception("reaper sweep failed")
+
+    async def sweep(self) -> int:
+        """One reap pass; returns the number of runs reclaimed here."""
+        # The instance heartbeat doubles as the fleet-size signal: an
+        # instance is "live" while its heartbeat deadline holds, and the
+        # heartbeat cadence is the reap interval.
+        self.store.heartbeat_instance(ttl=max(self.lease_ttl, self.interval * 3))
+        leases, quarantined = self.store.reclaim_expired(
+            ttl=self.lease_ttl, quarantine_after=self.max_attempts
+        )
+        for stored in quarantined:
+            log.warning(
+                "quarantined run %s after lease expiry on instances %s",
+                stored.hash, list(stored.failed_owners),
+            )
+            if self.on_quarantined is not None:
+                self.on_quarantined()
+            await self.registry.transition(
+                stored.hash, "quarantined", error=stored.error
+            )
+        reclaimed = 0
+        for lease in leases:
+            if not self._enqueue_reclaimed(lease):
+                # No local slot: put the run back to pending; a sibling (or
+                # our own adoption pass below, next sweep) picks it up.
+                self.store.release_lease(lease)
+                continue
+            reclaimed += 1
+            log.warning(
+                "reclaimed expired run %s (attempt %d) — resuming from "
+                "latest checkpoint", lease.run_hash, lease.attempt,
+            )
+            if self.on_reclaimed is not None:
+                self.on_reclaimed()
+            await self.registry.transition(
+                lease.run_hash, "queued", attempts=lease.attempt
+            )
+        await self._adopt_pending()
+        return reclaimed
+
+    def _enqueue_reclaimed(self, lease) -> bool:
+        stored = self.store.get(lease.run_hash)
+        if stored is None:
+            return False
+        try:
+            spec = stored.run_spec()
+        except ReproError:  # pragma: no cover - corrupt row
+            log.warning("cannot resume reclaimed run %s: bad spec", lease.run_hash)
+            return False
+        return self.queue.try_put(
+            QueuedRun(
+                run_hash=lease.run_hash, spec=spec, lease=lease, resume=True
+            )
+        )
+
+    async def _adopt_pending(self) -> None:
+        """Enqueue pending rows no live instance is responsible for.
+
+        A run submitted to an instance that died before leasing it sits
+        ``pending`` with no owner; startup requeue only helps the instance
+        that restarts. Adopting them here means the fleet as a whole drains
+        every submission. Rows already live in this instance's registry
+        (queued here, watched externally) are skipped — and a row another
+        live instance has queued in memory gets leased exactly once anyway.
+        """
+        for stored in self.store.runs(self.campaign, status="pending"):
+            if self.registry.active(stored.hash):
+                continue
+            try:
+                spec = stored.run_spec()
+            except ReproError:  # pragma: no cover - corrupt row
+                continue
+            if self.queue.try_put(QueuedRun(run_hash=stored.hash, spec=spec)):
+                self.registry.mark(stored.hash, "queued")
+                await self.registry.notify()
+                log.info("adopted orphaned pending run %s", stored.hash)

@@ -31,20 +31,31 @@ __all__ = ["QueuedRun", "RunQueue", "RunRegistry", "RunState", "TERMINAL_STATES"
 
 #: States a run cannot leave on this server instance. ``demoted`` is
 #: terminal *here* (the claim was released for a successor process);
-#: ``failed`` is terminal until a client resubmits the hash.
-TERMINAL_STATES = ("done", "failed", "demoted")
+#: ``failed`` is terminal until a client resubmits the hash;
+#: ``quarantined`` is terminal everywhere until an operator requeues it.
+TERMINAL_STATES = ("done", "failed", "demoted", "quarantined")
 
 #: Every state the registry can report.
-RUN_STATES = ("queued", "running", "done", "failed", "demoted", "external")
+RUN_STATES = (
+    "queued", "running", "done", "failed", "demoted", "external", "quarantined"
+)
 
 
 @dataclass(frozen=True)
 class QueuedRun:
-    """One unit of queued work (hash + executable spec + service flags)."""
+    """One unit of queued work (hash + executable spec + service flags).
+
+    ``lease`` carries a pre-acquired store lease when the reaper reclaimed
+    this run from a dead instance (the worker then resumes instead of
+    re-claiming); ``resume`` marks the run as a failover continuation so
+    the worker reports it distinctly.
+    """
 
     run_hash: str
     spec: Any
     record_events: bool = False
+    lease: Any = None
+    resume: bool = False
 
 
 class RunQueue:

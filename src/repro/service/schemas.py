@@ -90,6 +90,12 @@ def response_body(body: dict[str, Any]) -> dict[str, Any]:
     return attach_schema_version(body)
 
 
-def error_body(message: str, status: int) -> dict[str, Any]:
-    """The uniform JSON error payload (also schema-versioned)."""
-    return response_body({"error": str(message), "status": int(status)})
+def error_body(message: str, status: int, **details: Any) -> dict[str, Any]:
+    """The uniform JSON error payload (also schema-versioned).
+
+    ``details`` carries structured context alongside the human-readable
+    message — e.g. a quarantined run's error payload on a 409.
+    """
+    body: dict[str, Any] = {"error": str(message), "status": int(status)}
+    body.update(details)
+    return response_body(body)

@@ -16,8 +16,10 @@ GET    ``/v1/runs/<id>/stream``        Progress stream: chunked JSONL of state
                                        transitions + heartbeats until terminal
 GET    ``/v1/runs/<id>/result``        The stored payload (409 until done)
 GET    ``/v1/runs/<id>/events``        The run's flight-recorder JSONL
+GET    ``/v1/quarantine``              Quarantined runs + structured errors
 GET    ``/healthz``                    Liveness (always 200 while serving)
-GET    ``/readyz``                     Readiness (503 once draining)
+GET    ``/readyz``                     Readiness (503 + reason when
+                                       draining, store down, or saturated)
 GET    ``/metrics``                    Prometheus text exposition
 ====== =============================== =========================================
 
@@ -41,9 +43,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+import sqlite3
+
 from ..campaign.store import RunStore
 from ..errors import ConfigurationError, ReproError, SchemaError, ServiceError
 from ..obs import Observability, collect_service, scope
+from .fleet import RENEWALS_PER_TTL, LeaseKeeper, Reaper
 from .queue import QueuedRun, RunQueue, RunRegistry
 from .schemas import error_body, response_body, validate_submission
 from .worker import Runner, WorkerPool
@@ -91,6 +96,25 @@ class ServiceConfig:
     drain_grace_s: float = 3.0
     #: Largest accepted request body, in bytes (413 beyond).
     max_body: int = 1 << 20
+    #: Lease TTL in seconds for monitored run ownership. None falls back to
+    #: legacy unmonitored claims (single-instance; no failover). Any float
+    #: arms the fleet machinery: heartbeat renewal, reaping, quarantine.
+    lease_ttl: float | None = 30.0
+    #: Reaper/renewal cadence; None derives ttl / RENEWALS_PER_TTL.
+    reap_interval: float | None = None
+    #: Distinct-instance failures before a run is quarantined terminally.
+    max_attempts: int = 3
+    #: Checkpoint cadence (steps) for preset runs; 0 disables mid-run
+    #: snapshots (reclaimed runs then restart from step 0 — still
+    #: digest-identical, just slower).
+    checkpoint_every: int = 0
+    #: Age in seconds after which done results are evicted by the periodic
+    #: store sweep (None disables service-side eviction).
+    result_ttl_s: float | None = None
+    #: Cadence of the eviction sweep, when ``result_ttl_s`` is set.
+    gc_interval_s: float = 60.0
+    #: Fleet identity of this instance (None = host-pid-nonce default).
+    instance_id: str | None = None
     #: Test seam: run specs through this callable instead of the process
     #: pool (see :data:`repro.service.worker.Runner`).
     runner: Runner | None = field(default=None, repr=False)
@@ -109,10 +133,13 @@ class SimulationService:
         self.metrics = self.obs.metrics
         self.port: int | None = None
         self.draining = False
+        self.keeper: LeaseKeeper | None = None
+        self.reaper: Reaper | None = None
         self._server: asyncio.Server | None = None
         self._stopped = asyncio.Event()
         self._streams = 0
         self._obs_cm = None
+        self._gc_task: asyncio.Task | None = None
         # Pre-create the counters so /metrics exposes zeros from request one.
         self.metrics.counter(
             "repro_service_requests_total", "HTTP requests by route/method/code"
@@ -131,6 +158,26 @@ class SimulationService:
         self.metrics.counter(
             "repro_service_runs_total", "runs resolved by this instance, by status"
         )
+        self.metrics.counter(
+            "repro_service_lease_renewals_total",
+            "successful lease heartbeat renewals",
+        )
+        self.metrics.counter(
+            "repro_service_lost_leases_total",
+            "in-flight runs surrendered after a sibling reclaimed the lease",
+        )
+        self.metrics.counter(
+            "repro_service_reclaimed_runs_total",
+            "expired sibling leases reclaimed and resumed by this instance",
+        )
+        self.metrics.counter(
+            "repro_service_quarantined_runs_total",
+            "runs moved to the terminal quarantined state by this instance",
+        )
+        self.metrics.counter(
+            "repro_service_evicted_runs_total",
+            "stored results evicted by the TTL sweep",
+        )
         self.metrics.histogram(
             "repro_service_request_seconds", "request handling latency by route"
         )
@@ -143,10 +190,15 @@ class SimulationService:
             raise ServiceError("service already started")
         # takeover=False: a sibling process (campaign drainer, second
         # service) may legitimately be mid-run on a shared store. The
-        # *explicit* sweep below is this instance's own crash recovery,
-        # counted so operators can see ungraceful shutdowns.
-        self.store = RunStore(self.config.store_dir, takeover=False)
-        demoted = self.store.reset_running()
+        # *explicit* sweep below is this instance's own crash recovery --
+        # it demotes unmonitored and *expired* leases only, so a live
+        # sibling's heartbeated runs are untouched; counted so operators
+        # can see ungraceful shutdowns.
+        self.store = RunStore(
+            self.config.store_dir, takeover=False,
+            instance_id=self.config.instance_id,
+        )
+        demoted = self.store.sweep_stale()
         self.metrics.counter("repro_service_demoted_runs_total").inc(float(demoted))
         if demoted:
             log.warning(
@@ -157,6 +209,9 @@ class SimulationService:
             Path(self.config.events_dir).mkdir(parents=True, exist_ok=True)
         self._obs_cm = self.obs.activate()
         self._obs_cm.__enter__()
+        checkpoint_dir = None
+        if self.config.store_dir is not None and self.config.checkpoint_every > 0:
+            checkpoint_dir = str(Path(self.config.store_dir) / "checkpoints")
         self.pool = WorkerPool(
             self.store,
             self.queue,
@@ -168,8 +223,33 @@ class SimulationService:
             runner=self.config.runner,
             events_dir=self.config.events_dir,
             on_resolved=self._on_resolved,
+            lease_ttl=self.config.lease_ttl,
+            max_attempts=self.config.max_attempts,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=self.config.checkpoint_every,
+            on_lease_event=self._on_lease_event,
         )
         self.pool.start()
+        if self.config.lease_ttl is not None:
+            interval = self.config.reap_interval
+            if interval is None:
+                interval = self.config.lease_ttl / RENEWALS_PER_TTL
+            self.keeper = LeaseKeeper(self.pool, interval=interval)
+            self.keeper.start()
+            self.reaper = Reaper(
+                self.store, self.queue, self.registry, self.pool,
+                lease_ttl=self.config.lease_ttl,
+                interval=interval,
+                max_attempts=self.config.max_attempts,
+                campaign=self.config.campaign,
+                on_reclaimed=self._on_reclaimed,
+                on_quarantined=self._on_quarantined,
+            )
+            self.reaper.start()
+        if self.config.result_ttl_s is not None:
+            self._gc_task = asyncio.create_task(
+                self._gc_loop(), name="repro-service-gc"
+            )
         await self._requeue_pending()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -229,6 +309,10 @@ class SimulationService:
 
     async def _drain_and_stop(self) -> None:
         assert self.pool is not None
+        # Fleet tasks first: a reaper must not reclaim new work into a
+        # draining queue, and the keeper has nothing left to renew once the
+        # pool's leases are released.
+        await self._stop_fleet_tasks()
         await self.pool.drain()
         # Hold the listener open for the whole grace window — open streams
         # get to observe their terminal record, and late clients get an
@@ -238,8 +322,24 @@ class SimulationService:
             await asyncio.sleep(0.05)
         self._stopped.set()
 
+    async def _stop_fleet_tasks(self) -> None:
+        if self.keeper is not None:
+            await self.keeper.stop()
+            self.keeper = None
+        if self.reaper is not None:
+            await self.reaper.stop()
+            self.reaper = None
+        if self._gc_task is not None:
+            self._gc_task.cancel()
+            try:
+                await self._gc_task
+            except asyncio.CancelledError:
+                pass
+            self._gc_task = None
+
     async def stop(self) -> None:
         """Close the listener, workers and store (idempotent)."""
+        await self._stop_fleet_tasks()
         if self.pool is not None:
             await self.pool.drain()
         if self._server is not None:
@@ -257,13 +357,73 @@ class SimulationService:
     async def _on_resolved(self, run_hash: str, status: str) -> None:
         self.metrics.counter("repro_service_runs_total").inc(1.0, status=status)
 
+    def _on_lease_event(self, event: str) -> None:
+        counter = {
+            "renewed": "repro_service_lease_renewals_total",
+            "lost": "repro_service_lost_leases_total",
+            "quarantined": "repro_service_quarantined_runs_total",
+        }.get(event)
+        if counter is not None:
+            self.metrics.counter(counter).inc()
+
+    def _on_reclaimed(self) -> None:
+        self.metrics.counter("repro_service_reclaimed_runs_total").inc()
+
+    def _on_quarantined(self) -> None:
+        self.metrics.counter("repro_service_quarantined_runs_total").inc()
+
+    async def _gc_loop(self) -> None:
+        """Periodic result-TTL sweep (the optional service-side eviction)."""
+        while True:
+            await asyncio.sleep(self.config.gc_interval_s)
+            try:
+                evicted = self.evict_now()
+                if evicted:
+                    log.info("gc: evicted %d stored result(s)", len(evicted))
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - keep sweeping
+                log.exception("gc sweep failed")
+
+    def evict_now(self) -> list[str]:
+        """Evict done results older than the TTL, with their artifacts."""
+        assert self.store is not None
+        if self.config.result_ttl_s is None:
+            return []
+        evicted = self.store.evict_older_than(
+            self.config.result_ttl_s, campaign=self.config.campaign
+        )
+        for run_hash in evicted:
+            self._cleanup_artifacts(run_hash)
+        if evicted:
+            self.metrics.counter("repro_service_evicted_runs_total").inc(
+                float(len(evicted))
+            )
+        return evicted
+
+    def _cleanup_artifacts(self, run_hash: str) -> None:
+        """Remove an evicted run's event logs and checkpoint snapshots."""
+        if self.config.events_dir is not None:
+            base = Path(self.config.events_dir) / f"{run_hash}.events.jsonl"
+            for path in (base, base.with_name(f"{run_hash}.events.host.jsonl")):
+                path.unlink(missing_ok=True)
+        if self.pool is not None:
+            self.pool._clear_checkpoints(run_hash)
+
     def snapshot(self) -> dict[str, Any]:
         """Point-in-time service state (feeds the ``/metrics`` gauges)."""
+        instances = 0
+        if self.store is not None and self.config.lease_ttl is not None:
+            try:
+                instances = len(self.store.live_instances())
+            except sqlite3.Error:  # pragma: no cover - store went away
+                instances = 0
         return {
             "queue_depth": self.queue.depth,
             "inflight": len(self.pool.inflight) if self.pool is not None else 0,
             "streams": self._streams,
             "draining": self.draining,
+            "instances": instances,
         }
 
     # -- HTTP plumbing -----------------------------------------------------
@@ -387,6 +547,8 @@ class SimulationService:
             return "readyz", self._handle_ready, None
         if path == "/metrics" and method == "GET":
             return "metrics", self._handle_metrics, None
+        if path == "/v1/quarantine" and method == "GET":
+            return "quarantine", self._handle_quarantine, None
         if segments[:2] == ["v1", "runs"]:
             if len(segments) == 2 and method == "POST":
                 return "submit", self._handle_submit, None
@@ -446,19 +608,59 @@ class SimulationService:
         )
 
     async def _handle_ready(self, writer: asyncio.StreamWriter) -> int:
+        """Honest readiness: 503 + reason whenever a submit would not land.
+
+        Load balancers route on this answer, so each way the instance can
+        refuse work is reported as the condition it is — draining, a
+        broken/locked run store, or a worker pool saturated past its queue —
+        instead of a 200 that merely means "the socket is open".
+        """
+        reason = None
         if self.draining:
+            reason = "service is draining"
+        elif self.store is None:
+            reason = "run store is not open"
+        else:
+            try:
+                self.store.ping()
+            except sqlite3.Error as exc:
+                reason = f"run store unreachable: {exc}"
+        if reason is None and self.queue.full:
+            reason = (
+                f"worker pool saturated: submission queue is full "
+                f"({self.queue.maxsize} runs)"
+            )
+        if reason is not None:
             return await self._send_json(
-                writer, 503, error_body("service is draining", 503),
+                writer, 503, error_body(reason, 503),
                 {"Retry-After": str(RETRY_AFTER_S)},
             )
         return await self._send_json(
-            writer, 200, response_body({"status": "ready"})
+            writer, 200,
+            response_body({"status": "ready", "queue_depth": self.queue.depth}),
         )
 
     async def _handle_metrics(self, writer: asyncio.StreamWriter) -> int:
         collect_service(self.metrics, self.snapshot())
         return await self._send_text(
             writer, 200, self.metrics.to_prometheus_text()
+        )
+
+    async def _handle_quarantine(self, writer: asyncio.StreamWriter) -> int:
+        """List quarantined runs with their structured error payloads."""
+        assert self.store is not None
+        runs = [
+            {
+                "run_id": stored.hash,
+                "campaign": stored.campaign,
+                "attempts": stored.attempts,
+                "failed_owners": list(stored.failed_owners),
+                "quarantine": stored.error_payload,
+            }
+            for stored in self.store.quarantined_runs()
+        ]
+        return await self._send_json(
+            writer, 200, response_body({"quarantined": runs, "count": len(runs)})
         )
 
     async def _handle_submit(
@@ -508,6 +710,18 @@ class SimulationService:
                 writer, 200,
                 response_body(
                     {"run_id": run_hash, "status": "done", "cached": True}
+                ),
+            )
+        if stored is not None and stored.status == "quarantined":
+            # Terminal until an operator requeues it; re-submission must not
+            # silently re-enter the failure loop.
+            submissions.inc(1.0, outcome="quarantined")
+            return await self._send_json(
+                writer, 409,
+                error_body(
+                    f"run {run_hash} is quarantined; inspect and requeue "
+                    "with `repro runs requeue`", 409,
+                    quarantine=stored.error_payload,
                 ),
             )
         if self.registry.active(run_hash):

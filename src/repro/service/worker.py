@@ -1,11 +1,16 @@
-"""The service's worker pool: claim, execute, retry, drain.
+"""The service's worker pool: lease, execute, retry, drain.
 
 Workers are asyncio tasks that drain the :class:`~repro.service.queue.RunQueue`
 through the SQLite :class:`~repro.campaign.store.RunStore`'s exactly-once
-primitives — the same :meth:`~repro.campaign.store.RunStore.claim` /
-:meth:`~repro.campaign.store.RunStore.release` compare-and-set pair the
-campaign scheduler uses, so a service instance, a campaign drainer and a
-second service sharing one store never double-execute a hash.
+primitives — the same :meth:`~repro.campaign.store.RunStore.acquire_lease` /
+:meth:`~repro.campaign.store.RunStore.release_lease` compare-and-swap pair
+the campaign scheduler uses, so a service instance, a campaign drainer and a
+second service sharing one store never double-execute a hash.  With a
+``lease_ttl`` the pool takes *monitored* leases: the fleet's
+:class:`~repro.service.fleet.LeaseKeeper` heartbeats them, a sibling's
+reaper reclaims them if this process dies, and every store write this pool
+makes is ownership-guarded — a lease lost mid-run means the result is
+discarded here, never committed over the reclaimer's.
 
 Execution itself happens off the event loop:
 
@@ -38,7 +43,7 @@ from dataclasses import replace
 from typing import Awaitable, Callable
 
 from ..campaign.executor import _pool_worker
-from ..campaign.store import RunStore
+from ..campaign.store import Lease, RunStore
 from ..engine import effective_engine_workers
 from ..errors import ServiceError
 from .queue import QueuedRun, RunQueue, RunRegistry
@@ -49,7 +54,9 @@ log = logging.getLogger("repro.service")
 
 #: Signature of an injectable runner: ``(spec_dict, timeout, events_path)``
 #: returning the campaign outcome dict ``{"ok", "payload"|"error",
-#: "duration_s"}``. The default is the campaign pool worker itself.
+#: "duration_s"}``. The default is the campaign pool worker itself.  When
+#: the pool checkpoints (``checkpoint_dir`` set), the runner is called with
+#: two extra positional arguments ``(checkpoint_dir, checkpoint_every)``.
 Runner = Callable[[dict, float | None, str | None], dict]
 
 
@@ -69,11 +76,22 @@ class WorkerPool:
         runner: Runner | None = None,
         events_dir: str | None = None,
         on_resolved: Callable[[str, str], Awaitable[None]] | None = None,
+        lease_ttl: float | None = None,
+        max_attempts: int | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 0,
+        on_lease_event: Callable[[str], None] | None = None,
     ) -> None:
         if workers <= 0:
             raise ServiceError(f"worker count must be positive, got {workers}")
         if retries < 0:
             raise ServiceError(f"retries must be non-negative, got {retries}")
+        if lease_ttl is not None and lease_ttl <= 0:
+            raise ServiceError(f"lease ttl must be positive, got {lease_ttl}")
+        if max_attempts is not None and max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be at least 1, got {max_attempts}"
+            )
         self.store = store
         self.queue = queue
         self.registry = registry
@@ -86,10 +104,26 @@ class WorkerPool:
         #: Optional async hook ``(run_hash, status)`` awaited after every
         #: terminal resolution (the server bumps metrics there).
         self.on_resolved = on_resolved
+        #: None = legacy unmonitored claims (single-process deployments);
+        #: a float arms monitored leases siblings can reclaim on expiry.
+        self.lease_ttl = lease_ttl
+        #: Distinct-instance failures before a run is quarantined
+        #: (None = never quarantine, the legacy behaviour).
+        self.max_attempts = max_attempts
+        #: Base directory for per-run checkpoint subdirectories; with a
+        #: cadence this arms crash-safe mid-run snapshots so a reclaimed
+        #: run resumes instead of restarting.
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = int(checkpoint_every)
+        #: Optional sync hook for lease lifecycle metrics: called with
+        #: ``"renewed"``, ``"lost"`` or ``"quarantined"``.
+        self.on_lease_event = on_lease_event
         self.draining = False
         #: Hashes this pool has claimed and not yet resolved — exactly what
         #: a drain demotes, never a sibling process's claims.
         self.inflight: set[str] = set()
+        #: The store leases backing ``inflight``, keyed by run hash.
+        self.leases: dict[str, Lease] = {}
         self._tasks: list[asyncio.Task] = []
         self._watchers: set[asyncio.Task] = set()
         self._executor: Executor | None = None
@@ -124,11 +158,18 @@ class WorkerPool:
             await asyncio.gather(*self._watchers, return_exceptions=True)
         demoted = 0
         for run_hash in sorted(self.inflight):
-            if self.store.release(run_hash):
+            lease = self.leases.pop(run_hash, None)
+            released = (
+                self.store.release_lease(lease)
+                if lease is not None
+                else self.store.release(run_hash)
+            )
+            if released:
                 demoted += 1
             await self.registry.transition(run_hash, "demoted")
             log.info("drain: demoted in-flight run %s to pending", run_hash)
         self.inflight.clear()
+        self.leases.clear()
         # Queued-but-unclaimed runs are already 'pending' in the store; end
         # their streams so clients know to come back after the restart.
         while True:
@@ -163,6 +204,23 @@ class WorkerPool:
             return None
         return f"{self.events_dir}/{item.run_hash}.events.jsonl"
 
+    def _run_checkpoint_dir(self, run_hash: str) -> str | None:
+        if self.checkpoint_dir is None or self.checkpoint_every <= 0:
+            return None
+        return f"{self.checkpoint_dir}/{run_hash}"
+
+    def _clear_checkpoints(self, run_hash: str) -> None:
+        """Drop a committed run's snapshots (they have served their purpose)."""
+        directory = self._run_checkpoint_dir(run_hash)
+        if directory is None:
+            return
+        from ..core.checkpoint import CheckpointManager
+
+        try:
+            CheckpointManager(directory).clear()
+        except OSError:  # pragma: no cover - cleanup is best effort
+            log.warning("could not clear checkpoints for %s", run_hash)
+
     def _guarded_spec(self, spec):
         """Apply the nested-parallelism guard to multiprocess-engine specs."""
         if getattr(spec, "engine", None) != "multiprocess":
@@ -189,17 +247,59 @@ class WorkerPool:
             if self._executor is None:
                 self._executor = ProcessPoolExecutor(max_workers=self.workers)
             call = _pool_worker
-        return await loop.run_in_executor(
-            self._executor,
-            call,
-            spec.to_dict(),
-            self.run_timeout,
-            self._events_path(item),
-        )
+        args = [spec.to_dict(), self.run_timeout, self._events_path(item)]
+        checkpoint_dir = self._run_checkpoint_dir(item.run_hash)
+        if checkpoint_dir is not None:
+            # Only extend the call when checkpointing is armed, so injected
+            # three-argument runners keep working unchanged.
+            args += [checkpoint_dir, self.checkpoint_every]
+        return await loop.run_in_executor(self._executor, call, *args)
 
     async def _resolved(self, run_hash: str, status: str) -> None:
         if self.on_resolved is not None:
             await self.on_resolved(run_hash, status)
+
+    def _lease_event(self, event: str) -> None:
+        if self.on_lease_event is not None:
+            self.on_lease_event(event)
+
+    def renew_leases(self) -> list[str]:
+        """Heartbeat every held lease; returns the hashes whose lease was lost.
+
+        Called by the fleet's :class:`~repro.service.fleet.LeaseKeeper` on
+        its cadence.  A failed renewal means a sibling reclaimed the run
+        (this process was paused/overloaded past its deadline): ownership is
+        dropped immediately so the in-flight result is discarded, and the
+        run is watched externally like any other sibling-owned hash.
+        """
+        lost: list[str] = []
+        for run_hash, lease in list(self.leases.items()):
+            renewed = self.store.renew_lease(lease)
+            if renewed is None:
+                lost.append(run_hash)
+            else:
+                self.leases[run_hash] = renewed
+                self._lease_event("renewed")
+        return lost
+
+    async def surrender(self, run_hash: str) -> None:
+        """Drop ownership of a run whose lease was lost (no store write)."""
+        if run_hash not in self.inflight:
+            return
+        self.inflight.discard(run_hash)
+        self.leases.pop(run_hash, None)
+        self._lease_event("lost")
+        log.warning(
+            "lost lease on run %s (reclaimed by a sibling); "
+            "discarding the local execution", run_hash,
+        )
+        await self.registry.transition(run_hash, "external")
+        self._watch(run_hash)
+
+    def _watch(self, run_hash: str) -> None:
+        watcher = asyncio.create_task(self._watch_external(run_hash))
+        self._watchers.add(watcher)
+        watcher.add_done_callback(self._watchers.discard)
 
     async def _worker_loop(self) -> None:
         while not self.draining:
@@ -213,36 +313,64 @@ class WorkerPool:
 
     async def _run_one(self, item: QueuedRun) -> None:
         run_hash = item.run_hash
-        if not self.store.claim(run_hash):
+        # A reaper-reclaimed run arrives with its lease already acquired;
+        # fresh submissions lease here.
+        lease = item.lease
+        if lease is None:
+            lease = self.store.acquire_lease(run_hash, ttl=self.lease_ttl)
+        if lease is None:
             # Someone else owns or finished the hash. Serve 'done' straight
-            # from the store; otherwise watch the store until the external
-            # owner resolves it so progress streams still terminate.
+            # from the store; surface a quarantine as the terminal error it
+            # is; otherwise watch the store until the external owner
+            # resolves it so progress streams still terminate.
             stored = self.store.get(run_hash)
             if stored is not None and stored.status == "done":
                 await self.registry.transition(run_hash, "done")
                 await self._resolved(run_hash, "cached")
+            elif stored is not None and stored.status == "quarantined":
+                await self.registry.transition(
+                    run_hash, "quarantined", error=stored.error
+                )
+                await self._resolved(run_hash, "quarantined")
             else:
                 await self.registry.transition(run_hash, "external")
-                watcher = asyncio.create_task(self._watch_external(run_hash))
-                self._watchers.add(watcher)
-                watcher.add_done_callback(self._watchers.discard)
+                self._watch(run_hash)
             return
         self.inflight.add(run_hash)
+        self.leases[run_hash] = lease
         attempt = 1
-        await self.registry.transition(run_hash, "running", attempts=attempt)
+        await self.registry.transition(run_hash, "running", attempts=lease.attempt)
+        if item.resume:
+            log.info(
+                "resuming reclaimed run %s (attempt %d)", run_hash, lease.attempt
+            )
         while True:
             outcome = await self._execute(item)
             if run_hash not in self.inflight:
-                # Drained (claim released) while executing: a successor may
-                # already be re-running this hash — discard the late result.
+                # Drained, or the lease was lost while executing: a sibling
+                # may already be re-running this hash — discard the late
+                # result (its store write would be CAS-rejected anyway).
                 log.warning("discarding late result for demoted run %s", run_hash)
                 return
+            lease = self.leases.get(run_hash, lease)
             if outcome.get("ok"):
-                self.store.complete(
-                    run_hash, outcome["payload"], outcome.get("duration_s", 0.0)
+                committed = self.store.complete(
+                    run_hash, outcome["payload"], outcome.get("duration_s", 0.0),
+                    lease=lease,
                 )
+                if not committed:
+                    # The ownership CAS rejected the write: the lease was
+                    # reclaimed between our last renewal and the commit.
+                    # Exactly-once holds because the store never took our
+                    # payload; the reclaimer's is the only one.
+                    await self.surrender(run_hash)
+                    return
                 self.inflight.discard(run_hash)
-                await self.registry.transition(run_hash, "done", attempts=attempt)
+                self.leases.pop(run_hash, None)
+                self._clear_checkpoints(run_hash)
+                await self.registry.transition(
+                    run_hash, "done", attempts=lease.attempt
+                )
                 await self._resolved(run_hash, "done")
                 return
             if attempt <= self.retries:
@@ -251,16 +379,36 @@ class WorkerPool:
                 if self.draining or run_hash not in self.inflight:
                     return
                 attempt += 1
-                self.store.start(run_hash)
-                await self.registry.transition(run_hash, "running", attempts=attempt)
+                retried = self.store.retry_lease(self.leases.get(run_hash, lease))
+                if retried is None:
+                    await self.surrender(run_hash)
+                    return
+                lease = self.leases[run_hash] = retried
+                await self.registry.transition(
+                    run_hash, "running", attempts=lease.attempt
+                )
                 continue
-            self.store.fail(
+            status = self.store.fail(
                 run_hash, outcome.get("error", "unknown error"),
-                outcome.get("duration_s"),
+                outcome.get("duration_s"), lease=lease,
+                quarantine_after=self.max_attempts,
             )
+            if status is None:
+                await self.surrender(run_hash)
+                return
             self.inflight.discard(run_hash)
+            self.leases.pop(run_hash, None)
+            if status == "quarantined":
+                self._lease_event("quarantined")
+                stored = self.store.get(run_hash)
+                await self.registry.transition(
+                    run_hash, "quarantined", attempts=lease.attempt,
+                    error=stored.error if stored is not None else None,
+                )
+                await self._resolved(run_hash, "quarantined")
+                return
             await self.registry.transition(
-                run_hash, "failed", attempts=attempt,
+                run_hash, "failed", attempts=lease.attempt,
                 error=outcome.get("error", "unknown error"),
             )
             await self._resolved(run_hash, "failed")
@@ -270,7 +418,7 @@ class WorkerPool:
         """Poll the store while another process executes ``run_hash``."""
         while not self.draining:
             stored = self.store.get(run_hash)
-            if stored is None or stored.status in ("done", "failed"):
+            if stored is None or stored.status in ("done", "failed", "quarantined"):
                 status = stored.status if stored is not None else "failed"
                 await self.registry.transition(
                     run_hash, status,

@@ -70,3 +70,65 @@ def test_two_processes_never_double_execute(tmp_path):
     for summary in summaries:
         assert summary["completed"] + summary["cached"] + summary["skipped"] == N_RUNS
         assert summary["failed"] == 0
+
+
+_LEASE_RACER = """
+import json, sys
+from repro.campaign import RunSpec, RunStore
+
+store = RunStore(sys.argv[1], takeover=False, instance_id=sys.argv[2])
+runs = [RunSpec(seed=900 + i).spec_hash() for i in range(%(n_runs)d)]
+won = []
+for run_hash in runs:
+    lease = store.acquire_lease(run_hash, ttl=60.0)
+    if lease is None:
+        continue
+    committed = store.complete(
+        run_hash, {"winner": sys.argv[2]}, 0.0, lease=lease
+    )
+    if committed:
+        won.append(run_hash)
+print(json.dumps(won))
+""" % {"n_runs": N_RUNS}
+
+
+def test_two_processes_lease_api_commits_exactly_once(tmp_path):
+    """Raw lease acquire/complete race: each run has exactly one winner."""
+    with RunStore(tmp_path, takeover=False) as store:
+        hashes = [
+            store.register(RunSpec(seed=900 + i), "lease-race")
+            for i in range(N_RUNS)
+        ]
+        # One run is already quarantined; nobody may resurrect it.
+        store.quarantine(hashes[0], "poisoned before the race")
+
+    env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _LEASE_RACER, str(tmp_path), name],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+        )
+        for name in ("host-1-alpha", "host-2-beta")
+    ]
+    wins = []
+    for proc in procs:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+        wins.append(json.loads(out.strip().splitlines()[-1]))
+
+    # Disjoint winners covering every leasable run exactly once.
+    assert not set(wins[0]) & set(wins[1])
+    assert sorted(wins[0] + wins[1]) == sorted(hashes[1:])
+
+    with RunStore(tmp_path, takeover=False) as store:
+        rows = {row.hash: row for row in store.runs("lease-race")}
+        # The quarantined run stayed quarantined: terminal means terminal.
+        assert rows[hashes[0]].status == "quarantined"
+        for run_hash in hashes[1:]:
+            assert rows[run_hash].status == "done"
+            assert rows[run_hash].attempts == 1
+            assert rows[run_hash].payload["winner"] in (
+                "host-1-alpha", "host-2-beta"
+            )

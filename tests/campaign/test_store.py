@@ -111,7 +111,13 @@ class TestSummaries:
     def test_status_counts_zero_filled(self, spec):
         with RunStore() as store:
             counts = store.status_counts()
-            assert counts == {"pending": 0, "running": 0, "done": 0, "failed": 0}
+            assert counts == {
+                "pending": 0,
+                "running": 0,
+                "done": 0,
+                "failed": 0,
+                "quarantined": 0,
+            }
             store.register(spec, "c")
             assert store.status_counts("c")["pending"] == 1
 

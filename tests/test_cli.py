@@ -33,6 +33,14 @@ class TestParser:
             ["explain", "ev.jsonl", "--step", "4"],
             ["campaign", "run", "smoke", "--events-dir", "d"],
             ["campaign", "resume", "smoke", "--dir", "d", "--events-dir", "e"],
+            ["campaign", "gc", "--older-than", "7d", "--dir", "d"],
+            ["campaign", "gc", "svc", "--older-than", "90s", "--status",
+             "done,failed", "--json"],
+            ["runs", "quarantine", "--dir", "d", "--json"],
+            ["runs", "requeue", "cafebabe", "--dir", "d"],
+            ["serve", "--lease-ttl", "5", "--reap-interval", "1",
+             "--max-attempts", "2", "--checkpoint-every", "50",
+             "--result-ttl", "2h", "--gc-interval", "30"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -400,3 +408,77 @@ class TestFlightRecorderFlags:
         capsys.readouterr()
         assert main(["explain", str(events)]) == 1
         assert "DIVERGES" in capsys.readouterr().out
+
+
+class TestRunsAndGcVerbs:
+    """The fleet-era operator verbs: quarantine inspection, requeue, gc."""
+
+    def _store_with_runs(self, tmp_path):
+        from repro.campaign import RunSpec, RunStore
+
+        store = RunStore(tmp_path / "store")
+        done = store.register(RunSpec(seed=1), "svc")
+        lease = store.acquire_lease(done)
+        store.complete(done, {"v": 1}, 0.1, lease=lease)
+        poisoned = store.register(RunSpec(seed=2), "svc")
+        store.quarantine(poisoned, "crashed everywhere")
+        store.close()
+        return str(tmp_path / "store"), done, poisoned
+
+    def test_runs_quarantine_lists_and_requeue_lifts(self, tmp_path, capsys):
+        store_dir, _, poisoned = self._store_with_runs(tmp_path)
+        assert main(["runs", "quarantine", "--dir", store_dir, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["run_id"] for row in rows] == [poisoned]
+        assert rows[0]["quarantine"]["reason"] == "crashed everywhere"
+
+        assert main(["runs", "requeue", poisoned, "--dir", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["runs", "quarantine", "--dir", store_dir, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_requeue_of_non_quarantined_run_is_a_usage_error(
+        self, tmp_path, capsys
+    ):
+        store_dir, done, _ = self._store_with_runs(tmp_path)
+        assert main(["runs", "requeue", done, "--dir", store_dir]) == 2
+        assert "not quarantined" in capsys.readouterr().err
+
+    def test_campaign_gc_evicts_done_runs_and_artifacts(
+        self, tmp_path, capsys
+    ):
+        from repro.campaign import RunStore
+
+        store_dir, done, poisoned = self._store_with_runs(tmp_path)
+        checkpoints = tmp_path / "store" / "checkpoints" / done
+        checkpoints.mkdir(parents=True)
+        (checkpoints / "ckpt-000000040.pkl").write_bytes(b"snapshot")
+        assert main(["campaign", "gc", "--older-than", "0",
+                     "--dir", store_dir, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["evicted"] == [done]
+        assert report["artifacts_removed"] == 1
+        assert not checkpoints.exists()
+        with RunStore(store_dir) as store:
+            assert store.get(done) is None
+            assert store.get(poisoned).status == "quarantined"
+
+    def test_campaign_gc_refuses_fresh_runs_and_bad_durations(
+        self, tmp_path, capsys
+    ):
+        store_dir, done, _ = self._store_with_runs(tmp_path)
+        assert main(["campaign", "gc", "--older-than", "7d",
+                     "--dir", store_dir, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["evicted"] == []
+        assert main(["campaign", "gc", "--older-than", "soon",
+                     "--dir", store_dir]) == 2
+        assert "unreadable duration" in capsys.readouterr().err
+
+    def test_parse_duration_units(self):
+        from repro.cli import _parse_duration
+
+        assert _parse_duration("90") == 90.0
+        assert _parse_duration("90s") == 90.0
+        assert _parse_duration("15m") == 900.0
+        assert _parse_duration("2h") == 7200.0
+        assert _parse_duration("7d") == 604800.0
