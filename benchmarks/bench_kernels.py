@@ -39,7 +39,7 @@ from repro.core.accounting import StepAccountant
 from repro.core.runner import ParallelMDRunner
 from repro.decomp.assignment import CellAssignment
 from repro.decomp.halo import compute_halo
-from repro.dlb.balancer import DynamicLoadBalancer
+from repro.dlb.strategies import create_balancer
 from repro.md.celllist import CellList
 from repro.md.forces import forces_from_pairs
 from repro.md.kernels import create_kernel, numba_available
@@ -232,7 +232,7 @@ def test_halo_accounting(benchmark, positions, kernel_log):
 
 def test_dlb_decision_round(benchmark, kernel_log):
     assignment = CellAssignment(12, 9)
-    balancer = DynamicLoadBalancer(assignment)
+    balancer = create_balancer(assignment, strategy="permanent")
     times = np.random.default_rng(1).uniform(0.5, 1.5, 9)
 
     def round_():

@@ -159,6 +159,7 @@ def simulate(
     *,
     run: RunConfig,
     dlb: bool | None = None,
+    balancer: str | None = None,
     engine: Engine | EngineSpec | str | None = None,
     engine_workers: int | None = None,
     observability: Observability | None = None,
@@ -181,6 +182,12 @@ def simulate(
     dlb:
         Override the config's DLB switch (convenient with preset names:
         ``dlb=False`` runs plain DDM).
+    balancer:
+        Override ``run.balancer``: the DLB strategy name (``"permanent"``,
+        ``"diffusion"``, ``"sfc"``, ``"none"`` or ``"auto"``). ``None``
+        keeps ``run.balancer`` (which itself defers to ``REPRO_BALANCER``
+        and ultimately ``"permanent"``). The resolved name lands in
+        ``result.meta["balancer"]``.
     engine:
         Execution engine for the force path: an engine name
         (``"sequential"`` / ``"multiprocess"``), an
@@ -211,6 +218,8 @@ def simulate(
         combined with ``checkpoints`` the truncated run is resumable.
     """
     sim_config, preset_name = _resolve_config(config, dlb)
+    if balancer is not None:
+        run = dataclasses.replace(run, balancer=balancer)
     injector = _resolve_faults(faults, sim_config.decomposition.n_pes)
     events = observability.events if observability is not None else None
     if injector is not None and events is not None:
@@ -236,6 +245,7 @@ def simulate(
                 policy=audit.policy,
                 metrics=observability.metrics if observability is not None else None,
                 events=events,
+                strategy=runner.balancer_name,
             )
             runner.auditor = auditor
         manager = _checkpoint_manager(checkpoints)
@@ -276,6 +286,7 @@ def simulate(
                 "audit": auditor.summary() if auditor is not None else None,
                 "neighbor_stats": runner.neighbor_stats.as_dict(),
                 "kernel": runner.kernel_name,
+                "balancer": runner.balancer_name,
                 "imbalance": (
                     runner.imbalance.summary() if runner.imbalance is not None else None
                 ),
@@ -294,6 +305,7 @@ def simulate_driven(
     *,
     rounds_per_config: int = 1,
     dlb: bool | None = None,
+    balancer: str | None = None,
     observability: Observability | None = None,
     faults: FaultPlan | FaultInjector | None = None,
     audit: AuditPolicy | None = None,
@@ -306,7 +318,8 @@ def simulate_driven(
     forces are integrated — each configuration is binned, time-accounted on
     the virtual machine, and the balancer reacts (``rounds_per_config``
     accounting rounds per configuration). This is the quasi-static driver
-    behind the effective-range experiments (Figures 9-10).
+    behind the effective-range experiments (Figures 9-10). ``balancer``
+    selects the DLB strategy exactly as in :func:`simulate`.
     """
     sim_config, preset_name = _resolve_config(config, dlb)
     injector = _resolve_faults(faults, sim_config.decomposition.n_pes)
@@ -319,6 +332,7 @@ def simulate_driven(
         observability=observability,
         trace_pid=trace_pid,
         faults=injector,
+        balancer=balancer,
     )
     auditor = None
     if audit is not None:
@@ -328,6 +342,7 @@ def simulate_driven(
             policy=audit.policy,
             metrics=observability.metrics if observability is not None else None,
             events=events,
+            strategy=runner.balancer_name,
         )
         runner.auditor = auditor
     manager = _checkpoint_manager(checkpoints)
@@ -352,6 +367,7 @@ def simulate_driven(
             "engine_workers": None,
             "resumed_at": resumed_at,
             "audit": auditor.summary() if auditor is not None else None,
+            "balancer": runner.balancer_name,
             "imbalance": (
                 runner.imbalance.summary() if runner.imbalance is not None else None
             ),

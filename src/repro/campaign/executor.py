@@ -156,10 +156,13 @@ def _execute_probe(
     )
     index, hold = int(spec.probe_index), int(spec.probe_hold)
     observability = _build_events(events_path)
+    # Like boundary runs, probes interrogate the permanent-cell protocol's
+    # DLB limit: the strategy is part of the experiment, not an env knob.
     result = api.simulate_driven(
         config,
         _probe_configurations(schedule, index, hold),
         rounds_per_config=rounds,
+        balancer="permanent",
         observability=observability,
     )
     _write_events(observability, events_path)
@@ -226,6 +229,7 @@ def _execute_preset(
             seed=spec.seed,
             record_interval=max(1, spec.n_steps // 50),
             force_backend=spec.backend,
+            balancer=spec.balancer,
         ),
         dlb=spec.mode == "dlb",
         engine=spec.engine,
@@ -239,6 +243,8 @@ def _execute_preset(
         "preset": spec.preset,
         "mode": spec.mode,
         "backend": spec.backend,
+        # The *resolved* strategy name (the spec's may be None = default).
+        "balancer": result.meta.get("balancer", "permanent"),
         "seed": spec.seed,
         # Bit-exact provenance: the stored payload carries the run's SHA-256
         # digest, so a cached service/campaign hit is checkable against a

@@ -207,6 +207,9 @@ def render_report(report: CampaignReport) -> str:
                 payload["preset"],
                 payload["mode"],
                 payload["backend"],
+                # Pre-seam payloads predate the balancer field; they ran the
+                # permanent-cells protocol by construction.
+                payload.get("balancer", "permanent"),
                 payload["seed"],
                 _fmt(payload.get("tt_mean"), "{:.5f}"),
                 _fmt(payload.get("tt_last"), "{:.5f}"),
@@ -214,13 +217,18 @@ def render_report(report: CampaignReport) -> str:
             ]
             for payload in sorted(
                 report.preset_rows,
-                key=lambda p: (p["preset"], p["backend"], p["mode"]),
+                key=lambda p: (
+                    p["preset"],
+                    p["backend"],
+                    p["mode"],
+                    p.get("balancer", "permanent"),
+                ),
             )
         ]
         lines.append(
             format_table(
-                ["preset", "mode", "backend", "seed", "tt_mean", "tt_last",
-                 "spread_last"],
+                ["preset", "mode", "backend", "balancer", "seed", "tt_mean",
+                 "tt_last", "spread_last"],
                 rows,
                 title="preset runs",
             )

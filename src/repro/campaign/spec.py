@@ -78,6 +78,11 @@ class RunSpec:
         force path); ``engine_workers`` is not -- engine results are
         bit-identical for any worker count, and the scheduler rewrites it
         through the nested-parallelism guard without invalidating caches.
+    balancer:
+        Balancer strategy of the ``preset`` kind (None = the runner's
+        default resolution, i.e. ``permanent``).  Part of the content hash
+        when set -- different strategies redistribute differently -- and
+        omitted when None so pre-seam stored specs keep their hashes.
     """
 
     kind: str = "boundary"
@@ -97,6 +102,7 @@ class RunSpec:
     backend: str = "kdtree"
     engine: str | None = None
     engine_workers: int | None = None
+    balancer: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in RUN_KINDS:
@@ -127,6 +133,14 @@ class RunSpec:
                 raise CampaignError(f"unknown engine {self.engine!r}")
         elif self.engine_workers is not None:
             raise CampaignError("engine_workers given without an engine")
+        if self.balancer is not None:
+            if self.kind != "preset":
+                raise CampaignError("balancers apply to preset runs only")
+            if self.balancer not in ("permanent", "diffusion", "sfc", "none"):
+                raise CampaignError(
+                    f"unknown balancer {self.balancer!r} (choose from "
+                    "permanent, diffusion, sfc, none)"
+                )
 
     # -- resolution and hashing -------------------------------------------
 
@@ -172,6 +186,10 @@ class RunSpec:
             # independent by the engine's bit-identity guarantee).
             if self.engine is not None:
                 knobs["preset"]["engine"] = self.engine
+            # Hash-preserving likewise: balancer-less specs resolve to the
+            # permanent strategy and keep their pre-seam hash.
+            if self.balancer is not None:
+                knobs["preset"]["balancer"] = self.balancer
         return {
             "schema": SPEC_SCHEMA,
             "config": asdict(self.resolved_config()),
@@ -195,6 +213,8 @@ class RunSpec:
         if self.engine is None:
             del data["engine"]
             del data["engine_workers"]
+        if self.balancer is None:
+            del data["balancer"]
         return data
 
     @classmethod
@@ -284,8 +304,13 @@ class CampaignSpec:
         description: str = "",
         engine: str | None = None,
         engine_workers: int | None = None,
+        balancers: Iterable[str | None] = (None,),
     ) -> "CampaignSpec":
-        """Expand a (preset x mode x backend) MD-comparison grid."""
+        """Expand a (preset x mode x backend x balancer) MD-comparison grid.
+
+        ``balancers`` defaults to ``(None,)`` — the runner's own strategy
+        resolution — which keeps pre-seam grids and their hashes unchanged.
+        """
         runs = tuple(
             RunSpec(
                 kind="preset",
@@ -296,10 +321,12 @@ class CampaignSpec:
                 seed=seed,
                 engine=engine,
                 engine_workers=engine_workers,
+                balancer=balancer,
             )
             for preset in presets
             for mode in modes
             for backend in backends
+            for balancer in balancers
         )
         return cls(name=name, runs=runs, description=description)
 
@@ -390,9 +417,24 @@ def _fig5_quick() -> CampaignSpec:
     )
 
 
+def _balancer_matrix() -> CampaignSpec:
+    return CampaignSpec.preset_grid(
+        "balancer-matrix",
+        presets=("bench-m2", "bench-m4"),
+        modes=("dlb",),
+        n_steps=200,
+        balancers=("permanent", "diffusion", "sfc", "none"),
+        description=(
+            "Balancer strategy matrix: permanent vs diffusion vs sfc vs none "
+            "over the bench presets (the comparison-table unit)"
+        ),
+    )
+
+
 #: Registry of built-in campaigns (factories, so specs stay immutable).
 BUILTIN_CAMPAIGNS: dict[str, Callable[[], CampaignSpec]] = {
     "smoke": _smoke,
+    "balancer-matrix": _balancer_matrix,
     "fig5-quick": _fig5_quick,
     "fig9-quick": _fig9_quick,
     "fig10-quick": _fig10_quick,

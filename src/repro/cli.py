@@ -45,7 +45,7 @@ from .campaign import (
     render_report,
     run_campaign,
 )
-from .config import KERNEL_NAMES, RunConfig
+from .config import BALANCER_NAMES, KERNEL_NAMES, RunConfig
 from .core.results import write_result_json
 from .engine import ENGINE_NAMES
 from .errors import (
@@ -168,6 +168,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         force_backend=args.backend,
         skin=args.skin,
         kernel=args.kernel,
+        balancer=args.balancer,
     )
     audit = (
         api.AuditPolicy(every=args.audit_every, policy=args.audit_policy)
@@ -798,6 +799,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(numba-compiled; errors when numba is missing) or auto (jit when "
         "numba imports, silently half otherwise); default honours "
         "the REPRO_KERNEL environment variable",
+    )
+    run.add_argument(
+        "--balancer",
+        choices=list(BALANCER_NAMES),
+        default=None,
+        help="load-balancer strategy: permanent (the paper's permanent-cell "
+        "protocol), diffusion (nearest-neighbour load diffusion), sfc "
+        "(space-filling-curve repartition), none (static decomposition "
+        "baseline) or auto (permanent); default honours the REPRO_BALANCER "
+        "environment variable",
     )
     run.add_argument(
         "--engine",

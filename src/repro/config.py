@@ -8,6 +8,7 @@ fail loudly at construction time rather than deep inside a simulation.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 
 from .errors import ConfigurationError
@@ -94,6 +95,42 @@ class MDConfig:
 #: Force-kernel tiers understood by :mod:`repro.md.kernels` (and ``--kernel``).
 #: ``"auto"`` resolves to ``"jit"`` when numba imports cleanly, else ``"half"``.
 KERNEL_NAMES = ("numpy", "half", "jit", "auto")
+
+#: Balancer strategies understood by :mod:`repro.dlb.strategies` (and
+#: ``--balancer``). ``"auto"`` resolves to ``"permanent"``, the paper's
+#: protocol.
+BALANCER_NAMES = ("permanent", "diffusion", "sfc", "none", "auto")
+
+
+def resolve_strategy_name(
+    requested: str | None,
+    *,
+    env_var: str,
+    choices: tuple[str, ...],
+    label: str,
+    env_default: str,
+) -> str:
+    """One resolution rule for every strategy knob (``kernel``, ``balancer``).
+
+    Precedence: explicit request (config field / CLI flag) > the ``env_var``
+    environment variable > ``env_default``. Returns the chosen name --
+    including ``"auto"`` where the knob supports it; mapping ``"auto"`` to a
+    concrete backend is knob-specific and stays with the caller
+    (:func:`repro.md.kernels.resolve_kernel_name`,
+    :func:`repro.dlb.strategies.resolve_balancer_name`).
+    """
+    if requested is None:
+        name = os.environ.get(env_var, env_default)
+        if name not in choices:
+            raise ConfigurationError(
+                f"{env_var}={name!r} is not a {label}; choose one of {choices}"
+            )
+        return name
+    if requested not in choices:
+        raise ConfigurationError(
+            f"unknown {label} {requested!r}; choose one of {choices}"
+        )
+    return requested
 
 #: Valid domain shapes for 3-D DDM (Figure 2 of the paper).
 DOMAIN_SHAPES = ("plane", "pillar", "cube")
@@ -299,6 +336,14 @@ class RunConfig:
         ``"auto"`` (jit when numba imports cleanly, silently half otherwise).
         ``None`` defers to the ``REPRO_KERNEL`` environment variable and
         ultimately to ``"numpy"``.
+    balancer:
+        DLB strategy: ``"permanent"`` (the paper's permanent-cell protocol),
+        ``"diffusion"`` (nearest-neighbour load diffusion), ``"sfc"``
+        (space-filling-curve repartition; centralised engines only),
+        ``"none"`` (the no-balance counterfactual) or ``"auto"``
+        (``"permanent"``). ``None`` defers to the ``REPRO_BALANCER``
+        environment variable and ultimately to ``"permanent"``. Only
+        consulted when ``SimulationConfig.dlb.enabled`` is true.
     timing_mode:
         ``"model"`` derives per-PE times from the calibratable cost model
         (fast, deterministic); ``"measured"`` actually runs each PE's force
@@ -313,6 +358,7 @@ class RunConfig:
     skin: float = 0.4
     neighbor_max_reuse: int = 20
     kernel: str | None = None
+    balancer: str | None = None
     timing_mode: str = "model"
 
     def __post_init__(self) -> None:
@@ -333,6 +379,10 @@ class RunConfig:
         if self.kernel is not None and self.kernel not in KERNEL_NAMES:
             raise ConfigurationError(
                 f"unknown kernel {self.kernel!r}; choose one of {KERNEL_NAMES}"
+            )
+        if self.balancer is not None and self.balancer not in BALANCER_NAMES:
+            raise ConfigurationError(
+                f"unknown balancer {self.balancer!r}; choose one of {BALANCER_NAMES}"
             )
         if self.timing_mode not in ("model", "measured"):
             raise ConfigurationError(f"unknown timing_mode {self.timing_mode!r}")

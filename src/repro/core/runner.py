@@ -19,7 +19,7 @@ import numpy as np
 
 from ..config import RunConfig, SimulationConfig
 from ..decomp.assignment import CellAssignment
-from ..dlb.balancer import DynamicLoadBalancer
+from ..dlb.strategies import create_balancer, resolve_balancer_name
 from ..engine.base import Engine, EngineContext
 from ..engine.forcefield import EngineForceField
 from ..errors import CheckpointError, ConfigurationError
@@ -123,6 +123,7 @@ class _ObservedRunner:
                 "threshold": dlb.threshold,
                 "max_sends_per_step": dlb.max_sends_per_step,
                 "interval": dlb.interval,
+                "balancer": self.balancer_name,
             },
         )
 
@@ -138,6 +139,7 @@ class _ObservedRunner:
         times: np.ndarray,
         lent_before: list[list[int]],
         moves: list,
+        counts: np.ndarray | None = None,
     ) -> None:
         """Record one balancer round: its full inputs and the chosen moves.
 
@@ -145,17 +147,25 @@ class _ObservedRunner:
         :meth:`~repro.dlb.balancer.DynamicLoadBalancer.decide` consumed
         (the view is captured *after* the round's refresh), so the decision
         can be replayed offline from the event alone — see
-        :mod:`repro.dlb.explain`.
+        :mod:`repro.dlb.explain`. Strategies that weight cells by particle
+        counts (``sfc``) additionally record the counts, completing the
+        replay inputs; count-blind strategies skip the field to keep their
+        events byte-identical to pre-seam logs.
         """
         events = self.events
         if events is None:
             return
         view = self.balancer.view
+        extra: dict = {}
+        if self.balancer.strategy.needs_counts and counts is not None:
+            # Flatten the cell list's (nc, nc, nc) grid to the cell-id order.
+            extra["counts"] = [int(c) for c in np.asarray(counts).reshape(-1)]
         events.emit(
             step, "dlb.decision",
             times=[float(t) for t in times],
             lent=lent_before,
             view=view.state_dict() if view is not None else None,
+            **extra,
             moves=[
                 {
                     "cell": int(m.cell),
@@ -327,8 +337,17 @@ class ParallelMDRunner(_ObservedRunner):
             faults=faults,
             profiler=observability.profiler if observability is not None else None,
         )
+        #: Resolved balancer strategy name; like the kernel, "auto"/env
+        #: resolution happens here, once, on the driver, so engine workers,
+        #: events, checkpoints and result metadata inherit a concrete name.
+        self.balancer_name = resolve_balancer_name(run_config.balancer)
         self.balancer = (
-            DynamicLoadBalancer(self.assignment, config.dlb, injector=faults)
+            create_balancer(
+                self.assignment,
+                config.dlb,
+                injector=faults,
+                strategy=self.balancer_name,
+            )
             if config.dlb.enabled
             else None
         )
@@ -362,6 +381,7 @@ class ParallelMDRunner(_ObservedRunner):
                     cells_per_side=dec.cells_per_side,
                     potential=self.potential,
                     kernel=self.kernel_name,
+                    balancer=self.balancer_name,
                 )
             )
             self.force_field = EngineForceField(
@@ -413,9 +433,14 @@ class ParallelMDRunner(_ObservedRunner):
         # The pre-round lent set must be captured before apply() mutates the
         # holder map; the decision event records the round's exact inputs.
         lent_before = self._lent_pairs() if self.events is not None else []
-        moves = self.balancer.step(self._last_times, step=self.step_count)
+        moves = self.balancer.step(
+            self._last_times, step=self.step_count, counts=self._last_counts
+        )
         if self.events is not None:
-            self._emit_decision(self.step_count, self._last_times, lent_before, moves)
+            self._emit_decision(
+                self.step_count, self._last_times, lent_before, moves,
+                counts=self._last_counts,
+            )
         self.accountant.charge_moves(
             moves, self._last_counts, self.assignment, step=self.step_count
         )
@@ -516,9 +541,12 @@ class ParallelMDRunner(_ObservedRunner):
         """Identity of the configuration a snapshot belongs to.
 
         Frozen-dataclass reprs are deterministic, so a snapshot can refuse
-        to restore into a runner built from different settings.
+        to restore into a runner built from different settings. The
+        *resolved* balancer name is included on top of the configs: a run
+        configured with ``balancer=None`` resolves through the environment,
+        and resuming it under a different ``REPRO_BALANCER`` must refuse.
         """
-        return f"{self.config!r}|{self.run_config!r}"
+        return f"{self.config!r}|{self.run_config!r}|balancer={self.balancer_name}"
 
     def state_dict(self, result: RunResult | None = None) -> dict:
         """Everything mutable, deep-copied: system arrays, holder map,
@@ -604,6 +632,7 @@ class DrivenLoadRunner(_ObservedRunner):
         trace_pid: int = 0,
         faults: "FaultInjector | None" = None,
         auditor: "InvariantAuditor | None" = None,
+        balancer: str | None = None,
     ) -> None:
         if config.decomposition.shape != "pillar":
             raise ConfigurationError("DrivenLoadRunner needs the pillar decomposition")
@@ -617,8 +646,14 @@ class DrivenLoadRunner(_ObservedRunner):
         self.auditor = auditor
         self.cell_list = CellList(config.md.box_length, dec.cells_per_side)
         self.assignment = CellAssignment(dec.cells_per_side, dec.n_pes)
+        self.balancer_name = resolve_balancer_name(balancer)
         self.balancer = (
-            DynamicLoadBalancer(self.assignment, config.dlb, injector=faults)
+            create_balancer(
+                self.assignment,
+                config.dlb,
+                injector=faults,
+                strategy=self.balancer_name,
+            )
             if config.dlb.enabled
             else None
         )
@@ -675,12 +710,15 @@ class DrivenLoadRunner(_ObservedRunner):
                     and self.step_count % self.config.dlb.interval == 0
                 ):
                     lent_before = self._lent_pairs() if self.events is not None else []
-                    moves = self.balancer.step(self._last_times, step=self.step_count)
+                    base = self._last_counts if self._last_counts is not None else counts
+                    moves = self.balancer.step(
+                        self._last_times, step=self.step_count, counts=base
+                    )
                     if self.events is not None:
                         self._emit_decision(
-                            self.step_count, self._last_times, lent_before, moves
+                            self.step_count, self._last_times, lent_before, moves,
+                            counts=base,
                         )
-                    base = self._last_counts if self._last_counts is not None else counts
                     self.accountant.charge_moves(
                         moves, base, self.assignment, step=self.step_count
                     )
@@ -719,7 +757,10 @@ class DrivenLoadRunner(_ObservedRunner):
     # -- checkpointing -------------------------------------------------------
 
     def _config_token(self) -> str:
-        return f"{self.config!r}|rounds={self.rounds_per_config}"
+        return (
+            f"{self.config!r}|rounds={self.rounds_per_config}"
+            f"|balancer={self.balancer_name}"
+        )
 
     def state_dict(self, result: RunResult | None = None) -> dict:
         """Mutable state snapshot (see :meth:`ParallelMDRunner.state_dict`)."""

@@ -137,6 +137,24 @@ class CellAssignment:
             )
         self.holder[cell] = to_pe
 
+    def transfer_any(self, cell: int, to_pe: int) -> None:
+        """Move ``cell`` to ``to_pe`` with bounds checks only.
+
+        The escape hatch for *unconstrained* balancer strategies (diffusion,
+        SFC repartition): they are not bound by the paper's permanent-cell
+        invariants, so permanent cells may move and any PE may receive.
+        Ownership conservation still holds -- a cell always has exactly one
+        holder -- and :class:`~repro.faults.audit.InvariantAuditor` keeps
+        checking it for every strategy.
+        """
+        if not 0 <= cell < self.n_cells:
+            raise ProtocolError(f"cell {cell} out of range")
+        if not 0 <= to_pe < self.n_pes:
+            raise ProtocolError(f"PE {to_pe} out of range")
+        if self.holder[cell] == to_pe:
+            raise ProtocolError(f"cell {cell} already held by PE {to_pe}")
+        self.holder[cell] = to_pe
+
     def reset(self) -> None:
         """Return every cell to its home PE."""
         self.holder[...] = self.home

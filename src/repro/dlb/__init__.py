@@ -4,6 +4,13 @@ Each PE's square-pillar domain keeps a wall of *permanent* cell columns that
 never migrate, guaranteeing the regular 8-neighbour communication pattern;
 the remaining *movable* columns flow toward faster neighbours one column per
 step, following the protocol of Section 2.3.
+
+Since the strategy seam landed, the permanent-cell protocol is one of
+several registered strategies behind the :class:`~repro.dlb.strategies.Balancer`
+protocol (see :mod:`repro.dlb.strategies`); select one with the
+``balancer=`` knobs (``RunConfig.balancer`` / ``simulate(balancer=...)`` /
+``--balancer`` / ``REPRO_BALANCER``) and build balancer instances through
+:func:`create_balancer`.
 """
 
 from .balancer import DynamicLoadBalancer, Move
@@ -11,12 +18,26 @@ from .cells import movable_count, movable_fraction, permanent_count
 from .limits import dlb_limit_ratio, max_domain_cells, max_domain_columns
 from .protocol import Case, classify_case, decide_move
 from .spmd_protocol import spmd_decide
+from .strategies import (
+    Balancer,
+    DecisionView,
+    available,
+    create_balancer,
+    create_strategy,
+    register_strategy,
+    resolve_balancer_name,
+)
 
 __all__ = [
+    "Balancer",
     "Case",
+    "DecisionView",
     "DynamicLoadBalancer",
     "Move",
+    "available",
     "classify_case",
+    "create_balancer",
+    "create_strategy",
     "decide_move",
     "dlb_limit_ratio",
     "max_domain_cells",
@@ -24,5 +45,7 @@ __all__ = [
     "movable_count",
     "movable_fraction",
     "permanent_count",
+    "register_strategy",
+    "resolve_balancer_name",
     "spmd_decide",
 ]

@@ -1,7 +1,19 @@
-"""The dynamic load balancer: protocol + policy + bookkeeping."""
+"""The dynamic load balancer: protocol + policy + bookkeeping.
+
+Since the strategy seam landed, this class is a *shell*: it owns the
+assignment, the policy config, the bounded-staleness timing view and the
+stats counters, and delegates the per-round decision to a pluggable
+:class:`~repro.dlb.strategies.Balancer` strategy. Build instances through
+:func:`repro.dlb.strategies.create_balancer` (or the ``balancer=`` knobs on
+:func:`repro.api.simulate` / ``RunConfig``); constructing this class
+directly is deprecated and hard-defaults to the ``permanent`` strategy so
+legacy call sites keep the paper's exact behaviour regardless of the
+``REPRO_BALANCER`` environment.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -11,7 +23,8 @@ from ..decomp.assignment import CellAssignment
 from ..errors import ConfigurationError
 from ..obs.profiler import scope
 from ..parallel.topology import Torus2D
-from .protocol import Case, Move, decide_move
+from .protocol import Case, Move
+from .strategies import Balancer, DecisionView, PermanentCellsBalancer, create_strategy
 from .views import TimingView
 
 
@@ -56,7 +69,17 @@ class DynamicLoadBalancer:
         assignment: CellAssignment,
         config: DLBConfig | None = None,
         injector=None,
+        strategy: "Balancer | str | None" = None,
+        _from_factory: bool = False,
     ) -> None:
+        if not _from_factory:
+            warnings.warn(
+                "constructing DynamicLoadBalancer directly is deprecated; use "
+                "repro.dlb.create_balancer(...), which resolves the strategy "
+                "registry (config > REPRO_BALANCER > permanent)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if assignment.pe_side < 3:
             raise ConfigurationError(
                 f"DLB needs a torus side of at least 3 (got {assignment.pe_side}): "
@@ -66,6 +89,14 @@ class DynamicLoadBalancer:
         self.config = config or DLBConfig()
         self.topology = Torus2D(assignment.pe_side)
         self.stats = BalancerStats()
+        # Direct construction hard-defaults to the paper's protocol -- NOT the
+        # environment -- so legacy call sites stay permanent-cells under any
+        # REPRO_BALANCER value. Env resolution happens in create_balancer.
+        if strategy is None:
+            strategy = PermanentCellsBalancer()
+        elif isinstance(strategy, str):
+            strategy = create_strategy(strategy)
+        self.strategy: Balancer = strategy
         # Fault injection is strictly opt-in: with no injector the decision
         # path below is byte-for-byte the original (perf gate relies on it).
         self.injector = injector
@@ -74,30 +105,36 @@ class DynamicLoadBalancer:
             self._view = TimingView(assignment.n_pes, injector.max_staleness)
 
     @property
+    def strategy_name(self) -> str:
+        """Resolved name of the active strategy (stamped into run metadata)."""
+        return self.strategy.name
+
+    @property
     def view(self) -> TimingView | None:
         """The bounded-staleness timing view (None without fault injection).
 
         After :meth:`decide` this holds exactly the per-observer knowledge
-        the decision was made from — the flight recorder snapshots it into
+        the decision was made from -- the flight recorder snapshots it into
         ``dlb.decision`` events so ``repro explain`` can replay the round.
         """
         return self._view
 
-    def _wants_rebalance(self, my_time: float, fast_time: float) -> bool:
-        if self.config.policy == "fastest":
-            return True
-        # "threshold" policy: only move when relative imbalance is large enough.
-        if fast_time <= 0:
-            return my_time > 0
-        return (my_time - fast_time) / fast_time > self.config.threshold
-
-    def decide(self, per_pe_times: np.ndarray, step: int = 0) -> list[Move]:
+    def decide(
+        self,
+        per_pe_times: np.ndarray,
+        step: int = 0,
+        counts: np.ndarray | None = None,
+    ) -> list[Move]:
         """Run one decision round; does not mutate the assignment.
 
         With a fault injector attached, the step-1 timing broadcast goes
         through a :class:`~repro.dlb.views.TimingView`: dropped reports fall
         back to bounded-staleness last-known values, and a PE with no usable
         neighbour information degrades to the safe no-move decision.
+
+        ``counts`` are optional per-cell particle counts; strategies that
+        declare ``needs_counts`` (``sfc``) weight cells by them and degrade
+        to uniform weights when they are missing.
         """
         times = np.asarray(per_pe_times, dtype=np.float64)
         if times.shape != (self.assignment.n_pes,):
@@ -106,39 +143,35 @@ class DynamicLoadBalancer:
             )
         if self._view is not None:
             self._view.refresh(step, times, self.topology, self.injector)
+        if counts is not None:
+            # Accept the cell list's (nc, nc, nc) grid: its C-order flatten
+            # is exactly the cell-id ordering the assignment uses.
+            counts = np.asarray(counts).reshape(-1)
         with scope("dlb.decide"):
-            moves: list[Move] = []
-            committed: dict[int, set[int]] = {}
-            for pe in range(self.assignment.n_pes):
-                if self._view is not None:
-                    fastest = self._view.fastest_known(pe, times, self.topology)
-                    believed = self._view.effective(pe, fastest)
-                    assert believed is not None  # fastest_known only picks usable views
-                    fast_time = believed
-                else:
-                    neighborhood = self.topology.neighborhood(pe)
-                    local = times[neighborhood]
-                    fastest = neighborhood[int(np.argmin(local))]
-                    fast_time = float(times[fastest])
-                if fastest == pe:
-                    continue
-                if not self._wants_rebalance(float(times[pe]), fast_time):
-                    continue
-                exclude = committed.setdefault(pe, set())
-                for _ in range(self.config.max_sends_per_step):
-                    move = decide_move(
-                        self.assignment, self.topology, pe, fastest, exclude
-                    )
-                    if move is None:
-                        break
-                    exclude.add(move.cell)
-                    moves.append(move)
-            return moves
+            view = DecisionView(
+                times=times,
+                assignment=self.assignment,
+                topology=self.topology,
+                config=self.config,
+                timing=self._view,
+                counts=counts,
+            )
+            return self.strategy.decide(view, step)
 
     def apply(self, moves: list[Move]) -> None:
-        """Execute decided moves and update counters."""
+        """Execute decided moves and update counters.
+
+        Constrained strategies (``permanent``) go through the strict
+        ``CellAssignment.transfer`` that enforces the permanent-cell
+        invariants; unconstrained rivals use ``transfer_any``.
+        """
+        transfer = (
+            self.assignment.transfer
+            if self.strategy.constrained
+            else self.assignment.transfer_any
+        )
         for move in moves:
-            self.assignment.transfer(move.cell, move.dst)
+            transfer(move.cell, move.dst)
             if move.kind is Case.SEND_OWN:
                 self.stats.lends += 1
             else:
@@ -148,9 +181,14 @@ class DynamicLoadBalancer:
         if not moves:
             self.stats.idle_steps += 1
 
-    def step(self, per_pe_times: np.ndarray, step: int = 0) -> list[Move]:
+    def step(
+        self,
+        per_pe_times: np.ndarray,
+        step: int = 0,
+        counts: np.ndarray | None = None,
+    ) -> list[Move]:
         """Decide and apply one redistribution round; returns the moves."""
-        moves = self.decide(per_pe_times, step=step)
+        moves = self.decide(per_pe_times, step=step, counts=counts)
         self.apply(moves)
         return moves
 
@@ -168,6 +206,10 @@ class DynamicLoadBalancer:
                 "moves_per_step": list(self.stats.moves_per_step),
             },
             "view": self._view.state_dict() if self._view is not None else None,
+            "strategy": {
+                "name": self.strategy.name,
+                "state": self.strategy.state_dict(),
+            },
         }
         return state
 
@@ -181,3 +223,12 @@ class DynamicLoadBalancer:
         self.stats.moves_per_step = list(stats["moves_per_step"])
         if state.get("view") is not None and self._view is not None:
             self._view.load_state_dict(state["view"])
+        recorded = state.get("strategy")  # absent in pre-seam checkpoints
+        if recorded is not None:
+            if recorded["name"] != self.strategy.name:
+                raise ConfigurationError(
+                    f"checkpoint was written by balancer {recorded['name']!r}; "
+                    f"this run uses {self.strategy.name!r} -- rerun with "
+                    f"--balancer {recorded['name']}"
+                )
+            self.strategy.load_state(recorded["state"])

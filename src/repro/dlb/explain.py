@@ -18,10 +18,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import DLBConfig
 from ..decomp.assignment import CellAssignment
 from ..errors import AnalysisError
 from ..parallel.topology import Torus2D
 from .protocol import decide_move
+from .strategies import DecisionView, available, create_strategy
 from .views import TimingView
 
 __all__ = [
@@ -71,11 +73,23 @@ def replay_decision(run_start: dict, event: dict) -> ReplayedDecision:
     """Re-run one logged balancer round from its recorded inputs.
 
     Rebuilds the pre-round assignment from the event's lent set, the timing
-    view from its logged matrices (when present), and walks PEs in rank
-    order exactly as :meth:`~repro.dlb.balancer.DynamicLoadBalancer.decide`
-    does. The returned narrative explains each PE's choice.
+    view from its logged matrices (when present), and dispatches on the
+    ``balancer`` strategy the ``run.start`` record names (logs predating
+    the strategy seam replay as ``permanent``). The paper's protocol gets
+    the detailed per-PE narrative; rival strategies replay through their
+    registered :class:`~repro.dlb.strategies.Balancer` implementation. A
+    log recorded by a strategy this build does not know raises
+    :class:`~repro.errors.AnalysisError` instead of reporting a spurious
+    divergence.
     """
     dlb = run_start.get("dlb") or {}
+    balancer_name = dlb.get("balancer", "permanent")
+    if balancer_name not in available():
+        raise AnalysisError(
+            f"event log was recorded with balancer {balancer_name!r}, which "
+            f"is not registered in this build (known: {list(available())}); "
+            "cannot replay its decisions"
+        )
     n_pes = int(run_start["n_pes"])
     assignment = CellAssignment(int(run_start["cells_per_side"]), n_pes)
     for cell, holder in event.get("lent") or []:
@@ -97,6 +111,12 @@ def replay_decision(run_start: dict, event: dict) -> ReplayedDecision:
     policy = dlb.get("policy", "fastest")
     threshold = float(dlb.get("threshold", 0.0))
     max_sends = int(dlb.get("max_sends_per_step", 1))
+
+    if balancer_name != "permanent":
+        return _replay_strategy(
+            balancer_name, event, assignment, topology, times, view,
+            DLBConfig(policy=policy, threshold=threshold, max_sends_per_step=max_sends),
+        )
 
     replayed: list[dict] = []
     narrative: list[str] = []
@@ -150,6 +170,62 @@ def replay_decision(run_start: dict, event: dict) -> ReplayedDecision:
                 f"PE {fastest} ({fast_time:.4g} s) but had no eligible cell "
                 f"(permanent wall or nothing left to lend/return)"
             )
+    return ReplayedDecision(
+        step=int(event["step"]),
+        replayed_moves=replayed,
+        logged_moves=list(event.get("moves") or []),
+        narrative=narrative,
+    )
+
+
+def _replay_strategy(
+    balancer_name: str,
+    event: dict,
+    assignment: CellAssignment,
+    topology: Torus2D,
+    times: np.ndarray,
+    view: "TimingView | None",
+    config: DLBConfig,
+) -> ReplayedDecision:
+    """Replay a non-permanent round through its registered strategy.
+
+    The decision event carries every input the strategy consumed: times,
+    the lent set (already folded into ``assignment``), the timing view, and
+    -- for count-weighted strategies like ``sfc`` -- the per-cell particle
+    counts.
+    """
+    counts = event.get("counts")
+    strategy = create_strategy(balancer_name)
+    decision_view = DecisionView(
+        times=times,
+        assignment=assignment,
+        topology=topology,
+        config=config,
+        timing=view,
+        counts=np.asarray(counts, dtype=np.int64) if counts is not None else None,
+    )
+    replayed: list[dict] = []
+    narrative: list[str] = []
+    if balancer_name == "none":
+        narrative.append(
+            "balancer 'none': redistribution disabled by construction — "
+            "no moves to replay"
+        )
+    for move in strategy.decide(decision_view, int(event["step"])):
+        replayed.append(
+            {
+                "cell": int(move.cell),
+                "src": int(move.src),
+                "dst": int(move.dst),
+                "case": move.kind.value,
+            }
+        )
+        verb = "lent" if move.kind.value == "send_own" else "returned"
+        narrative.append(
+            f"PE {move.src} ({float(times[move.src]):.4g} s) {verb} cell "
+            f"{int(move.cell)} to PE {move.dst} "
+            f"({float(times[move.dst]):.4g} s) [{balancer_name}]"
+        )
     return ReplayedDecision(
         step=int(event["step"]),
         replayed_moves=replayed,

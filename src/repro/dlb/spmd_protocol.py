@@ -13,12 +13,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..config import DLBConfig
 from ..decomp.assignment import CellAssignment
 from ..errors import ConfigurationError
 from ..parallel.spmd import SPMDExecutor
 from ..parallel.topology import Torus2D
 from .protocol import Move, decide_move
+from .strategies import DecisionView, DiffusionBalancer
 from .views import TimingView
+
+#: Strategies with a distributed formulation. ``sfc`` is global by
+#: construction (it re-cuts a curve over *every* cell's weight), so it has
+#: no SPMD equivalent and :func:`spmd_decide` rejects it with a clear error.
+SPMD_STRATEGIES = ("permanent", "diffusion", "none")
 
 
 def spmd_decide(
@@ -28,6 +35,8 @@ def spmd_decide(
     injector=None,
     step: int = 0,
     view: "TimingView | None" = None,
+    strategy: str = "permanent",
+    config: "DLBConfig | None" = None,
 ) -> list[Move]:
     """One distributed decision round; returns the moves in PE order.
 
@@ -43,6 +52,13 @@ def spmd_decide(
     The hook consults ``injector.report_delivered(step, src, dst)`` -- the
     exact query the centralised balancer makes -- so the two implementations
     observe identical drop patterns and stay move-for-move equivalent.
+
+    ``strategy`` selects among the distributed-capable strategies
+    (:data:`SPMD_STRATEGIES`): ``permanent`` runs the paper's case analysis,
+    ``diffusion`` runs the same per-rank flux rule as the centralised
+    balancer (each rank only sheds cells it holds, so the formulations are
+    identical), ``none`` broadcasts times but never moves. ``sfc`` raises
+    :class:`~repro.errors.ConfigurationError` -- use a centralised engine.
     """
     times = np.asarray(per_pe_times, dtype=np.float64)
     n_pes = assignment.n_pes
@@ -50,6 +66,14 @@ def spmd_decide(
         raise ConfigurationError(f"times shape {times.shape} != ({n_pes},)")
     if assignment.pe_side < 3:
         raise ConfigurationError("SPMD protocol needs a torus side of at least 3")
+    if strategy not in SPMD_STRATEGIES:
+        raise ConfigurationError(
+            f"balancer {strategy!r} has no distributed formulation; the SPMD "
+            f"decide path supports {SPMD_STRATEGIES} -- run 'sfc' on a "
+            "centralised engine instead"
+        )
+    if config is None:
+        config = DLBConfig(max_sends_per_step=max_sends_per_step)
 
     topology = Torus2D(assignment.pe_side)
     fault_hook = None
@@ -69,6 +93,14 @@ def spmd_decide(
     executor.superstep(broadcast_times)
 
     moves: list[Move] = []
+    diffusion = DiffusionBalancer() if strategy == "diffusion" else None
+    decision_view = DecisionView(
+        times=times,
+        assignment=assignment,
+        topology=topology,
+        config=config,
+        timing=view,
+    )
 
     def decide(rank: int, ex: SPMDExecutor) -> None:
         received = {src: t for src, t in ex.inbox(rank)}
@@ -82,6 +114,15 @@ def spmd_decide(
                     view.observe(rank, neighbor, received[neighbor])
                 else:
                     view.miss(rank, neighbor)
+        if strategy == "none":
+            return
+        if diffusion is not None:
+            # The diffusion rule is already per-rank (a rank only sheds
+            # cells it holds), so the centralised helper *is* the SPMD one;
+            # its view-aware fastest_for reads the state folded above.
+            moves.extend(diffusion.decide_for_rank(decision_view, rank))
+            return
+        if view is not None:
             fastest = view.fastest_known(rank, times, topology)
         else:
             # Fixed neighbourhood order = deterministic tie-breaking,
@@ -96,7 +137,7 @@ def spmd_decide(
         if fastest == rank:
             return
         exclude: set[int] = set()
-        for _ in range(max_sends_per_step):
+        for _ in range(config.max_sends_per_step):
             move = decide_move(assignment, topology, rank, fastest, exclude)
             if move is None:
                 break

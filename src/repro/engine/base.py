@@ -47,9 +47,10 @@ class EngineContext:
     Everything a worker process needs to rebuild the pair-search structures:
     no live objects, only plain values, so the context crosses a ``spawn``
     boundary unchanged. ``kernel`` is the *resolved* force-kernel tier name
-    (``"numpy"``, ``"half"`` or ``"jit"``); resolving ``"auto"`` happens on
-    the driver before the context is built, so every worker instantiates the
-    same backend regardless of its own environment.
+    (``"numpy"``, ``"half"`` or ``"jit"``) and ``balancer`` the *resolved*
+    balancer strategy name; resolving ``"auto"`` (and the respective env
+    vars) happens on the driver before the context is built, so every worker
+    sees the same concrete names regardless of its own environment.
     """
 
     n_particles: int
@@ -58,6 +59,7 @@ class EngineContext:
     cells_per_side: int
     potential: LennardJones
     kernel: str = "numpy"
+    balancer: str = "permanent"
 
     def __post_init__(self) -> None:
         if self.n_particles <= 0:
@@ -70,6 +72,12 @@ class EngineContext:
             raise ConfigurationError(
                 f"engine context needs a resolved kernel name, got {self.kernel!r} "
                 "(resolve 'auto' via repro.md.kernels.resolve_kernel_name first)"
+            )
+        if self.balancer not in ("permanent", "diffusion", "sfc", "none"):
+            raise ConfigurationError(
+                f"engine context needs a resolved balancer name, got "
+                f"{self.balancer!r} (resolve 'auto' via "
+                "repro.dlb.strategies.resolve_balancer_name first)"
             )
 
 

@@ -119,7 +119,12 @@ def run_boundary_repetition(
         n_droplets=droplets_for(geometry),
         seed=int(schedule_seed),
     )
-    result = api.simulate_driven(config, schedule, rounds_per_config=rounds_per_config)
+    # Boundary repetitions probe the permanent-cell protocol's DLB limit,
+    # so the strategy is part of the experiment's definition.
+    result = api.simulate_driven(
+        config, schedule, rounds_per_config=rounds_per_config,
+        balancer="permanent",
+    )
     try:
         point = boundary_point(
             result.spread, result.trajectory, steps=result.steps, **detector_kwargs

@@ -44,7 +44,11 @@ def run_fig9(
         n_droplets=droplets_for(geometry),
         seed=seed,
     )
-    result = DrivenLoadRunner(config, rounds_per_config=rounds_per_config).run(schedule)
+    # The trajectory/boundary analysis is defined on the paper's balancer:
+    # the C' limit being probed is the permanent-cell protocol's.
+    result = DrivenLoadRunner(
+        config, rounds_per_config=rounds_per_config, balancer="permanent"
+    ).run(schedule)
     trajectory = result.trajectory
     try:
         boundary = boundary_point(result.spread, trajectory, steps=result.steps)

@@ -54,7 +54,18 @@ class InvariantAuditor:
     events:
         Optional :class:`~repro.obs.events.EventLog`; every executed audit
         is recorded as an ``audit`` event carrying its problem count.
+    strategy:
+        The active balancer strategy name. The permanent-cell invariants
+        (permanent pinning, Case 1 adjacency, the Case 1/3 move ledger) are
+        *protocol* properties, so they are enforced only for
+        ``"permanent"`` (and vacuously hold for ``"none"``); unconstrained
+        rivals (``"diffusion"``, ``"sfc"``) keep the strategy-independent
+        checks -- ownership totals, holder range, particle conservation,
+        finite forces.
     """
+
+    #: Strategies whose moves must obey the paper's protocol invariants.
+    _PROTOCOL_STRATEGIES = ("permanent", "none")
 
     def __init__(
         self,
@@ -64,6 +75,7 @@ class InvariantAuditor:
         policy: str = "raise",
         metrics: "MetricsRegistry | None" = None,
         events=None,
+        strategy: str = "permanent",
     ) -> None:
         if every <= 0:
             raise ConfigurationError(f"audit cadence must be positive, got {every}")
@@ -77,9 +89,14 @@ class InvariantAuditor:
         self.policy = policy
         self.metrics = metrics
         self.events = events
+        self.strategy = strategy
         self.audits = 0
         self.violation_count = 0
         self.violations: list[str] = []
+
+    @property
+    def _protocol_checks(self) -> bool:
+        return self.strategy in self._PROTOCOL_STRATEGIES
 
     # -- individual checks ---------------------------------------------------
 
@@ -90,11 +107,12 @@ class InvariantAuditor:
         if a.holder.shape != a.home.shape:
             out.append("holder/home maps have diverged in shape")
             return out
-        bad = np.flatnonzero(a.permanent & (a.holder != a.home))
-        if bad.size:
-            out.append(
-                f"permanent cell(s) {bad[:8].tolist()} migrated away from home"
-            )
+        if self._protocol_checks:
+            bad = np.flatnonzero(a.permanent & (a.holder != a.home))
+            if bad.size:
+                out.append(
+                    f"permanent cell(s) {bad[:8].tolist()} migrated away from home"
+                )
         outside = np.flatnonzero((a.holder < 0) | (a.holder >= a.n_pes))
         if outside.size:
             out.append(
@@ -108,17 +126,24 @@ class InvariantAuditor:
             out.append(
                 f"cells owned {int(counts.sum())} times in total, expected {a.n_cells}"
             )
-        for cell in np.flatnonzero(a.holder != a.home):
-            home = int(a.home[cell])
-            holder = int(a.holder[cell])
-            if holder not in a.lower_neighbors(home):
-                out.append(
-                    f"cell {int(cell)} (home {home}) lent to non-lower PE {holder}"
-                )
+        if self._protocol_checks:
+            for cell in np.flatnonzero(a.holder != a.home):
+                home = int(a.home[cell])
+                holder = int(a.holder[cell])
+                if holder not in a.lower_neighbors(home):
+                    out.append(
+                        f"cell {int(cell)} (home {home}) lent to non-lower PE {holder}"
+                    )
         return out
 
     def _check_moves(self, moves: Iterable["Move"]) -> list[str]:
-        """The ledger round-trips: Case 3 only returns what Case 1 lent."""
+        """The ledger round-trips: Case 3 only returns what Case 1 lent.
+
+        A protocol property: only enforced for the ``permanent`` strategy
+        (rival strategies reuse the Move kinds as plain lend/return labels).
+        """
+        if not self._protocol_checks:
+            return []
         out: list[str] = []
         a = self.assignment
         for move in moves:

@@ -32,12 +32,11 @@ Register additional backends with :func:`register_kernel`.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import KERNEL_NAMES
+from ..config import KERNEL_NAMES, resolve_strategy_name
 from ..errors import ConfigurationError
 from .pbc import minimum_image_inplace
 from .potential import LennardJones
@@ -138,12 +137,13 @@ def numba_available() -> bool:
 
 def default_kernel() -> str:
     """Session default kernel: the ``REPRO_KERNEL`` env var, else ``"numpy"``."""
-    name = os.environ.get("REPRO_KERNEL", "numpy")
-    if name not in KERNEL_NAMES:
-        raise ConfigurationError(
-            f"REPRO_KERNEL={name!r} is not a kernel; choose one of {KERNEL_NAMES}"
-        )
-    return name
+    return resolve_strategy_name(
+        None,
+        env_var="REPRO_KERNEL",
+        choices=KERNEL_NAMES,
+        label="kernel",
+        env_default="numpy",
+    )
 
 
 def resolve_kernel_name(requested: str | None) -> str:
@@ -151,13 +151,17 @@ def resolve_kernel_name(requested: str | None) -> str:
 
     ``None`` defers to :func:`default_kernel`; ``"auto"`` picks ``"jit"``
     when numba is importable and silently falls back to ``"half"`` otherwise;
-    an explicit ``"jit"`` without numba is a configuration error.
+    an explicit ``"jit"`` without numba is a configuration error. Shares the
+    precedence rule (explicit > env var > default) with every other strategy
+    knob through :func:`repro.config.resolve_strategy_name`.
     """
-    name = default_kernel() if requested is None else requested
-    if name not in KERNEL_NAMES:
-        raise ConfigurationError(
-            f"unknown kernel {name!r}; choose one of {KERNEL_NAMES}"
-        )
+    name = resolve_strategy_name(
+        requested,
+        env_var="REPRO_KERNEL",
+        choices=KERNEL_NAMES,
+        label="kernel",
+        env_default="numpy",
+    )
     if name == "auto":
         return "jit" if numba_available() else "half"
     if name == "jit" and not numba_available():

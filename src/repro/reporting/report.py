@@ -36,3 +36,41 @@ def comparison_report(ddm: RunResult, dlb: RunResult, title: str = "DDM vs DLB-D
     growth_dlb = b["tt_last"] / b["tt_first"] if b["tt_first"] > 0 else float("nan")
     rows.append(("tt growth (last/first)", growth_ddm, growth_dlb))
     return format_table(["metric", "DDM", "DLB-DDM"], rows, title=title)
+
+
+def balancer_comparison_report(
+    results: "dict[str, RunResult | dict]", title: str = "Balancer comparison"
+) -> str:
+    """One row per balancer strategy, side by side over the same workload.
+
+    ``results`` maps a strategy name (``permanent``, ``diffusion``, ``sfc``,
+    ``none``, ...) to either a :class:`~repro.core.results.RunResult` or an
+    already-computed summary dict (a campaign payload works directly). Rows
+    keep insertion order, so callers control the comparison's reading order;
+    the ``none`` baseline is the natural first row.
+    """
+    if not results:
+        return f"(empty {title!r}: no balancer results)"
+    rows = []
+    for name, result in results.items():
+        summary = result.summary() if isinstance(result, RunResult) else result
+        tt_first = float(summary.get("tt_first", 0.0))
+        tt_last = float(summary.get("tt_last", 0.0))
+        growth = tt_last / tt_first if tt_first > 0 else float("nan")
+        rows.append(
+            (
+                name,
+                f"{float(summary.get('tt_mean', 0.0)):.5f}",
+                f"{tt_last:.5f}",
+                f"{float(summary.get('tt_max', 0.0)):.5f}",
+                f"{float(summary.get('spread_last', 0.0)):.5f}",
+                int(summary.get("total_moves", 0)),
+                f"{growth:.3f}",
+            )
+        )
+    return format_table(
+        ["balancer", "tt_mean", "tt_last", "tt_max", "spread_last", "moves",
+         "tt growth"],
+        rows,
+        title=title,
+    )

@@ -81,8 +81,12 @@ def faulted_runner(plan: FaultPlan, steps_seed: int = 1) -> ParallelMDRunner:
     injector = FaultInjector(plan, config.decomposition.n_pes)
     runner = ParallelMDRunner(config, RunConfig(steps=10, seed=steps_seed),
                               faults=injector)
+    # Audit whatever strategy the runner resolved (a REPRO_BALANCER matrix
+    # leg may select an unconstrained rival, whose audit drops the
+    # permanent-cell protocol checks but keeps ownership conservation).
     runner.auditor = InvariantAuditor(
-        runner.assignment, n_particles=runner.system.n, policy="raise"
+        runner.assignment, n_particles=runner.system.n, policy="raise",
+        strategy=runner.balancer_name,
     )
     return runner
 
@@ -110,7 +114,8 @@ class TestFaultClasses:
         config = sim_config()
         injector = FaultInjector(plan, config.decomposition.n_pes)
         runner = DrivenLoadRunner(config, rounds_per_config=2, faults=injector)
-        runner.auditor = InvariantAuditor(runner.assignment, policy="raise")
+        runner.auditor = InvariantAuditor(runner.assignment, policy="raise",
+                                          strategy=runner.balancer_name)
         rng = np.random.default_rng(2)
         box = config.md.box_length
         configurations = [rng.uniform(0, box, (500, 3)) for _ in range(4)]

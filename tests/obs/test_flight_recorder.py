@@ -42,12 +42,13 @@ def fault_plan() -> FaultPlan:
 
 
 def run_with_events(steps=STEPS, faults=None, engine=None, engine_workers=None,
-                    dlb=True, checkpoints=None, stop_after=None):
+                    dlb=True, checkpoints=None, stop_after=None, balancer=None):
     observability = Observability(events=EventLog())
     result = api.simulate(
         PRESET,
         run=RunConfig(steps=steps, seed=7, record_interval=1),
         dlb=dlb,
+        balancer=balancer,
         engine=engine,
         engine_workers=engine_workers,
         observability=observability,
@@ -189,7 +190,9 @@ class TestExplain:
 
     def test_tampered_log_is_detected(self):
         """Corrupting a logged move makes the replay diverge visibly."""
-        _, events = run_with_events()
+        # Pinned to permanent: the test needs a decision that moved a cell,
+        # which the `none` matrix leg never produces.
+        _, events = run_with_events(balancer="permanent")
         records = events.records
         decision = next(r for r in records if r["kind"] == "dlb.decision"
                         and r["moves"])
@@ -198,3 +201,44 @@ class TestExplain:
                        if d.step == decision["step"]]
         assert not tampered.matches
         assert "DIVERGES" in render_explanation(tampered)
+
+
+class TestExplainStrategyDispatch:
+    """Replay dispatches on the balancer the run.start record names."""
+
+    @pytest.mark.parametrize("balancer", ["diffusion", "sfc", "none"])
+    def test_rival_decisions_replay_bit_exactly(self, balancer):
+        _, events = run_with_events(balancer=balancer)
+        assert events.records[0]["dlb"]["balancer"] == balancer
+        decisions = explain_events(events.records)
+        if balancer != "none":
+            assert decisions
+        assert all(d.matches for d in decisions)
+
+    def test_sfc_decision_events_carry_counts(self):
+        """Count-weighted strategies log their weights; permanent does not,
+        keeping its decision events byte-identical to pre-seam logs."""
+        _, sfc_events = run_with_events(balancer="sfc")
+        sfc_decisions = [r for r in sfc_events.records
+                         if r["kind"] == "dlb.decision"]
+        assert sfc_decisions and all("counts" in d for d in sfc_decisions)
+        _, perm_events = run_with_events(balancer="permanent")
+        perm_decisions = [r for r in perm_events.records
+                          if r["kind"] == "dlb.decision"]
+        assert perm_decisions and all("counts" not in d
+                                      for d in perm_decisions)
+
+    def test_pre_seam_log_without_balancer_field_replays_as_permanent(self):
+        # A genuine pre-seam log was necessarily a permanent-strategy run,
+        # so record one explicitly (the env matrix must not rebind it).
+        _, events = run_with_events(balancer="permanent")
+        records = events.records
+        del records[0]["dlb"]["balancer"]  # what a pre-seam log looks like
+        decisions = explain_events(records)
+        assert decisions and all(d.matches for d in decisions)
+
+    def test_unknown_strategy_log_is_a_clear_error_not_divergence(self):
+        _, events = run_with_events()
+        events.records[0]["dlb"]["balancer"] = "work-stealing"
+        with pytest.raises(AnalysisError, match="not registered"):
+            explain_events(events.records)

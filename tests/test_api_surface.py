@@ -10,6 +10,8 @@ exactly the review trigger this test exists to create.
 
 import inspect
 
+import pytest
+
 from repro import api
 
 EXPECTED_ALL = [
@@ -34,6 +36,7 @@ EXPECTED_SIGNATURES = {
     "simulate": (
         "(config: 'SimulationConfig | str', *, run: 'RunConfig', "
         "dlb: 'bool | None' = None, "
+        "balancer: 'str | None' = None, "
         "engine: 'Engine | EngineSpec | str | None' = None, "
         "engine_workers: 'int | None' = None, "
         "observability: 'Observability | None' = None, "
@@ -49,6 +52,7 @@ EXPECTED_SIGNATURES = {
         "configurations: 'Iterable[np.ndarray]', *, "
         "rounds_per_config: 'int' = 1, "
         "dlb: 'bool | None' = None, "
+        "balancer: 'str | None' = None, "
         "observability: 'Observability | None' = None, "
         "faults: 'FaultPlan | FaultInjector | None' = None, "
         "audit: 'AuditPolicy | None' = None, "
@@ -110,3 +114,63 @@ class TestPublicSurface:
             assert dataclasses.is_dataclass(cls)
             params = getattr(cls, "__dataclass_params__")
             assert params.frozen, f"{cls.__name__} must stay immutable"
+
+
+class TestBalancerSurface:
+    """The strategy seam's public surface (PR 10)."""
+
+    def test_simulate_accepts_balancer_keyword(self):
+        parameter = inspect.signature(api.simulate).parameters["balancer"]
+        assert parameter.kind is inspect.Parameter.KEYWORD_ONLY
+        assert parameter.default is None
+
+    def test_strategies_module_surface(self):
+        from repro.dlb import strategies
+
+        for name in ("Balancer", "available", "create_balancer",
+                     "create_strategy", "register_strategy",
+                     "resolve_balancer_name"):
+            assert hasattr(strategies, name)
+
+    def test_available_lists_all_four_strategies(self):
+        from repro.dlb.strategies import available
+
+        assert available() == ("diffusion", "none", "permanent", "sfc")
+
+    def test_balancer_protocol_shape(self):
+        """Every registered strategy satisfies the Balancer protocol."""
+        from repro.dlb.strategies import Balancer, available, create_strategy
+
+        for name in available():
+            strategy = create_strategy(name)
+            assert isinstance(strategy, Balancer)
+            assert strategy.name == name
+            assert callable(strategy.decide)
+            assert isinstance(strategy.state_dict(), dict)
+            assert isinstance(strategy.constrained, bool)
+            assert isinstance(strategy.needs_counts, bool)
+
+    def test_unknown_strategy_error_lists_choices(self):
+        from repro.dlb.strategies import available, create_strategy
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            create_strategy("work-stealing")
+        message = str(excinfo.value)
+        for name in available():
+            assert name in message
+
+    def test_unknown_balancer_in_run_config_is_actionable(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="permanent"):
+            api.RunConfig(steps=1, balancer="work-stealing")
+
+    def test_dlb_package_reexports_the_seam(self):
+        from repro import dlb
+
+        for name in ("Balancer", "DecisionView", "available",
+                     "create_balancer", "create_strategy",
+                     "register_strategy", "resolve_balancer_name"):
+            assert name in dlb.__all__
+            assert hasattr(dlb, name)

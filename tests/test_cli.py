@@ -329,7 +329,10 @@ class TestFlightRecorderFlags:
 
     def record(self, tmp_path, steps=6):
         events = tmp_path / "ev.jsonl"
+        # --balancer permanent: the divergence test needs a logged move,
+        # which a REPRO_BALANCER=none matrix leg would never produce.
         code = main(["run", "bench-m2", "--mode", "dlb", "--steps", str(steps),
+                     "--balancer", "permanent",
                      "--record-interval", "1", "--events", str(events)])
         assert code == 0
         return events
